@@ -1,0 +1,65 @@
+// Ablation: FILTER chain reordering (§2.4.3).
+//
+// The NCNPR query deliberately lists its conjuncts most-expensive-first
+// (DTBA, then Smith-Waterman, then pIC50). With reordering off, every row
+// pays DTBA; with reordering on, profiled runs move the cheap,
+// high-rejection conjuncts up front. The result set must be identical.
+
+#include <cstdio>
+
+#include "core/workflow.h"
+
+int main() {
+  using namespace ids;
+  std::printf("=== Ablation: UDF chain reordering (sec 2.4.3) ===\n\n");
+
+  datagen::LifeSciConfig cfg;
+  cfg.num_families = 16;
+  cfg.proteins_per_family = 10;
+  cfg.num_related_families = 6;
+  cfg.compounds_per_family = 24;
+  cfg.seq_len_mean = 220;
+  cfg.seq_len_jitter = 20;
+  cfg.seed = 777;
+  cfg.build_keyword_index = false;
+  cfg.build_vector_store = false;
+  const int ranks = 16;
+  core::NcnprData data = core::build_ncnpr_data(cfg, ranks);
+
+  auto run = [&](bool reorder) {
+    core::EngineOptions opts;
+    opts.topology = runtime::Topology::laptop(ranks);
+    opts.reorder_filters = reorder;
+    core::IdsEngine engine(opts, data.triples.get(), data.features.get());
+    core::register_ncnpr_udfs(&engine, data);
+    core::NcnprThresholds t;
+    t.min_sw_similarity = 0.9;  // SW prunes hard: reordering should shine
+    t.min_pic50 = 5.0;
+    t.min_dtba = 7.0;
+    core::Query q = core::make_ncnpr_query(data, t, /*with_docking=*/false);
+    (void)engine.execute(q);  // warmup builds the profiles reordering needs
+    core::QueryResult r = engine.execute(q);
+    // Evaluations actually performed per UDF (warm run only is isolated by
+    // rerunning on a fresh engine, so subtract the warmup by thirds is not
+    // needed: report cumulative and rely on identical warmups).
+    udf::UdfStats dtba = engine.profiler().aggregate("ncnpr.dtba");
+    udf::UdfStats sw = engine.profiler().aggregate("ncnpr.sw_similarity");
+    return std::make_tuple(r.stage_seconds("filter"), r.solutions.num_rows(),
+                           dtba.execs, sw.execs);
+  };
+
+  auto [t_off, rows_off, dtba_off, sw_off] = run(false);
+  auto [t_on, rows_on, dtba_on, sw_on] = run(true);
+
+  std::printf("%-18s %12s %10s %14s %14s\n", "reordering", "filter (s)",
+              "rows", "DTBA execs", "SW execs");
+  std::printf("%-18s %12.2f %10zu %14llu %14llu\n", "off (as written)", t_off,
+              rows_off, static_cast<unsigned long long>(dtba_off),
+              static_cast<unsigned long long>(sw_off));
+  std::printf("%-18s %12.2f %10zu %14llu %14llu\n", "on (profiled)", t_on,
+              rows_on, static_cast<unsigned long long>(dtba_on),
+              static_cast<unsigned long long>(sw_on));
+  std::printf("\nspeedup %.1fx; identical result sets: %s\n", t_off / t_on,
+              rows_off == rows_on ? "yes" : "NO");
+  return 0;
+}

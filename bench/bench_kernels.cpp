@@ -1,0 +1,199 @@
+// Kernel microbenchmarks (google-benchmark): the real computational cost
+// of every model/substrate kernel on this host. These are wall-clock
+// measurements of the actual algorithms (no virtual time), backing the
+// per-call magnitudes in §4/§5.1 of the paper: SW <1 ms, pIC50 ~1e-5 s
+// (trivially faster here), DTBA per-inference forward pass, docking
+// seconds-scale search loops.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/graph_algorithms.h"
+#include "cache/manager.h"
+#include "common/rng.h"
+#include "datagen/lifesci.h"
+#include "graph/triple_store.h"
+#include "models/docking.h"
+#include "models/dtba.h"
+#include "models/molgen.h"
+#include "models/pic50.h"
+#include "models/smith_waterman.h"
+#include "models/structure.h"
+#include "store/vector_store.h"
+
+namespace {
+
+using namespace ids;
+
+void BM_SmithWaterman(benchmark::State& state) {
+  Rng rng(1);
+  const auto len = static_cast<int>(state.range(0));
+  std::string a = datagen::random_protein_sequence(rng, len);
+  std::string b = datagen::random_protein_sequence(rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::smith_waterman(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cells"] = static_cast<double>(len) * len;
+}
+BENCHMARK(BM_SmithWaterman)->Arg(128)->Arg(350)->Arg(1024);
+
+void BM_SwNormalizedSimilarity(benchmark::State& state) {
+  Rng rng(2);
+  std::string a = datagen::random_protein_sequence(rng, 350);
+  std::string b = datagen::mutate_sequence(rng, a, 0.2, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::normalized_similarity(a, b));
+  }
+}
+BENCHMARK(BM_SwNormalizedSimilarity);
+
+void BM_Pic50(benchmark::State& state) {
+  double x = 37.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::pic50_from_ic50_nm(x));
+  }
+}
+BENCHMARK(BM_Pic50);
+
+void BM_DtbaPredict(benchmark::State& state) {
+  Rng rng(3);
+  models::DtbaModel model;
+  std::string seq =
+      datagen::random_protein_sequence(rng, static_cast<int>(state.range(0)));
+  std::string smiles = models::generate_smiles(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(seq, smiles));
+  }
+}
+BENCHMARK(BM_DtbaPredict)->Arg(150)->Arg(350)->Arg(1000);
+
+void BM_StructurePredict(benchmark::State& state) {
+  Rng rng(4);
+  std::string seq =
+      datagen::random_protein_sequence(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::predict_structure(seq));
+  }
+}
+BENCHMARK(BM_StructurePredict)->Arg(150)->Arg(400);
+
+void BM_DockingEnergy(benchmark::State& state) {
+  Rng rng(5);
+  auto st = models::predict_structure(datagen::random_protein_sequence(rng, 250));
+  models::Molecule rec = models::receptor_from_structure(st);
+  models::Molecule lig = models::ligand_from_smiles("CCNC(=O)c1ccc1CCOC");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::interaction_energy(rec, lig));
+  }
+}
+BENCHMARK(BM_DockingEnergy);
+
+void BM_DockingFull(benchmark::State& state) {
+  Rng rng(6);
+  auto st = models::predict_structure(datagen::random_protein_sequence(rng, 250));
+  models::DockingParams p;
+  p.exhaustiveness = static_cast<int>(state.range(0));
+  models::DockingEngine eng(models::receptor_from_structure(st), p);
+  models::Molecule lig = models::ligand_from_smiles("CCNC(=O)c1ccc1CCOCCNCC");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.dock(lig, seed++));
+  }
+}
+BENCHMARK(BM_DockingFull)->Arg(1)->Arg(8);
+
+void BM_TripleScan(benchmark::State& state) {
+  graph::TripleStore store(1);
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    store.add_ids({1 + rng.next_below(5000), 100 + rng.next_below(10),
+                   1 + rng.next_below(5000)});
+  }
+  store.finalize();
+  graph::TriplePattern q{graph::PatternTerm::Var("s"),
+                         graph::PatternTerm::Const(101),
+                         graph::PatternTerm::Var("o")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.shard(0).count(q));
+  }
+  state.counters["triples"] = 100000;
+}
+BENCHMARK(BM_TripleScan);
+
+void BM_VectorTopK(benchmark::State& state) {
+  store::VectorStore vs(1, 128);
+  Rng rng(8);
+  for (graph::TermId id = 1; id <= 10000; ++id) {
+    std::vector<float> v(128);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    vs.add(id, v);
+  }
+  std::vector<float> q(128);
+  for (auto& x : q) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs.topk_shard(0, q, 10, store::Metric::kCosine));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_VectorTopK);
+
+void BM_CachePutGet(benchmark::State& state) {
+  cache::CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.dram_capacity_bytes = 256ull << 20;
+  cache::CacheManager cache(cc);
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "obj", std::string(50'000, 'x'));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(clock, 0, "obj"));
+  }
+}
+BENCHMARK(BM_CachePutGet);
+
+void BM_PageRank(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  graph::TripleStore store(8);
+  Rng rng(10);
+  for (int i = 0; i < n * 4; ++i) {
+    store.add("v" + std::to_string(rng.next_below(n)), "edge",
+              "v" + std::to_string(rng.next_below(n)));
+  }
+  store.finalize();
+  runtime::Topology topo = runtime::Topology::laptop(8);
+  for (auto _ : state) {
+    algo::PageRankOptions opts;
+    opts.max_iterations = 10;
+    benchmark::DoNotOptimize(algo::pagerank(store, topo, graph::kInvalidTerm,
+                                            opts));
+  }
+  state.counters["edges"] = n * 4;
+}
+BENCHMARK(BM_PageRank)->Arg(500)->Arg(5000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  graph::TripleStore store(8);
+  Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    store.add("v" + std::to_string(rng.next_below(1000)), "edge",
+              "v" + std::to_string(rng.next_below(1000)));
+  }
+  store.finalize();
+  runtime::Topology topo = runtime::Topology::laptop(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::connected_components(store, topo));
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_MutateSequence(benchmark::State& state) {
+  Rng rng(9);
+  std::string base = datagen::random_protein_sequence(rng, 350);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::mutate_sequence(rng, base, 0.1, 0.01));
+  }
+}
+BENCHMARK(BM_MutateSequence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Interactive IDS shell: the client/launcher deployment surface with the
+// text query language — the closest analogue to the paper's Jupyter
+// front end. Reads commands from stdin (pipe or type them):
+//
+//   load demo                              # generate the demo life-sci graph
+//   add <subj> <pred> <obj>                # ingest one triple
+//   SELECT ?x WHERE { ?x rdf:type bio:Protein } LIMIT 5
+//   logs                                   # drain backend/agent logs
+//   stats <udf>                            # profiler statistics
+//   reload <module>                        # force a module reload
+//   explain <query>                        # show the plan without running
+//   quit
+//
+//   $ printf 'load demo\nSELECT ?c WHERE { ?c chembl:inhibits ?p } LIMIT 3\nquit\n' | ./examples/ids_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/workflow.h"
+#include "deploy/service.h"
+
+using namespace ids;
+
+namespace {
+
+using graph::TermId;
+
+void print_result(const core::QueryResult& r, const graph::Dictionary& dict) {
+  const auto& t = r.solutions;
+  // Header.
+  std::printf("|");
+  for (const auto& v : t.id_vars()) std::printf(" ?%-22s |", v.c_str());
+  for (const auto& v : t.num_vars()) std::printf(" ?%-10s |", v.c_str());
+  std::printf("\n");
+  for (std::size_t row = 0; row < t.num_rows(); ++row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < t.id_vars().size(); ++c) {
+      TermId id = t.id_at(row, static_cast<int>(c));
+      std::printf(" %-23s |",
+                  id == graph::kInvalidTerm ? "-" : dict.name(id).c_str());
+    }
+    for (std::size_t c = 0; c < t.num_vars().size(); ++c) {
+      std::printf(" %11.3f |", t.num_at(row, static_cast<int>(c)));
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu row(s), %.3f modeled s\n", t.num_rows(), r.total_seconds);
+}
+
+}  // namespace
+
+int main() {
+  deploy::DatastoreLauncher launcher;
+  core::EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(8);
+  auto sid = launcher.launch(opts);
+  if (!sid.ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", sid.status().to_string().c_str());
+    return 1;
+  }
+  deploy::DatastoreClient client(&launcher, sid.value());
+  std::printf("ids shell — session %llu up on %d ranks. 'load demo' for "
+              "sample data; 'quit' to exit.\n",
+              static_cast<unsigned long long>(sid.value()),
+              opts.topology.num_ranks());
+
+  bool demo_loaded = false;
+  deploy::IdsSession* session = launcher.session(sid.value());
+
+  std::string line;
+  while (std::printf("ids> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    std::string lower = to_lower(trimmed);
+
+    if (lower == "quit" || lower == "exit") break;
+
+    if (lower == "load demo") {
+      if (demo_loaded) {
+        std::printf("demo data already loaded\n");
+        continue;
+      }
+      datagen::LifeSciConfig cfg;
+      cfg.num_families = 10;
+      cfg.proteins_per_family = 8;
+      cfg.num_related_families = 4;
+      cfg.compounds_per_family = 10;
+      cfg.seq_len_mean = 200;
+      datagen::generate_lifesci(cfg, &session->triples(),
+                                &session->features(), &session->keywords(),
+                                &session->vectors());
+      session->triples().finalize();
+      demo_loaded = true;
+      std::printf("demo graph: %zu triples; try\n"
+                  "  SELECT ?c ?p WHERE { ?c chembl:inhibits ?p } LIMIT 5\n",
+                  session->triples().total_triples());
+      continue;
+    }
+
+    if (lower.starts_with("add ")) {
+      auto parts = split_ws(trimmed.substr(4));
+      if (parts.size() != 3) {
+        std::printf("usage: add <subj> <pred> <obj>\n");
+        continue;
+      }
+      Status st = client.update({{parts[0], parts[1], parts[2]}});
+      std::printf("%s\n", st.to_string().c_str());
+      continue;
+    }
+
+    if (lower == "logs") {
+      for (const auto& e : client.fetch_logs()) {
+        std::printf("  [node %d %-8s] %s\n", e.node, e.component.c_str(),
+                    e.message.c_str());
+      }
+      continue;
+    }
+
+    if (lower.starts_with("stats ")) {
+      std::string name(trim(trimmed.substr(6)));
+      udf::UdfStats s = session->engine().profiler().aggregate(name);
+      std::printf("%s: execs=%llu mean=%.4g s rejects=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(s.execs),
+                  s.mean_cost_seconds(),
+                  static_cast<unsigned long long>(s.rejects));
+      continue;
+    }
+
+    if (lower.starts_with("reload ")) {
+      Status st = client.reload_module(std::string(trim(trimmed.substr(7))));
+      std::printf("%s\n", st.to_string().c_str());
+      continue;
+    }
+
+    if (lower.starts_with("explain ")) {
+      auto parsed = core::parse_query(trimmed.substr(8),
+                                      &session->triples().dict());
+      if (!parsed.ok()) {
+        std::printf("error: %s\n", parsed.status().to_string().c_str());
+      } else {
+        std::printf("%s", session->engine().explain(parsed.value()).c_str());
+      }
+      continue;
+    }
+
+    // Anything else: a query.
+    auto r = client.query(trimmed);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().to_string().c_str());
+      continue;
+    }
+    print_result(r.value(), session->triples().dict());
+  }
+  std::printf("bye\n");
+  (void)launcher.teardown(sid.value());
+  return 0;
+}

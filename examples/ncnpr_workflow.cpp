@@ -1,0 +1,97 @@
+// The NCNPR drug re-purposing workflow (§4 of the paper), end to end:
+//
+//   1. find proteins related to the target (the P29274 analogue)
+//   2. retrieve its sequence and predicted structure
+//   3. assemble candidate compounds that inhibit related proteins
+//   4. filter by Smith-Waterman similarity, pIC50 and DTBA prediction
+//   5. dock the surviving compounds against the target receptor
+//
+// Runs the query twice against the global distributed cache to show the
+// interactive-iteration story: the second "what-if" (a refined threshold
+// over an overlapping candidate set) reuses cached docking outputs.
+//
+//   $ ./examples/ncnpr_workflow
+
+#include <cstdio>
+
+#include "core/workflow.h"
+#include "models/structure.h"
+
+using namespace ids;
+
+int main() {
+  // A laptop-scale slice of the life-sciences graph: 30 protein families
+  // (5 related to the target clade), with inhibitor compounds and assays.
+  datagen::LifeSciConfig cfg;
+  cfg.num_families = 30;
+  cfg.proteins_per_family = 12;
+  cfg.num_related_families = 5;
+  cfg.compounds_per_family = 20;
+  cfg.seq_len_mean = 250;
+  cfg.seq_len_jitter = 30;
+  cfg.seed = 7;
+
+  constexpr int kRanks = 16;
+  std::printf("building knowledge graph");
+  core::NcnprData data = core::build_ncnpr_data(cfg, kRanks);
+  std::printf(": %zu proteins, %zu compounds, %zu triples\n",
+              data.dataset.proteins.size(), data.dataset.compounds.size(),
+              data.triples->total_triples());
+
+  // Step 2 artifacts: sequence + predicted structure of the target.
+  auto structure = models::predict_structure(data.target_sequence);
+  std::printf("target %s: %zu residues, predicted structure confidence %.0f\n",
+              datagen::Vocab::kTargetProtein, data.target_sequence.size(),
+              structure.mean_confidence);
+
+  // The cluster-wide cache (2 compute + 2 memory nodes' worth of tiers).
+  cache::CacheConfig cc;
+  cc.num_nodes = 4;
+  cc.dram_capacity_bytes = 64ull << 20;
+  cache::CacheManager cache(cc);
+
+  core::EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  opts.cache = &cache;
+  core::IdsEngine engine(opts, data.triples.get(), data.features.get(),
+                         data.keywords.get(), data.vectors.get());
+  core::register_ncnpr_udfs(&engine, data);
+
+  auto run = [&](const char* label, double sw, double pic50, double dtba) {
+    core::NcnprThresholds t;
+    t.min_sw_similarity = sw;
+    t.min_pic50 = pic50;
+    t.min_dtba = dtba;
+    core::Query q = core::make_ncnpr_query(data, t, /*with_docking=*/true,
+                                           /*docking_cached=*/true);
+    core::QueryResult r = engine.execute(q);
+    std::printf("\n%s (sw>=%.2f, pIC50>=%.1f, DTBA>=%.1f)\n", label, sw,
+                pic50, dtba);
+    std::printf("  %zu candidate pairs -> %zu docked compounds in %.1f "
+                "modeled s (cache: %zu hits / %zu misses)\n",
+                r.rows_after_filters, r.rows_invoked + r.cache_hits,
+                r.total_seconds, r.cache_hits, r.cache_misses);
+    int cpd = r.solutions.id_var_index("cpd");
+    int energy = r.solutions.num_var_index("energy");
+    std::size_t show = std::min<std::size_t>(5, r.solutions.num_rows());
+    std::printf("  top %zu binders:\n", show);
+    for (std::size_t row = 0; row < show; ++row) {
+      std::printf("    %-24s %7.2f kcal/mol\n",
+                  data.triples->dict().name(r.solutions.id_at(row, cpd)).c_str(),
+                  r.solutions.num_at(row, energy));
+    }
+    return r.total_seconds;
+  };
+
+  // First exploration: strict similarity.
+  double cold = run("initial query", 0.90, 4.5, 6.5);
+
+  // The scientist relaxes the potency floor — an overlapping candidate
+  // set. Docking outputs come from the cache; only new compounds dock.
+  double warm = run("refined what-if", 0.90, 4.0, 6.0);
+
+  std::printf("\niteration speedup from the global cache: %.1fx\n",
+              cold / warm);
+  std::printf("cache state: %s\n", cache.stats().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// "What-could-be": generative screening (§1's fourth discovery facet).
+//
+// Uses the MolGAN stand-in to propose novel compounds conditioned on a
+// target molecular weight, ingests them into the datastore as first-class
+// entities, and screens them with the same DTBA + docking pipeline the
+// curated library uses — generation and retrieval compose in one engine.
+//
+//   $ ./examples/whatif_generator
+
+#include <cstdio>
+
+#include "core/workflow.h"
+#include "models/dtba.h"
+#include "models/molgen.h"
+
+using namespace ids;
+
+int main() {
+  constexpr int kRanks = 8;
+
+  // A small curated graph provides the target protein...
+  datagen::LifeSciConfig cfg;
+  cfg.num_families = 6;
+  cfg.proteins_per_family = 8;
+  cfg.num_related_families = 2;
+  cfg.compounds_per_family = 8;
+  cfg.seq_len_mean = 220;
+  cfg.seed = 31;
+  core::NcnprData data = core::build_ncnpr_data(cfg, kRanks);
+
+  // ...and the generator proposes 40 novel candidates near 280 Da.
+  models::MolGenParams gen;
+  gen.target_weight = 280.0;
+  std::vector<std::string> novel = models::generate_library(40, 99, gen);
+  std::printf("generated %zu novel candidates (target MW 280)\n",
+              novel.size());
+
+  // Ingest the generated compounds like any other data: triples mark them
+  // as (generated) inhibitor hypotheses against the target protein.
+  auto& dict = data.triples->dict();
+  graph::TermId generated_class = dict.intern("gen:Candidate");
+  graph::TermId type_pred = *dict.lookup(datagen::Vocab::kType);
+  graph::TermId inhibits = *dict.lookup(datagen::Vocab::kInhibits);
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    std::string iri = "gen:cand/" + std::to_string(i);
+    graph::TermId id = dict.intern(iri);
+    data.triples->add_ids({id, type_pred, generated_class});
+    data.triples->add_ids({id, inhibits, data.dataset.target_protein});
+    data.features->set(id, datagen::Feat::kSmiles, novel[i]);
+  }
+  // Incremental ingest: re-finalize rebuilds the affected shard indexes.
+  data.triples->finalize();
+
+  core::EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  core::IdsEngine engine(opts, data.triples.get(), data.features.get());
+  core::register_ncnpr_udfs(&engine, data);
+
+  // Screen: DTBA prediction on every generated candidate, then dock the
+  // best 8. (Direct API use: the same UDFs the query engine calls.)
+  const udf::UdfInfo* dtba = engine.registry().find("ncnpr.dtba");
+  const udf::UdfInfo* dock = engine.registry().find("ncnpr.dock");
+  udf::UdfContext ctx;
+  ctx.features = data.features.get();
+  Rng rng(3);
+  ctx.rng = &rng;
+
+  struct Scored {
+    std::string smiles;
+    double affinity;
+    double energy = 0.0;
+  };
+  std::vector<Scored> scored;
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    graph::TermId id = *dict.lookup("gen:cand/" + std::to_string(i));
+    std::vector<expr::Value> args = {expr::Entity{data.dataset.target_protein},
+                                     expr::Entity{id}};
+    udf::UdfResult r = dtba->fn(ctx, args);
+    double a = 0.0;
+    expr::as_double(r.value, &a);
+    scored.push_back({novel[i], a});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.affinity > b.affinity;
+            });
+
+  std::printf("\ntop 8 by predicted binding affinity -> docking:\n");
+  std::printf("%-34s %8s %10s\n", "SMILES", "DTBA", "energy");
+  for (std::size_t i = 0; i < 8 && i < scored.size(); ++i) {
+    // Dock through the registered UDF (cost-modeled like any query would).
+    graph::TermId id = graph::kInvalidTerm;
+    for (std::size_t j = 0; j < novel.size(); ++j) {
+      if (novel[j] == scored[i].smiles) {
+        id = *dict.lookup("gen:cand/" + std::to_string(j));
+        break;
+      }
+    }
+    std::vector<expr::Value> args = {expr::Entity{id}};
+    udf::UdfResult r = dock->fn(ctx, args);
+    expr::as_double(r.value, &scored[i].energy);
+    std::printf("%-34s %8.2f %10.2f\n", scored[i].smiles.c_str(),
+                scored[i].affinity, scored[i].energy);
+  }
+  std::printf("\n(negative energies bind; hand the winners to a chemist)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "cache/cross_cluster.h"
+
+namespace ids::cache {
+
+std::optional<std::string> CrossClusterBridge::get(sim::VirtualClock& clock,
+                                                   int node,
+                                                   std::string_view name) {
+  if (auto payload = local_->get(clock, node, name)) {
+    ++stats_.local_hits;
+    return payload;
+  }
+
+  // Peer fetch: the peer cluster serves it from its best tier (charged on
+  // our clock — we wait for the peer's storage plus the WAN transfer),
+  // entering the peer at its gateway node 0.
+  auto payload = peer_->get(clock, /*node=*/0, name);
+  if (!payload) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  clock.advance(wan_.transfer_cost(payload->size()));
+  ++stats_.peer_fetches;
+  stats_.bytes_over_wan += payload->size();
+
+  // Populate the local cluster so the next read is cluster-local.
+  local_->put(clock, node, name, *payload);
+  return payload;
+}
+
+}  // namespace ids::cache

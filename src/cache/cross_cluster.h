@@ -1,0 +1,61 @@
+#pragma once
+
+// Cross-cluster artifact sharing (§8).
+//
+// "Researchers working on cluster A might run simulations that result in
+// a collection of artifacts that are cached. Other researchers, working
+// on cluster B on a different IDS instance could then leverage [them] to
+// reproduce results, continue investigations etc."
+//
+// The bridge federates two clusters' caches: a get() that misses the
+// local cluster falls through to the peer cluster (charged at the peer's
+// serving cost plus a WAN transfer) and populates the local cache so
+// subsequent reads are cluster-local. Writes stay local — the peer is a
+// read-through source, which keeps ownership simple: every artifact has
+// one home cluster.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cache/manager.h"
+
+namespace ids::cache {
+
+struct BridgeStats {
+  std::uint64_t local_hits = 0;
+  std::uint64_t peer_fetches = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_over_wan = 0;
+};
+
+class CrossClusterBridge {
+ public:
+  /// `local` is this cluster's cache, `peer` the remote cluster's. The
+  /// default WAN link models a metro-distance connection (30 ms RTT-ish
+  /// latency, 1 GB/s).
+  CrossClusterBridge(CacheManager* local, CacheManager* peer,
+                     sim::LinkModel wan = {sim::from_millis(30), 1.0e9})
+      : local_(local), peer_(peer), wan_(wan) {}
+
+  /// Read-through get: local cluster first, then the peer (+ WAN cost,
+  /// + local population so the artifact becomes cluster-local).
+  std::optional<std::string> get(sim::VirtualClock& clock, int node,
+                                 std::string_view name);
+
+  /// Writes are always local-cluster.
+  void put(sim::VirtualClock& clock, int node, std::string_view name,
+           std::string payload, PlacementHint hint = {}) {
+    local_->put(clock, node, name, std::move(payload), hint);
+  }
+
+  const BridgeStats& stats() const { return stats_; }
+
+ private:
+  CacheManager* local_;
+  CacheManager* peer_;
+  sim::LinkModel wan_;
+  BridgeStats stats_;
+};
+
+}  // namespace ids::cache

@@ -1,0 +1,444 @@
+#include "cache/manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace ids::cache {
+
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::span<std::byte> as_writable_bytes(std::string& s) {
+  return {reinterpret_cast<std::byte*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+CacheManager::CacheManager(CacheConfig config)
+    : config_(config), nodes_(static_cast<std::size_t>(config.num_nodes)) {
+  assert(config.num_nodes > 0);
+  fam::FamOptions fam_opts;
+  fam_opts.server_nodes.resize(static_cast<std::size_t>(config.num_nodes));
+  for (int i = 0; i < config.num_nodes; ++i) {
+    fam_opts.server_nodes[static_cast<std::size_t>(i)] = i;
+  }
+  fam_opts.server_capacity_bytes = config.dram_capacity_bytes;
+  fam_opts.fabric = config.fabric;
+  fam_ = std::make_unique<fam::FamService>(std::move(fam_opts));
+}
+
+std::string CacheManager::fam_name(ObjectId id, int node) {
+  return "cache/" + std::to_string(id.value) + "/" + std::to_string(node);
+}
+
+void CacheManager::charge_serialization(sim::VirtualClock& clock) {
+  if (config_.serialization_service_seconds <= 0.0) return;
+  // Per-operation (de)serialization latency on the caller. The *shared-
+  // server queueing* effect of the single serialization service (which
+  // caps aggregate throughput at 1/service ops/s) is modeled by the query
+  // engine at stage level, where virtual arrival times are known — a
+  // stateful queue here would be order-sensitive with respect to the
+  // thread-pool execution order of ranks and break virtual-time causality.
+  clock.advance(sim::from_seconds(config_.serialization_service_seconds));
+}
+
+void CacheManager::charge_directory_lookup(sim::VirtualClock& clock, int node,
+                                           ObjectId id) const {
+  if (directory_node(id) == node) return;
+  // Small-message metadata round trip over the fabric.
+  clock.advance(config_.fabric.inter_node.transfer_cost(64) * 2);
+}
+
+void CacheManager::touch_dram(int node, ObjectId id) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  auto it = ns.dram_pos.find(id);
+  if (it == ns.dram_pos.end()) return;
+  ns.dram_lru.erase(it->second);
+  ns.dram_lru.push_front(id);
+  it->second = ns.dram_lru.begin();
+}
+
+void CacheManager::touch_ssd(int node, ObjectId id) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  auto it = ns.ssd_pos.find(id);
+  if (it == ns.ssd_pos.end()) return;
+  ns.ssd_lru.erase(it->second);
+  ns.ssd_lru.push_front(id);
+  it->second = ns.ssd_lru.begin();
+}
+
+bool CacheManager::read_dram_copy(sim::VirtualClock& clock, int reader_node,
+                                  int owner_node, const Meta& meta,
+                                  std::string* out) const {
+  auto desc = fam_->lookup(fam_name(object_id(meta.name), owner_node));
+  if (!desc.ok()) return false;
+  out->resize(meta.size);
+  Status st = fam_->get(clock, reader_node, desc.value(), 0,
+                        as_writable_bytes(*out));
+  return st.ok();
+}
+
+void CacheManager::remove_copy_record(Meta& meta, const Location& loc) {
+  meta.copies.erase(std::remove(meta.copies.begin(), meta.copies.end(), loc),
+                    meta.copies.end());
+}
+
+void CacheManager::drop_copy(ObjectId id, Meta& meta, const Location& loc) {
+  auto& ns = nodes_[static_cast<std::size_t>(loc.node)];
+  if (loc.tier == TierKind::kDram) {
+    auto it = ns.dram_pos.find(id);
+    if (it != ns.dram_pos.end()) {
+      ns.dram_lru.erase(it->second);
+      ns.dram_pos.erase(it);
+      ns.dram_used -= meta.size;
+    }
+    (void)fam_->deallocate(fam_name(id, loc.node));
+  } else {
+    auto it = ns.ssd_pos.find(id);
+    if (it != ns.ssd_pos.end()) {
+      ns.ssd_lru.erase(it->second);
+      ns.ssd_pos.erase(it);
+      ns.ssd_data.erase(id);
+      ns.ssd_used -= meta.size;
+    }
+  }
+  remove_copy_record(meta, loc);
+}
+
+void CacheManager::evict_dram_lru(sim::VirtualClock& clock, int node) {
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.dram_lru.empty()) return;
+  ObjectId victim = ns.dram_lru.back();
+  auto dit = directory_.find(victim);
+  assert(dit != directory_.end());
+  Meta& meta = dit->second;
+
+  // Demote to the same node's SSD (spill), or drop if SSD is disabled.
+  std::string payload;
+  sim::VirtualClock scratch;  // local DRAM read folded into the SSD charge
+  bool have = read_dram_copy(scratch, node, node, meta, &payload);
+  drop_copy(victim, meta, Location{node, TierKind::kDram});
+  if (have && config_.enable_ssd && meta.size <= config_.ssd_capacity_bytes) {
+    clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
+    insert_ssd(node, victim, meta, std::move(payload));
+    ++stats_.spills_to_ssd;
+  }
+}
+
+void CacheManager::insert_ssd(int node, ObjectId id, Meta& meta,
+                              std::string payload) {
+  if (!config_.enable_ssd || meta.size > config_.ssd_capacity_bytes) return;
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  Location loc{node, TierKind::kSsd};
+  if (ns.ssd_pos.contains(id)) return;  // already there
+  while (ns.ssd_used + meta.size > config_.ssd_capacity_bytes &&
+         !ns.ssd_lru.empty()) {
+    ObjectId victim = ns.ssd_lru.back();
+    auto dit = directory_.find(victim);
+    assert(dit != directory_.end());
+    drop_copy(victim, dit->second, Location{node, TierKind::kSsd});
+    ++stats_.ssd_drops;
+  }
+  if (ns.ssd_used + meta.size > config_.ssd_capacity_bytes) return;
+  ns.ssd_lru.push_front(id);
+  ns.ssd_pos[id] = ns.ssd_lru.begin();
+  ns.ssd_data[id] = std::move(payload);
+  ns.ssd_used += meta.size;
+  meta.copies.push_back(loc);
+}
+
+void CacheManager::insert_dram(sim::VirtualClock& clock, int node, ObjectId id,
+                               Meta& meta, const std::string& payload) {
+  if (meta.size > config_.dram_capacity_bytes) {
+    // Too big for the DRAM tier entirely; go straight to SSD.
+    insert_ssd(node, id, meta, payload);
+    return;
+  }
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  if (ns.dram_pos.contains(id)) return;  // already resident
+  while (ns.dram_used + meta.size > config_.dram_capacity_bytes &&
+         !ns.dram_lru.empty()) {
+    evict_dram_lru(clock, node);
+  }
+  auto desc = fam_->allocate(fam_name(id, node), meta.size, node);
+  if (!desc.ok()) {
+    IDS_WARN << "cache DRAM allocation failed: " << desc.status().to_string();
+    return;
+  }
+  Status st = fam_->put(clock, node, desc.value(), 0, as_bytes(payload));
+  if (!st.ok()) {
+    (void)fam_->deallocate(fam_name(id, node));
+    return;
+  }
+  ns.dram_lru.push_front(id);
+  ns.dram_pos[id] = ns.dram_lru.begin();
+  ns.dram_used += meta.size;
+  meta.copies.push_back(Location{node, TierKind::kDram});
+}
+
+void CacheManager::put(sim::VirtualClock& clock, int node,
+                       std::string_view name, std::string payload,
+                       PlacementHint hint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId id = object_id(name);
+  charge_directory_lookup(clock, node, id);
+
+  charge_serialization(clock);
+
+  auto [it, inserted] = directory_.try_emplace(id);
+  Meta& meta = it->second;
+  if (!inserted) {
+    // Overwrite: drop all existing copies first.
+    while (!meta.copies.empty()) drop_copy(id, meta, meta.copies.front());
+  }
+  meta.name = std::string(name);
+  meta.size = payload.size();
+
+  if (config_.write_through) {
+    clock.advance(config_.fabric.backing_store.transfer_cost(payload.size()));
+    backing_[id] = payload;
+    meta.in_backing = true;
+  }
+
+  int target = hint.target_node >= 0 ? hint.target_node : node;
+  target = std::min(std::max(target, 0), config_.num_nodes - 1);
+  insert_dram(clock, target, id, meta, payload);
+
+  ++stats_.puts;
+  stats_.bytes_written += payload.size();
+}
+
+std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
+                                             int node, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId id = object_id(name);
+  charge_directory_lookup(clock, node, id);
+
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Meta& meta = it->second;
+
+  auto has_copy = [&meta](int n, TierKind t) {
+    return std::find(meta.copies.begin(), meta.copies.end(),
+                     Location{n, t}) != meta.copies.end();
+  };
+
+  std::string payload;
+
+  // 1. Local DRAM.
+  if (has_copy(node, TierKind::kDram) &&
+      read_dram_copy(clock, node, node, meta, &payload)) {
+    touch_dram(node, id);
+    ++stats_.hits_local_dram;
+    stats_.bytes_read += meta.size;
+    charge_serialization(clock);
+    return payload;
+  }
+
+  // 2. Local SSD.
+  if (has_copy(node, TierKind::kSsd)) {
+    auto& ns = nodes_[static_cast<std::size_t>(node)];
+    payload = ns.ssd_data.at(id);
+    clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
+    touch_ssd(node, id);
+    ++stats_.hits_local_ssd;
+    stats_.bytes_read += meta.size;
+    charge_serialization(clock);
+    return payload;
+  }
+
+  // 3. Remote DRAM (deterministically the lowest-numbered owner).
+  int remote_dram = -1;
+  int remote_ssd = -1;
+  for (const auto& loc : meta.copies) {
+    if (loc.node == node) continue;
+    if (loc.tier == TierKind::kDram) {
+      if (remote_dram < 0 || loc.node < remote_dram) remote_dram = loc.node;
+    } else {
+      if (remote_ssd < 0 || loc.node < remote_ssd) remote_ssd = loc.node;
+    }
+  }
+  if (remote_dram >= 0 &&
+      read_dram_copy(clock, node, remote_dram, meta, &payload)) {
+    touch_dram(remote_dram, id);
+    ++stats_.hits_remote_dram;
+    stats_.bytes_read += meta.size;
+    if (config_.promote_on_remote_hit) {
+      insert_dram(clock, node, id, meta, payload);
+      ++stats_.promotions;
+    }
+    charge_serialization(clock);
+    return payload;
+  }
+
+  // 4. Remote SSD: SSD read on the owner, then a fabric transfer.
+  if (remote_ssd >= 0) {
+    auto& ns = nodes_[static_cast<std::size_t>(remote_ssd)];
+    payload = ns.ssd_data.at(id);
+    clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size) +
+                  config_.fabric.inter_node.transfer_cost(meta.size));
+    touch_ssd(remote_ssd, id);
+    ++stats_.hits_remote_ssd;
+    stats_.bytes_read += meta.size;
+    if (config_.promote_on_remote_hit) {
+      insert_dram(clock, node, id, meta, payload);
+      ++stats_.promotions;
+    }
+    charge_serialization(clock);
+    return payload;
+  }
+
+  // 5. Backing store (authoritative). Re-populate the reader's DRAM so a
+  // failed node's working set rebuilds as it is touched.
+  if (meta.in_backing) {
+    payload = backing_.at(id);
+    clock.advance(config_.fabric.backing_store.transfer_cost(meta.size));
+    ++stats_.hits_backing;
+    stats_.bytes_read += meta.size;
+    insert_dram(clock, node, id, meta, payload);
+    charge_serialization(clock);
+    return payload;
+  }
+
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+bool CacheManager::contains(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = directory_.find(object_id(name));
+  if (it == directory_.end()) return false;
+  return !it->second.copies.empty() || it->second.in_backing;
+}
+
+std::vector<Location> CacheManager::locations(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = directory_.find(object_id(name));
+  if (it == directory_.end()) return {};
+  return it->second.copies;
+}
+
+sim::Nanos CacheManager::estimated_get_cost(int node,
+                                            std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = directory_.find(object_id(name));
+  if (it == directory_.end()) return std::numeric_limits<sim::Nanos>::max();
+  const Meta& meta = it->second;
+
+  sim::Nanos best = std::numeric_limits<sim::Nanos>::max();
+  for (const auto& loc : meta.copies) {
+    sim::Nanos c;
+    if (loc.tier == TierKind::kDram) {
+      c = (loc.node == node ? config_.fabric.intra_node
+                            : config_.fabric.inter_node)
+              .transfer_cost(meta.size);
+    } else {
+      c = config_.fabric.local_ssd.transfer_cost(meta.size);
+      if (loc.node != node) {
+        c += config_.fabric.inter_node.transfer_cost(meta.size);
+      }
+    }
+    best = std::min(best, c);
+  }
+  if (meta.in_backing) {
+    best = std::min(best,
+                    config_.fabric.backing_store.transfer_cost(meta.size));
+  }
+  return best;
+}
+
+int CacheManager::nearest_node_with(std::string_view name,
+                                    int from_node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = directory_.find(object_id(name));
+  if (it == directory_.end()) return -1;
+  const Meta& meta = it->second;
+  // Rank: local < remote DRAM < remote SSD; ties to the lower node id.
+  int best = -1;
+  int best_rank = 1 << 30;
+  for (const auto& loc : meta.copies) {
+    int rank;
+    if (loc.node == from_node) {
+      rank = loc.tier == TierKind::kDram ? 0 : 1;
+    } else {
+      rank = loc.tier == TierKind::kDram ? 2 : 3;
+    }
+    if (rank < best_rank || (rank == best_rank && loc.node < best)) {
+      best_rank = rank;
+      best = loc.node;
+    }
+  }
+  return best;
+}
+
+void CacheManager::fail_node(int node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Abrupt loss of the node's fabric-attached DRAM and local SSD.
+  fam_->fail_server(node);
+  fam_->recover_server(node);
+  auto& ns = nodes_[static_cast<std::size_t>(node)];
+  ns = NodeState{};
+  for (auto& [id, meta] : directory_) {
+    meta.copies.erase(
+        std::remove_if(meta.copies.begin(), meta.copies.end(),
+                       [node](const Location& l) { return l.node == node; }),
+        meta.copies.end());
+  }
+}
+
+void CacheManager::invalidate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId id = object_id(name);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) return;
+  Meta& meta = it->second;
+  while (!meta.copies.empty()) drop_copy(id, meta, meta.copies.front());
+  backing_.erase(id);
+  directory_.erase(it);
+}
+
+void CacheManager::relocate(sim::VirtualClock& clock, std::string_view name,
+                            int target_node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ObjectId id = object_id(name);
+  auto it = directory_.find(id);
+  if (it == directory_.end()) return;
+  Meta& meta = it->second;
+  int owner = -1;
+  for (const auto& loc : meta.copies) {
+    if (loc.tier == TierKind::kDram) {
+      owner = loc.node;
+      break;
+    }
+  }
+  if (owner < 0 || owner == target_node) return;
+  std::string payload;
+  if (!read_dram_copy(clock, target_node, owner, meta, &payload)) return;
+  drop_copy(id, meta, Location{owner, TierKind::kDram});
+  insert_dram(clock, target_node, id, meta, payload);
+}
+
+std::uint64_t CacheManager::dram_used(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[static_cast<std::size_t>(node)].dram_used;
+}
+
+std::uint64_t CacheManager::ssd_used(int node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[static_cast<std::size_t>(node)].ssd_used;
+}
+
+std::size_t CacheManager::num_objects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return directory_.size();
+}
+
+}  // namespace ids::cache

@@ -1,0 +1,181 @@
+#pragma once
+
+// The globally shared, multi-tier, client-side cache (§3).
+//
+// Every cluster node (compute and dedicated memory nodes alike) contributes
+// DRAM and optionally local SSD to a single cluster-wide cache. The DRAM
+// tier is fabric-attached memory served through the OpenFAM layer
+// (src/fam), so remote hits pay real RDMA-modelled costs and locality is a
+// first-class, queryable property. When DRAM fills, least-recently-used
+// objects spill to the owner node's SSD tier; when SSD fills, copies are
+// dropped — authoritative data always remains in the persistent backing
+// store (the DAOS/Lustre stand-in), so a node failure loses only cached
+// copies, never data.
+//
+// Read path (cheapest first): local DRAM -> local SSD -> remote DRAM ->
+// remote SSD -> backing store -> miss (caller recomputes and put()s).
+// Metadata lives in a directory sharded by object id across nodes; a
+// lookup whose directory shard is remote pays a small-message round trip.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/object_id.h"
+#include "cache/stats.h"
+#include "fam/fam.h"
+#include "sim/fabric.h"
+#include "sim/virtual_clock.h"
+
+namespace ids::cache {
+
+enum class TierKind { kDram, kSsd };
+
+struct Location {
+  int node = -1;
+  TierKind tier = TierKind::kDram;
+  friend bool operator==(const Location&, const Location&) = default;
+};
+
+struct CacheConfig {
+  int num_nodes = 1;
+  std::uint64_t dram_capacity_bytes = 8ull << 20;
+  std::uint64_t ssd_capacity_bytes = 64ull << 20;
+  sim::FabricParams fabric;
+  /// Write puts through to the backing store (authoritative copy).
+  bool write_through = true;
+  /// Copy an object into the reader's local DRAM after a remote hit.
+  bool promote_on_remote_hit = false;
+  /// Disables the SSD tier entirely (DRAM evictions drop instead of spill).
+  bool enable_ssd = true;
+  /// Serialization/deserialization service time per cached artifact,
+  /// modeled as a single shared server: concurrent requests queue. The
+  /// paper calls this out explicitly ("Significant latency is incurred due
+  /// to the serialization required to stash objects", §8) and it is what
+  /// makes cached query time grow linearly with candidate count in
+  /// Table 2. 0 disables the bottleneck.
+  double serialization_service_seconds = 0.0;
+};
+
+/// Placement hint for put(): pin the first copy to a specific node
+/// ("user-provided hints or operator-defined policies", §3.2).
+struct PlacementHint {
+  int target_node = -1;  // -1: the writing node
+};
+
+class CacheManager {
+ public:
+  explicit CacheManager(CacheConfig config);
+
+  const CacheConfig& config() const { return config_; }
+
+  /// Stores `payload` under `name`, cached on the hint node (default: the
+  /// caller's node) and written through to backing storage. Charges
+  /// `clock` for every modeled transfer. Overwrites any existing object.
+  void put(sim::VirtualClock& clock, int node, std::string_view name,
+           std::string payload, PlacementHint hint = {});
+
+  /// Fetches the object, charging `clock` for the cheapest available path.
+  /// nullopt = total miss (not cached anywhere and not in backing store);
+  /// the caller is expected to recompute and put().
+  std::optional<std::string> get(sim::VirtualClock& clock, int node,
+                                 std::string_view name);
+
+  /// True if a get() would succeed (any tier or backing store).
+  bool contains(std::string_view name) const;
+
+  /// Locality query: where are copies of this object right now? Used by
+  /// schedulers to co-locate computation with data (§3.2).
+  std::vector<Location> locations(std::string_view name) const;
+
+  /// The cheapest node to read the object from `from_node`'s perspective,
+  /// or -1 if the object is only in the backing store / absent.
+  int nearest_node_with(std::string_view name, int from_node) const;
+
+  /// Modeled cost of a get() issued from `node` right now, without
+  /// performing it (no stats, no LRU effect). Schedulers use this to
+  /// co-locate computation with data (§3.2 / §8). Returns the recompute
+  /// sentinel sim::Nanos max for objects that are absent everywhere.
+  sim::Nanos estimated_get_cost(int node, std::string_view name) const;
+
+  /// Drops every cached copy held by `node` (its DRAM region on the FAM
+  /// server and its SSD). Backing-store contents are unaffected; the next
+  /// get() re-populates from backing, which is the paper's recovery story.
+  void fail_node(int node);
+
+  /// Removes the object from all tiers and the backing store.
+  void invalidate(std::string_view name);
+
+  /// Explicitly relocates an object's DRAM copy to `target_node`
+  /// (operator-policy data movement, §3.2). No-op if not DRAM-resident.
+  void relocate(sim::VirtualClock& clock, std::string_view name,
+                int target_node);
+
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  std::uint64_t dram_used(int node) const;
+  std::uint64_t ssd_used(int node) const;
+  std::size_t num_objects() const;
+
+ private:
+  struct Meta {
+    std::string name;
+    std::uint64_t size = 0;
+    std::vector<Location> copies;
+    bool in_backing = false;
+  };
+  struct NodeState {
+    std::list<ObjectId> dram_lru;  // front = most recently used
+    std::unordered_map<ObjectId, std::list<ObjectId>::iterator, ObjectIdHash>
+        dram_pos;
+    std::uint64_t dram_used = 0;
+    std::list<ObjectId> ssd_lru;
+    std::unordered_map<ObjectId, std::list<ObjectId>::iterator, ObjectIdHash>
+        ssd_pos;
+    std::unordered_map<ObjectId, std::string, ObjectIdHash> ssd_data;
+    std::uint64_t ssd_used = 0;
+  };
+
+  /// FAM allocation name for a (object, node) DRAM copy.
+  static std::string fam_name(ObjectId id, int node);
+
+  int directory_node(ObjectId id) const {
+    return static_cast<int>(id.value % static_cast<std::uint64_t>(config_.num_nodes));
+  }
+  /// Charges the metadata round trip when the directory shard is remote.
+  void charge_directory_lookup(sim::VirtualClock& clock, int node,
+                               ObjectId id) const;
+
+  /// Charges the per-artifact (de)serialization latency (mutex_ held).
+  /// No-op when serialization_service_seconds is 0.
+  void charge_serialization(sim::VirtualClock& clock);
+
+  // All helpers below require mutex_ held.
+  void touch_dram(int node, ObjectId id);
+  void touch_ssd(int node, ObjectId id);
+  bool read_dram_copy(sim::VirtualClock& clock, int reader_node, int owner_node,
+                      const Meta& meta, std::string* out) const;
+  void insert_dram(sim::VirtualClock& clock, int node, ObjectId id, Meta& meta,
+                   const std::string& payload);
+  void evict_dram_lru(sim::VirtualClock& clock, int node);
+  void insert_ssd(int node, ObjectId id, Meta& meta, std::string payload);
+  void drop_copy(ObjectId id, Meta& meta, const Location& loc);
+  void remove_copy_record(Meta& meta, const Location& loc);
+
+  CacheConfig config_;
+  std::unique_ptr<fam::FamService> fam_;
+  mutable std::mutex mutex_;
+  std::unordered_map<ObjectId, Meta, ObjectIdHash> directory_;
+  std::unordered_map<ObjectId, std::string, ObjectIdHash> backing_;
+  std::vector<NodeState> nodes_;
+  CacheStats stats_;
+};
+
+}  // namespace ids::cache

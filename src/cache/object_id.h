@@ -1,0 +1,37 @@
+#pragma once
+
+// Cache object identity.
+//
+// §3.2: "Each cached object is addressed by its object name/path and a
+// computed object hash (object ID)". The id is a stable 64-bit hash of the
+// name; helpers mirror the TR-Cache C API's hash/ID functions.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace ids::cache {
+
+struct ObjectId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(const ObjectId&, const ObjectId&) = default;
+  friend bool operator<(const ObjectId& a, const ObjectId& b) {
+    return a.value < b.value;
+  }
+};
+
+/// Computes the object id for a name/path. Stable across runs/platforms.
+inline ObjectId object_id(std::string_view name) {
+  return ObjectId{mix64(fnv1a64(name))};
+}
+
+struct ObjectIdHash {
+  std::size_t operator()(const ObjectId& id) const {
+    return static_cast<std::size_t>(id.value);
+  }
+};
+
+}  // namespace ids::cache

@@ -1,0 +1,40 @@
+#pragma once
+
+// Cache instrumentation: where did reads get served, what moved where.
+
+#include <cstdint>
+#include <string>
+
+namespace ids::cache {
+
+struct CacheStats {
+  // Read path, by serving tier.
+  std::uint64_t hits_local_dram = 0;
+  std::uint64_t hits_local_ssd = 0;
+  std::uint64_t hits_remote_dram = 0;
+  std::uint64_t hits_remote_ssd = 0;
+  std::uint64_t hits_backing = 0;   // served by persistent backing store
+  std::uint64_t misses = 0;         // not even in backing: caller recomputes
+
+  // Write / movement path.
+  std::uint64_t puts = 0;
+  std::uint64_t spills_to_ssd = 0;  // DRAM eviction demoted a copy to SSD
+  std::uint64_t ssd_drops = 0;      // SSD eviction dropped a cached copy
+  std::uint64_t promotions = 0;     // remote hit copied object to local DRAM
+
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  std::uint64_t total_hits() const {
+    return hits_local_dram + hits_local_ssd + hits_remote_dram +
+           hits_remote_ssd + hits_backing;
+  }
+  /// Hits served from cache tiers (excluding the backing store).
+  std::uint64_t cache_tier_hits() const {
+    return total_hits() - hits_backing;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace ids::cache

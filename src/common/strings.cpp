@@ -1,0 +1,109 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ids {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1000.0 && u < 5) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[32];
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string human_count(std::uint64_t n) {
+  struct Scale {
+    std::uint64_t factor;
+    const char* name;
+  };
+  static const Scale scales[] = {
+      {1000000000000ull, "Trillion"},
+      {1000000000ull, "Billion"},
+      {1000000ull, "Million"},
+      {1000ull, "Thousand"},
+  };
+  for (const auto& s : scales) {
+    if (n >= s.factor) {
+      double v = static_cast<double>(n) / static_cast<double>(s.factor);
+      char buf[48];
+      if (v >= 100.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f %s", v, s.name);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.1f %s", v, s.name);
+      }
+      return buf;
+    }
+  }
+  return std::to_string(n);
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", s);
+  return buf;
+}
+
+}  // namespace ids

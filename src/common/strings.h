@@ -1,0 +1,40 @@
+#pragma once
+
+// Small string utilities used by the query parser, data generator, and
+// benchmark table printers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ids {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on any whitespace run; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a byte count as e.g. "12.7 TB" (powers of 1000, one decimal,
+/// matching the paper's Table 1 style).
+std::string human_bytes(std::uint64_t bytes);
+
+/// Formats a count as e.g. "87.6 Billion" / "539 Million" (Table 1 style).
+std::string human_count(std::uint64_t n);
+
+/// Formats seconds with two decimals, e.g. "47.49".
+std::string format_seconds(double s);
+
+}  // namespace ids

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace ids {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Atomic work-stealing counter: each participant grabs the next index.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto done = std::make_shared<std::atomic<std::size_t>>(0);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto run_chunk = [next, done, n, &fn, &done_mutex, &done_cv] {
+    std::size_t processed = 0;
+    for (;;) {
+      std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      ++processed;
+    }
+    if (processed > 0) {
+      std::size_t total = done->fetch_add(processed) + processed;
+      if (total >= n) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  };
+
+  std::size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.push(run_chunk);
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk();  // caller participates
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done->load() >= n; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ids

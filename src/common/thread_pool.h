@@ -1,0 +1,49 @@
+#pragma once
+
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// The pool executes the *real* computation of simulated ranks (the virtual
+// clock handles *modeled* time; see src/sim). On a single-core container
+// the pool degrades gracefully to near-serial execution without changing
+// any result: work items are deterministic functions of their index.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ids {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), distributing indices over the workers and
+  /// the calling thread. Blocks until every index has completed. fn must be
+  /// safe to call concurrently for distinct indices.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace ids

@@ -1,0 +1,1108 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/planner.h"
+#include "expr/chain.h"
+#include "runtime/exchange.h"
+#include "store/ivf_index.h"
+#include "runtime/rank_exec.h"
+
+namespace ids::core {
+
+double QueryResult::stage_seconds(std::string_view prefix) const {
+  double s = 0.0;
+  for (const auto& st : stages) {
+    if (st.stage.starts_with(prefix)) s += st.seconds;
+  }
+  return s;
+}
+
+double QueryResult::seconds_excluding(std::string_view prefix) const {
+  return total_seconds - stage_seconds(prefix);
+}
+
+namespace {
+
+using graph::SolutionTable;
+using graph::TermId;
+using graph::TriplePattern;
+
+/// Distinct id variables of a pattern, in s, p, o order.
+std::vector<std::string> pattern_vars(const TriplePattern& p) {
+  std::vector<std::string> vars;
+  auto add = [&vars](const graph::PatternTerm& t) {
+    if (t.is_var &&
+        std::find(vars.begin(), vars.end(), t.var) == vars.end()) {
+      vars.push_back(t.var);
+    }
+  };
+  add(p.s);
+  add(p.p);
+  add(p.o);
+  return vars;
+}
+
+/// The whole execution state of one query.
+class QueryExecution {
+ public:
+  QueryExecution(const EngineOptions& opts, graph::TripleStore* triples,
+                 store::FeatureStore* features,
+                 store::InvertedIndex* keywords, store::VectorStore* vectors,
+                 udf::UdfRegistry* registry, udf::UdfProfiler* profiler)
+      : opts_(opts),
+        triples_(triples),
+        features_(features),
+        keywords_(keywords),
+        vectors_(vectors),
+        registry_(registry),
+        profiler_(profiler),
+        p_(opts.topology.num_ranks()),
+        clocks_(static_cast<std::size_t>(p_)) {
+    Rng seeder(opts.seed);
+    rank_rngs_.reserve(static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) {
+      rank_rngs_.push_back(seeder.fork(static_cast<std::uint64_t>(r)));
+    }
+  }
+
+  QueryResult run(const Query& query) {
+    // Graph patterns in planner order.
+    auto order = order_patterns(*triples_, query.patterns);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      apply_pattern(query.patterns[order[i]], i == 0);
+    }
+    std::size_t rows = total_rows();
+    result_.rows_after_patterns = rows;
+
+    for (const auto& kc : query.keywords) apply_keyword(kc);
+    for (const auto& vc : query.vectors) apply_vector(vc);
+
+    apply_filters(query);
+    result_.rows_after_filters = total_rows();
+
+    if (!query.distinct_var.empty()) apply_distinct(query.distinct_var);
+
+    for (const auto& inv : query.invokes) apply_invoke(inv);
+
+    gather_and_finish(query);
+    return std::move(result_);
+  }
+
+ private:
+  double speed(int r) const { return opts_.hetero.at(r); }
+
+  /// Charges modeled *compute* time, scaled by the rank's speed factor.
+  void charge_compute(int r, sim::Nanos raw) {
+    double s = speed(r);
+    clocks_.at(static_cast<std::size_t>(r))
+        .advance(static_cast<sim::Nanos>(static_cast<double>(raw) /
+                                         (s > 0.0 ? s : 1.0)));
+  }
+
+  /// Graph-operator compute: scaled by the scale-model multiplier (one
+  /// physical triple/row stands for row_multiplier logical ones).
+  void charge_graph_op(int r, sim::Nanos raw) {
+    charge_compute(r, static_cast<sim::Nanos>(static_cast<double>(raw) *
+                                              opts_.row_multiplier));
+  }
+
+  /// Fixed per-operator overhead on every rank (launch + straggler skew +
+  /// global sync; see CostProfile::operator_overhead_seconds).
+  void charge_operator_overhead() {
+    sim::Nanos o = sim::from_seconds(opts_.costs.operator_overhead_seconds);
+    if (o == 0) return;
+    for (std::size_t r = 0; r < clocks_.size(); ++r) clocks_.at(r).advance(o);
+  }
+
+  /// Ends a pipeline stage: synchronizes clocks and records the stage's
+  /// critical-path duration.
+  void mark(std::string stage) {
+    sim::Nanos now = clocks_.barrier();
+    result_.stages.push_back(
+        {std::move(stage), sim::to_seconds(now - last_mark_)});
+    last_mark_ = now;
+  }
+
+  std::size_t total_rows() const {
+    std::size_t n = 0;
+    for (const auto& t : parts_) n += t.num_rows();
+    return n;
+  }
+
+  bool has_schema() const { return !parts_.empty(); }
+
+  bool schema_has_var(const std::string& var) const {
+    return has_schema() && parts_[0].id_var_index(var) >= 0;
+  }
+
+  void init_parts(const SolutionTable& prototype) {
+    parts_.assign(static_cast<std::size_t>(p_), prototype.empty_like());
+  }
+
+  // ---- Row movement ------------------------------------------------------
+
+  /// Moves every row to the rank returned by `dst_of`, charging the
+  /// alpha-beta fabric model and synchronizing clocks (one alltoallv).
+  void shuffle_rows(
+      const std::function<int(const SolutionTable&, std::size_t)>& dst_of) {
+    if (!has_schema()) return;
+    std::vector<SolutionTable> out;
+    out.reserve(static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) out.push_back(parts_[0].empty_like());
+
+    std::vector<runtime::TrafficSummary> traffic(static_cast<std::size_t>(p_));
+    const std::size_t row_bytes = parts_[0].row_bytes();
+    std::vector<std::uint64_t> dst_seen((static_cast<std::size_t>(p_) + 63) / 64);
+
+    for (int src = 0; src < p_; ++src) {
+      auto& table = parts_[static_cast<std::size_t>(src)];
+      std::fill(dst_seen.begin(), dst_seen.end(), 0);
+      for (std::size_t row = 0; row < table.num_rows(); ++row) {
+        int dst = dst_of(table, row);
+        out[static_cast<std::size_t>(dst)].append_row_from(table, row);
+        if (dst == src) continue;
+        auto& ts = traffic[static_cast<std::size_t>(src)];
+        auto& td = traffic[static_cast<std::size_t>(dst)];
+        if (opts_.topology.same_node(src, dst)) {
+          ts.intra_sent += row_bytes;
+          td.intra_recv += row_bytes;
+        } else {
+          ts.inter_sent += row_bytes;
+          td.inter_recv += row_bytes;
+        }
+        auto du = static_cast<std::size_t>(dst);
+        if (!(dst_seen[du / 64] & (1ull << (du % 64)))) {
+          dst_seen[du / 64] |= 1ull << (du % 64);
+          ++ts.messages;
+        }
+      }
+      table.clear();
+    }
+    for (int r = 0; r < p_; ++r) {
+      runtime::charge_traffic(clocks_.at(static_cast<std::size_t>(r)),
+                              opts_.topology,
+                              traffic[static_cast<std::size_t>(r)]);
+    }
+    parts_ = std::move(out);
+    clocks_.barrier();
+  }
+
+  /// Redistributes rows so rank r ends with targets[r] rows, moving as few
+  /// rows as possible (surplus tails flow to deficit ranks).
+  void redistribute_to_targets(const std::vector<std::size_t>& targets) {
+    if (!has_schema()) return;
+    const std::size_t row_bytes = parts_[0].row_bytes();
+    std::vector<runtime::TrafficSummary> traffic(static_cast<std::size_t>(p_));
+
+    struct Deficit {
+      int rank;
+      std::size_t need;
+    };
+    std::vector<Deficit> deficits;
+    for (int r = 0; r < p_; ++r) {
+      std::size_t have = parts_[static_cast<std::size_t>(r)].num_rows();
+      std::size_t want = targets[static_cast<std::size_t>(r)];
+      if (want > have) deficits.push_back({r, want - have});
+    }
+    std::size_t d = 0;
+    for (int src = 0; src < p_ && d < deficits.size(); ++src) {
+      auto& table = parts_[static_cast<std::size_t>(src)];
+      std::size_t want = targets[static_cast<std::size_t>(src)];
+      while (table.num_rows() > want && d < deficits.size()) {
+        std::size_t surplus = table.num_rows() - want;
+        std::size_t take = std::min(surplus, deficits[d].need);
+        int dst = deficits[d].rank;
+        // Move the tail rows [n - take, n).
+        std::size_t n = table.num_rows();
+        auto& out = parts_[static_cast<std::size_t>(dst)];
+        for (std::size_t row = n - take; row < n; ++row) {
+          out.append_row_from(table, row);
+        }
+        table.truncate(n - take);
+
+        std::uint64_t bytes = row_bytes * take;
+        auto& ts = traffic[static_cast<std::size_t>(src)];
+        auto& td = traffic[static_cast<std::size_t>(dst)];
+        ++ts.messages;
+        if (opts_.topology.same_node(src, dst)) {
+          ts.intra_sent += bytes;
+          td.intra_recv += bytes;
+        } else {
+          ts.inter_sent += bytes;
+          td.inter_recv += bytes;
+        }
+        deficits[d].need -= take;
+        if (deficits[d].need == 0) ++d;
+      }
+    }
+    for (int r = 0; r < p_; ++r) {
+      runtime::charge_traffic(clocks_.at(static_cast<std::size_t>(r)),
+                              opts_.topology,
+                              traffic[static_cast<std::size_t>(r)]);
+    }
+    clocks_.barrier();
+  }
+
+  // ---- Graph pattern operators --------------------------------------------
+
+  void apply_pattern(const TriplePattern& pat, bool first) {
+    if (first || !has_schema()) {
+      scan_first(pat);
+      mark("scan");
+      return;
+    }
+    if (pat.s.is_var && schema_has_var(pat.s.var)) {
+      extend_subject_bound(pat);
+      mark("join");
+      return;
+    }
+    // Shared non-subject variable -> hash join; none -> cartesian.
+    bool shared = false;
+    for (const auto& v : pattern_vars(pat)) {
+      if (schema_has_var(v)) {
+        shared = true;
+        break;
+      }
+    }
+    if (shared) {
+      hash_join(pat);
+    } else {
+      IDS_WARN << "cartesian join for pattern with no shared variable";
+      cartesian_join(pat);
+    }
+    mark("join");
+  }
+
+  void scan_first(const TriplePattern& pat) {
+    charge_operator_overhead();
+    SolutionTable prototype{pattern_vars(pat)};
+    init_parts(prototype);
+    runtime::for_each_rank(p_, [&](int r) {
+      auto& out = parts_[static_cast<std::size_t>(r)];
+      std::size_t matches = 0;
+      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
+        append_match(&out, pat, t);
+        ++matches;
+      });
+      charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
+    });
+  }
+
+  /// Appends the variable bindings of a matched triple.
+  static void append_match(SolutionTable* out, const TriplePattern& pat,
+                           const graph::Triple& t) {
+    TermId vals[3];
+    std::size_t n = 0;
+    std::vector<std::string> seen;
+    auto add = [&](const graph::PatternTerm& term, TermId v) {
+      if (!term.is_var) return;
+      if (std::find(seen.begin(), seen.end(), term.var) != seen.end()) return;
+      seen.push_back(term.var);
+      vals[n++] = v;
+    };
+    add(pat.s, t.s);
+    add(pat.p, t.p);
+    add(pat.o, t.o);
+    out->append_row({vals, n});
+  }
+
+  /// Binds the pattern's variable positions from a solution row when the
+  /// variable is present in the schema; returns the concretized pattern
+  /// and the list of genuinely new variables.
+  TriplePattern bind_from_row(const TriplePattern& pat,
+                              const SolutionTable& table, std::size_t row,
+                              std::vector<std::string>* new_vars) const {
+    TriplePattern b = pat;
+    auto bind = [&](graph::PatternTerm* term) {
+      if (!term->is_var) return;
+      int idx = table.id_var_index(term->var);
+      if (idx >= 0) {
+        *term = graph::PatternTerm::Const(table.id_at(row, idx));
+      } else if (new_vars &&
+                 std::find(new_vars->begin(), new_vars->end(), term->var) ==
+                     new_vars->end()) {
+        new_vars->push_back(term->var);
+      }
+    };
+    bind(&b.s);
+    bind(&b.p);
+    bind(&b.o);
+    return b;
+  }
+
+  void extend_subject_bound(const TriplePattern& pat) {
+    charge_operator_overhead();
+    int svar = parts_[0].id_var_index(pat.s.var);
+    assert(svar >= 0);
+    // Rows travel to the shard owning their subject value.
+    shuffle_rows([this, svar](const SolutionTable& t, std::size_t row) {
+      return triples_->shard_of_subject(t.id_at(row, svar));
+    });
+
+    // New schema: old id vars + pattern vars not yet bound.
+    std::vector<std::string> new_vars;
+    {
+      std::vector<std::string> pv = pattern_vars(pat);
+      for (const auto& v : pv) {
+        if (!schema_has_var(v)) new_vars.push_back(v);
+      }
+    }
+    std::vector<std::string> schema = parts_[0].id_vars();
+    schema.insert(schema.end(), new_vars.begin(), new_vars.end());
+    SolutionTable prototype{schema, parts_[0].num_vars()};
+
+    std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
+                                   prototype.empty_like());
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      const auto& in = parts_[ru];
+      auto& dst = out[ru];
+      std::size_t scanned = 0;
+      for (std::size_t row = 0; row < in.num_rows(); ++row) {
+        std::vector<std::string> nv;
+        TriplePattern bound = bind_from_row(pat, in, row, &nv);
+        triples_->shard(r).scan(bound, [&](const graph::Triple& t) {
+          // Old columns first, then the new bindings in new_vars order.
+          std::vector<TermId> vals;
+          vals.reserve(schema.size());
+          for (std::size_t c = 0; c < in.id_vars().size(); ++c) {
+            vals.push_back(in.id_at(row, static_cast<int>(c)));
+          }
+          for (const auto& v : new_vars) {
+            vals.push_back(binding_of(pat, t, v));
+          }
+          std::vector<double> nums;
+          for (std::size_t c = 0; c < in.num_vars().size(); ++c) {
+            nums.push_back(in.num_at(row, static_cast<int>(c)));
+          }
+          dst.append_row(vals, nums);
+          ++scanned;
+        });
+        scanned += 4;  // index probe overhead
+      }
+      charge_graph_op(r, opts_.costs.triple_scan_cost(scanned + 64));
+    });
+    parts_ = std::move(out);
+    clocks_.barrier();
+  }
+
+  /// Value a variable takes in a triple matched against a pattern.
+  static TermId binding_of(const TriplePattern& pat, const graph::Triple& t,
+                           const std::string& var) {
+    if (pat.s.is_var && pat.s.var == var) return t.s;
+    if (pat.p.is_var && pat.p.var == var) return t.p;
+    if (pat.o.is_var && pat.o.var == var) return t.o;
+    return graph::kInvalidTerm;
+  }
+
+  void hash_join(const TriplePattern& pat) {
+    charge_operator_overhead();
+    // Join variable: the first pattern var present in the schema.
+    std::string join_var;
+    for (const auto& v : pattern_vars(pat)) {
+      if (schema_has_var(v)) {
+        join_var = v;
+        break;
+      }
+    }
+    assert(!join_var.empty());
+
+    // Build side: local pattern matches on every rank.
+    std::vector<SolutionTable> build(static_cast<std::size_t>(p_),
+                                     SolutionTable{pattern_vars(pat)});
+    runtime::for_each_rank(p_, [&](int r) {
+      auto& out = build[static_cast<std::size_t>(r)];
+      std::size_t matches = 0;
+      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
+        append_match(&out, pat, t);
+        ++matches;
+      });
+      charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
+    });
+
+    // Shuffle both sides by the join key.
+    int probe_idx = parts_[0].id_var_index(join_var);
+    shuffle_rows([this, probe_idx](const SolutionTable& t, std::size_t row) {
+      return static_cast<int>(mix64(t.id_at(row, probe_idx)) %
+                              static_cast<std::uint64_t>(p_));
+    });
+    {
+      // Shuffle the build side with the same partitioning.
+      int bidx = build[0].id_var_index(join_var);
+      std::vector<SolutionTable> shuffled(static_cast<std::size_t>(p_),
+                                          build[0].empty_like());
+      for (int src = 0; src < p_; ++src) {
+        auto& t = build[static_cast<std::size_t>(src)];
+        for (std::size_t row = 0; row < t.num_rows(); ++row) {
+          int dst = static_cast<int>(mix64(t.id_at(row, bidx)) %
+                                     static_cast<std::uint64_t>(p_));
+          shuffled[static_cast<std::size_t>(dst)].append_row_from(t, row);
+        }
+      }
+      build = std::move(shuffled);
+      // Communication for the build side: charged as one tree collective
+      // of the average build rows (cheap relative to the probe shuffle).
+      std::size_t build_rows = 0;
+      for (const auto& t : build) build_rows += t.num_rows();
+      runtime::charge_tree_collective(
+          clocks_, opts_.topology,
+          build_rows * build[0].row_bytes() /
+              static_cast<std::size_t>(p_));
+    }
+
+    // Output schema: probe vars + new pattern vars.
+    std::vector<std::string> new_vars;
+    for (const auto& v : pattern_vars(pat)) {
+      if (!schema_has_var(v)) new_vars.push_back(v);
+    }
+    std::vector<std::string> schema = parts_[0].id_vars();
+    schema.insert(schema.end(), new_vars.begin(), new_vars.end());
+    SolutionTable prototype{schema, parts_[0].num_vars()};
+    std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
+                                   prototype.empty_like());
+
+    // Shared pattern vars beyond the join key must match too.
+    std::vector<std::string> check_vars;
+    for (const auto& v : pattern_vars(pat)) {
+      if (v != join_var && schema_has_var(v)) check_vars.push_back(v);
+    }
+
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      const auto& bt = build[ru];
+      const auto& probe = parts_[ru];
+      auto& dst = out[ru];
+      int b_join = bt.id_var_index(join_var);
+      std::unordered_multimap<TermId, std::size_t> index;
+      index.reserve(bt.num_rows());
+      for (std::size_t row = 0; row < bt.num_rows(); ++row) {
+        index.emplace(bt.id_at(row, b_join), row);
+      }
+      std::size_t produced = 0;
+      for (std::size_t row = 0; row < probe.num_rows(); ++row) {
+        TermId key = probe.id_at(row, probe_idx);
+        auto [lo, hi] = index.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          std::size_t brow = it->second;
+          bool ok = true;
+          for (const auto& cv : check_vars) {
+            if (bt.id_at(brow, bt.id_var_index(cv)) !=
+                probe.id_at(row, probe.id_var_index(cv))) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          std::vector<TermId> vals;
+          vals.reserve(schema.size());
+          for (std::size_t c = 0; c < probe.id_vars().size(); ++c) {
+            vals.push_back(probe.id_at(row, static_cast<int>(c)));
+          }
+          for (const auto& v : new_vars) {
+            vals.push_back(bt.id_at(brow, bt.id_var_index(v)));
+          }
+          std::vector<double> nums;
+          for (std::size_t c = 0; c < probe.num_vars().size(); ++c) {
+            nums.push_back(probe.num_at(row, static_cast<int>(c)));
+          }
+          dst.append_row(vals, nums);
+          ++produced;
+        }
+      }
+      charge_graph_op(r, opts_.costs.join_cost(bt.num_rows() +
+                                               probe.num_rows() + produced));
+    });
+    parts_ = std::move(out);
+    clocks_.barrier();
+  }
+
+  void cartesian_join(const TriplePattern& pat) {
+    // Gather all pattern matches everywhere (assumed small), then cross
+    // with local rows.
+    SolutionTable matches{pattern_vars(pat)};
+    for (int r = 0; r < p_; ++r) {
+      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
+        append_match(&matches, pat, t);
+      });
+    }
+    runtime::charge_tree_collective(clocks_, opts_.topology,
+                                    matches.num_rows() * matches.row_bytes());
+
+    std::vector<std::string> schema = parts_[0].id_vars();
+    for (const auto& v : matches.id_vars()) schema.push_back(v);
+    SolutionTable prototype{schema, parts_[0].num_vars()};
+    std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
+                                   prototype.empty_like());
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      const auto& in = parts_[ru];
+      auto& dst = out[ru];
+      for (std::size_t row = 0; row < in.num_rows(); ++row) {
+        for (std::size_t mrow = 0; mrow < matches.num_rows(); ++mrow) {
+          std::vector<TermId> vals;
+          for (std::size_t c = 0; c < in.id_vars().size(); ++c) {
+            vals.push_back(in.id_at(row, static_cast<int>(c)));
+          }
+          for (std::size_t c = 0; c < matches.id_vars().size(); ++c) {
+            vals.push_back(matches.id_at(mrow, static_cast<int>(c)));
+          }
+          std::vector<double> nums;
+          for (std::size_t c = 0; c < in.num_vars().size(); ++c) {
+            nums.push_back(in.num_at(row, static_cast<int>(c)));
+          }
+          dst.append_row(vals, nums);
+        }
+      }
+      charge_graph_op(
+          r, opts_.costs.join_cost(in.num_rows() * matches.num_rows()));
+    });
+    parts_ = std::move(out);
+    clocks_.barrier();
+  }
+
+  // ---- Keyword / vector operators ----------------------------------------
+
+  void apply_keyword(const KeywordClause& kc) {
+    if (!keywords_) {
+      IDS_WARN << "keyword clause with no inverted index; skipping";
+      return;
+    }
+    std::vector<TermId> hits = kc.conjunctive
+                                   ? keywords_->search_and(kc.tokens)
+                                   : keywords_->search_or(kc.tokens);
+    // Charge: each rank scans its slice of the posting lists.
+    std::size_t posting_work = 0;
+    for (const auto& t : kc.tokens) posting_work += keywords_->posting_size(t);
+    for (int r = 0; r < p_; ++r) {
+      charge_compute(r, opts_.costs.triple_scan_cost(
+                            posting_work / static_cast<std::size_t>(p_) + 16));
+    }
+    semi_join(kc.var, hits);
+    mark("keyword");
+  }
+
+  void apply_vector(const VectorClause& vc) {
+    if (!vectors_) {
+      IDS_WARN << "vector clause with no vector store; skipping";
+      return;
+    }
+    // Per-shard top-k (exact scan, or IVF probing when the clause asks
+    // for approximate search), then a global merge (allgather of k hits).
+    std::vector<std::vector<store::VectorHit>> shard_hits(
+        static_cast<std::size_t>(p_));
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      if (vc.ivf_nprobe > 0) {
+        store::IvfIndex::Params params;
+        params.num_clusters = vc.ivf_clusters;
+        store::IvfIndex index(*vectors_, r, params);
+        shard_hits[ru] = index.topk(vc.query, vc.k, vc.metric, vc.ivf_nprobe);
+        charge_compute(r, opts_.costs.vector_scan_cost(
+                              index.work_units(vc.ivf_nprobe)));
+      } else {
+        shard_hits[ru] = vectors_->topk_shard(r, vc.query, vc.k, vc.metric);
+        charge_compute(
+            r, opts_.costs.vector_scan_cost(vectors_->scan_work_units(r)));
+      }
+    });
+    runtime::charge_tree_collective(
+        clocks_, opts_.topology,
+        vc.k * (sizeof(TermId) + sizeof(float)));
+
+    std::vector<store::VectorHit> all;
+    for (auto& h : shard_hits) all.insert(all.end(), h.begin(), h.end());
+    std::sort(all.begin(), all.end(),
+              [](const store::VectorHit& a, const store::VectorHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+    if (all.size() > vc.k) all.resize(vc.k);
+    std::vector<TermId> hits;
+    hits.reserve(all.size());
+    for (const auto& h : all) hits.push_back(h.id);
+    std::sort(hits.begin(), hits.end());
+    semi_join(vc.var, hits);
+    mark("vector");
+  }
+
+  /// Restricts `var` to the sorted id set, or seeds solutions from the set
+  /// when no rows exist yet.
+  void semi_join(const std::string& var, const std::vector<TermId>& ids) {
+    if (!has_schema()) {
+      SolutionTable prototype{{var}};
+      init_parts(prototype);
+      for (TermId id : ids) {
+        int dst = triples_->shard_of_subject(id);
+        parts_[static_cast<std::size_t>(dst)].append_row({&id, 1});
+      }
+      return;
+    }
+    int idx = parts_[0].id_var_index(var);
+    if (idx < 0) {
+      IDS_WARN << "semi-join variable ?" << var << " not bound; skipping";
+      return;
+    }
+    runtime::for_each_rank(p_, [&](int r) {
+      auto& t = parts_[static_cast<std::size_t>(r)];
+      std::vector<char> keep(t.num_rows(), 0);
+      for (std::size_t row = 0; row < t.num_rows(); ++row) {
+        keep[row] = std::binary_search(ids.begin(), ids.end(),
+                                       t.id_at(row, idx))
+                        ? 1
+                        : 0;
+      }
+      charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
+      t.filter_rows(keep);
+    });
+    clocks_.barrier();
+  }
+
+  // ---- FILTER stage --------------------------------------------------------
+
+  void apply_filters(const Query& query) {
+    if (query.filters.empty() || !has_schema()) return;
+
+    std::vector<expr::Conjunct> conjuncts;
+    for (const auto& f : query.filters) {
+      auto flat = expr::flatten_conjuncts(f);
+      conjuncts.insert(conjuncts.end(), flat.begin(), flat.end());
+    }
+
+    // Per-rank conjunct orders (§2.4.3: per-rank reordering).
+    std::vector<std::vector<std::size_t>> orders(
+        static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) {
+      if (opts_.reorder_filters) {
+        orders[static_cast<std::size_t>(r)] =
+            order_conjuncts(conjuncts, r, *profiler_);
+      } else {
+        orders[static_cast<std::size_t>(r)].resize(conjuncts.size());
+        std::iota(orders[static_cast<std::size_t>(r)].begin(),
+                  orders[static_cast<std::size_t>(r)].end(), 0);
+      }
+    }
+
+    // Solution re-balancing (§2.4.2) driven by per-rank single-solution
+    // time estimates.
+    if (opts_.rebalance != RebalancePolicy::kNone) {
+      std::vector<std::size_t> counts(static_cast<std::size_t>(p_));
+      std::vector<double> throughput(static_cast<std::size_t>(p_), 0.0);
+      for (int r = 0; r < p_; ++r) {
+        auto ru = static_cast<std::size_t>(r);
+        counts[ru] = parts_[ru].num_rows();
+        double est = estimate_solution_seconds(conjuncts, orders[ru], r,
+                                               *profiler_);
+        if (est > 0.0) throughput[ru] = 1.0 / est;
+      }
+      // Ranks exchange their estimates (one small allreduce).
+      runtime::charge_tree_collective(clocks_, opts_.topology, 8);
+      RebalanceDecision decision =
+          decide_rebalance(opts_.rebalance, counts, throughput);
+      if (decision.rebalance) {
+        redistribute_to_targets(decision.targets);
+        result_.used_throughput_rebalance |= decision.used_throughput;
+      }
+      mark("rebalance");
+    }
+
+    // Per-conjunct logical-call multipliers: a conjunct's evaluations are
+    // charged as `row_multiplier` logical evaluations unless one of its
+    // UDFs has an explicit override (scale model; see EngineOptions).
+    std::vector<double> conj_multiplier(conjuncts.size(),
+                                        opts_.row_multiplier);
+    for (std::size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      for (const auto& name : conjuncts[ci].udfs) {
+        auto it = opts_.udf_call_multiplier.find(name);
+        if (it != opts_.udf_call_multiplier.end()) {
+          conj_multiplier[ci] = it->second;
+        }
+      }
+    }
+
+    // Evaluate the chain; the first falsy conjunct rejects the row and is
+    // attributed to its last UDF (the rejection statistic of the paper's
+    // profiling section).
+    charge_operator_overhead();
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      auto& t = parts_[ru];
+      std::vector<char> keep(t.num_rows(), 1);
+      double rank_cost = 0.0;  // nanoseconds, multiplier-weighted
+      for (std::size_t row = 0; row < t.num_rows(); ++row) {
+        expr::EvalContext ctx;
+        ctx.row = {&t, row};
+        ctx.registry = registry_;
+        ctx.profiler = profiler_;
+        ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
+        ctx.speed_factor = speed(r);
+        for (std::size_t ci : orders[ru]) {
+          sim::Nanos before = ctx.cost;
+          expr::Value v = expr::eval(*conjuncts[ci].expr, ctx);
+          rank_cost += static_cast<double>(ctx.cost - before) *
+                       conj_multiplier[ci];
+          if (!expr::truthy(v)) {
+            keep[row] = 0;
+            if (!conjuncts[ci].udfs.empty()) {
+              profiler_->record_reject(r, conjuncts[ci].udfs.back());
+            }
+            break;
+          }
+        }
+      }
+      clocks_.at(ru).advance(static_cast<sim::Nanos>(rank_cost));
+      t.filter_rows(keep);
+    });
+    mark("filter");
+  }
+
+  // ---- DISTINCT / INVOKE ---------------------------------------------------
+
+  void apply_distinct(const std::string& var) {
+    if (!has_schema()) return;
+    charge_operator_overhead();
+    int idx = parts_[0].id_var_index(var);
+    if (idx < 0) {
+      IDS_WARN << "distinct variable ?" << var << " not bound; skipping";
+      return;
+    }
+    // Co-locate equal values, then keep the first row of each value.
+    shuffle_rows([this, idx](const SolutionTable& t, std::size_t row) {
+      return static_cast<int>(mix64(t.id_at(row, idx)) %
+                              static_cast<std::uint64_t>(p_));
+    });
+    runtime::for_each_rank(p_, [&](int r) {
+      auto& t = parts_[static_cast<std::size_t>(r)];
+      std::unordered_map<TermId, bool> seen;
+      std::vector<char> keep(t.num_rows(), 0);
+      for (std::size_t row = 0; row < t.num_rows(); ++row) {
+        auto [it, inserted] = seen.emplace(t.id_at(row, idx), true);
+        (void)it;
+        keep[row] = inserted ? 1 : 0;
+      }
+      charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
+      t.filter_rows(keep);
+    });
+    // Spread the survivors evenly: the upcoming INVOKE is expensive and
+    // hash placement can clump a small distinct set onto few ranks ("IDS
+    // commonly re-balances solutions across ranks between operations").
+    redistribute_to_targets(count_based_targets(total_rows(), p_));
+    mark("distinct");
+  }
+
+  /// Cache payloads store the scalar result first so the engine can parse
+  /// it back without re-running the model; the padding models the full
+  /// artifact (e.g. a complete Vina output file).
+  static std::string make_payload(double value, std::size_t total_bytes) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);  // exact round trip
+    std::string payload = buf;
+    payload += ';';
+    if (payload.size() < total_bytes) {
+      payload.resize(total_bytes, '#');
+    }
+    return payload;
+  }
+
+  std::string render_cache_key(const InvokeClause& inv,
+                               const std::vector<expr::Value>& args) const {
+    std::string key = inv.cache_prefix;
+    for (const auto& a : args) {
+      key += '/';
+      if (const auto* e = std::get_if<expr::Entity>(&a)) {
+        key += triples_->dict().name(e->id);  // name-based, instance-portable
+      } else {
+        key += expr::to_string(a);
+      }
+    }
+    return key;
+  }
+
+  int cache_node_of_rank(int r) const {
+    assert(opts_.cache);
+    return opts_.topology.node_of_rank(r) % opts_.cache->config().num_nodes;
+  }
+
+  void apply_invoke(const InvokeClause& inv) {
+    if (!has_schema()) return;
+    const udf::UdfInfo* info = registry_->find(inv.udf);
+    if (!info) {
+      IDS_WARN << "INVOKE of unknown UDF " << inv.udf << "; skipping";
+      return;
+    }
+    for (auto& t : parts_) t.add_num_var(inv.out_var);
+    const bool cached = inv.use_cache && opts_.cache != nullptr;
+
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> misses{0};
+    std::atomic<std::size_t> invoked{0};
+
+    runtime::for_each_rank(p_, [&](int r) {
+      auto ru = static_cast<std::size_t>(r);
+      auto& t = parts_[ru];
+      int out_col = t.num_var_index(inv.out_var);
+      for (std::size_t row = 0; row < t.num_rows(); ++row) {
+        expr::EvalContext ctx;
+        ctx.row = {&t, row};
+        ctx.registry = registry_;
+        ctx.profiler = profiler_;
+        ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
+        ctx.speed_factor = speed(r);
+
+        std::vector<expr::Value> args;
+        args.reserve(inv.args.size());
+        for (const auto& a : inv.args) args.push_back(expr::eval(*a, ctx));
+
+        double value = 0.0;
+        bool have = false;
+        std::string key;
+        if (cached) {
+          key = render_cache_key(inv, args);
+          auto payload = opts_.cache->get(clocks_.at(ru),
+                                          cache_node_of_rank(r), key);
+          if (payload) {
+            value = std::strtod(payload->c_str(), nullptr);
+            have = true;
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (!have) {
+          // Execute the model (a cache miss falls back to re-running the
+          // simulation, the paper's "last resort on a total miss").
+          ctx.cost += registry_->charge_module_load(r, *info);
+          udf::UdfResult res = info->fn(ctx.udf_ctx, args);
+          auto scaled = static_cast<sim::Nanos>(
+              static_cast<double>(res.modeled_cost) /
+              (speed(r) > 0.0 ? speed(r) : 1.0));
+          ctx.cost += scaled;
+          profiler_->record_exec(r, info->name, scaled);
+          double out = 0.0;
+          expr::as_double(res.value, &out);
+          value = out;
+          invoked.fetch_add(1, std::memory_order_relaxed);
+          if (cached) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            opts_.cache->put(clocks_.at(ru), cache_node_of_rank(r), key,
+                             make_payload(value, inv.cached_payload_bytes));
+          }
+        }
+        t.set_num(row, out_col, value);
+        clocks_.at(ru).advance(ctx.cost);
+      }
+    });
+    result_.cache_hits += hits.load();
+    result_.cache_misses += misses.load();
+    result_.rows_invoked += invoked.load();
+
+    // Shared-server queueing of the cache's (de)serialization service: a
+    // single server processing every cache operation of this stage
+    // back-to-back bounds the stage below by ops x service time (the
+    // saturated busy period). Per-op latency was already charged by the
+    // cache; this enforces the aggregate-throughput cap deterministically.
+    if (cached) {
+      double service = opts_.cache->config().serialization_service_seconds;
+      if (service > 0.0) {
+        std::uint64_t ops = hits.load() + misses.load();  // get hit or put
+        sim::Nanos floor =
+            last_mark_ +
+            sim::from_seconds(service * static_cast<double>(ops));
+        for (std::size_t r = 0; r < clocks_.size(); ++r) {
+          clocks_.at(r).raise_to(floor);
+        }
+      }
+    }
+    mark("invoke:" + inv.udf);
+  }
+
+  // ---- Final gather --------------------------------------------------------
+
+  void gather_and_finish(const Query& query) {
+    SolutionTable merged =
+        has_schema() ? parts_[0].empty_like() : SolutionTable{};
+    std::size_t total_bytes = 0;
+    for (const auto& t : parts_) {
+      merged.append_table(t);
+      total_bytes += t.num_rows() * t.row_bytes();
+    }
+    runtime::charge_tree_collective(clocks_, opts_.topology, total_bytes);
+    mark("gather");
+
+    // ORDER BY a numeric column.
+    if (!query.order_by.empty()) {
+      int col = merged.num_var_index(query.order_by);
+      if (col >= 0) {
+        std::vector<std::size_t> idx(merged.num_rows());
+        std::iota(idx.begin(), idx.end(), 0);
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           double va = merged.num_at(a, col);
+                           double vb = merged.num_at(b, col);
+                           return query.order_descending ? va > vb : va < vb;
+                         });
+        merged = merged.take_rows(idx);
+      }
+    }
+    if (query.limit > 0 && merged.num_rows() > query.limit) {
+      merged.truncate(query.limit);
+    }
+
+    // SELECT projection (id variables; numeric columns always survive).
+    if (!query.select.empty()) {
+      SolutionTable projected{query.select, merged.num_vars()};
+      projected.reserve(merged.num_rows());
+      std::vector<int> src_cols;
+      for (const auto& v : query.select) {
+        src_cols.push_back(merged.id_var_index(v));
+      }
+      for (std::size_t row = 0; row < merged.num_rows(); ++row) {
+        std::vector<TermId> vals;
+        for (int c : src_cols) {
+          vals.push_back(c >= 0 ? merged.id_at(row, c) : graph::kInvalidTerm);
+        }
+        std::vector<double> nums;
+        for (std::size_t c = 0; c < merged.num_vars().size(); ++c) {
+          nums.push_back(merged.num_at(row, static_cast<int>(c)));
+        }
+        projected.append_row(vals, nums);
+      }
+      merged = std::move(projected);
+    }
+
+    result_.solutions = std::move(merged);
+    result_.total_seconds = sim::to_seconds(clocks_.max());
+  }
+
+  const EngineOptions& opts_;
+  graph::TripleStore* triples_;
+  store::FeatureStore* features_;
+  store::InvertedIndex* keywords_;
+  store::VectorStore* vectors_;
+  udf::UdfRegistry* registry_;
+  udf::UdfProfiler* profiler_;
+
+  int p_;
+  sim::ClockSet clocks_;
+  std::vector<SolutionTable> parts_;
+  std::vector<Rng> rank_rngs_;
+  QueryResult result_;
+  sim::Nanos last_mark_ = 0;
+};
+
+}  // namespace
+
+IdsEngine::IdsEngine(EngineOptions options, graph::TripleStore* triples,
+                     store::FeatureStore* features,
+                     store::InvertedIndex* keywords,
+                     store::VectorStore* vectors)
+    : options_(std::move(options)),
+      triples_(triples),
+      features_(features),
+      keywords_(keywords),
+      vectors_(vectors),
+      profiler_(options_.topology.num_ranks()) {
+  assert(triples_->num_shards() == options_.topology.num_ranks() &&
+         "store sharding must match the rank count");
+}
+
+QueryResult IdsEngine::execute(const Query& query) {
+  QueryExecution exec(options_, triples_, features_, keywords_, vectors_,
+                      &registry_, &profiler_);
+  return exec.run(query);
+}
+
+std::string IdsEngine::explain(const Query& query) const {
+  std::string out = "plan (" + std::to_string(options_.topology.num_nodes) +
+                    " nodes x " +
+                    std::to_string(options_.topology.ranks_per_node) +
+                    " ranks):\n";
+  char buf[160];
+
+  auto order = order_patterns(*triples_, query.patterns);
+  auto term_str = [this](const graph::PatternTerm& t) {
+    return t.is_var ? "?" + t.var : triples_->dict().name(t.constant);
+  };
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& p = query.patterns[order[i]];
+    std::snprintf(buf, sizeof(buf), "  %zu. %s { %s %s %s } est=%zu rows\n",
+                  i + 1, i == 0 ? "scan" : "join",
+                  term_str(p.s).c_str(), term_str(p.p).c_str(),
+                  term_str(p.o).c_str(),
+                  estimate_cardinality(*triples_, p));
+    out += buf;
+  }
+  for (const auto& kc : query.keywords) {
+    out += "  keyword ?" + kc.var + " matches " +
+           (kc.conjunctive ? "ALL" : "ANY") + " of " +
+           std::to_string(kc.tokens.size()) + " token(s)\n";
+  }
+  for (const auto& vc : query.vectors) {
+    out += "  vector ?" + vc.var + " top-" + std::to_string(vc.k) +
+           (vc.ivf_nprobe > 0 ? " (IVF nprobe=" + std::to_string(vc.ivf_nprobe) + ")"
+                              : " (exact scan)") +
+           "\n";
+  }
+
+  if (!query.filters.empty()) {
+    std::vector<expr::Conjunct> conjuncts;
+    for (const auto& f : query.filters) {
+      auto flat = expr::flatten_conjuncts(f);
+      conjuncts.insert(conjuncts.end(), flat.begin(), flat.end());
+    }
+    auto rank0 = options_.reorder_filters
+                     ? order_conjuncts(conjuncts, 0, profiler_)
+                     : [&] {
+                         std::vector<std::size_t> v(conjuncts.size());
+                         std::iota(v.begin(), v.end(), 0);
+                         return v;
+                       }();
+    out += "  filter chain (rank 0 order";
+    // How many distinct per-rank orders would the planner emit?
+    if (options_.reorder_filters) {
+      std::set<std::vector<std::size_t>> distinct;
+      for (int r = 0; r < options_.topology.num_ranks(); ++r) {
+        distinct.insert(order_conjuncts(conjuncts, r, profiler_));
+      }
+      out += ", " + std::to_string(distinct.size()) +
+             " distinct order(s) across ranks";
+    } else {
+      out += ", reordering off";
+    }
+    out += "):\n";
+    for (std::size_t ci : rank0) {
+      ConjunctEstimate est = estimate_conjunct(conjuncts[ci], 0, profiler_);
+      std::snprintf(buf, sizeof(buf),
+                    "    %-48s est_cost=%.4gs reject_rate=%.2f\n",
+                    conjuncts[ci].expr->to_string().c_str(), est.cost_seconds,
+                    est.rejection_rate);
+      out += buf;
+    }
+  }
+
+  if (!query.distinct_var.empty()) {
+    out += "  distinct ?" + query.distinct_var + "\n";
+  }
+  for (const auto& inv : query.invokes) {
+    out += "  invoke " + inv.udf + " -> ?" + inv.out_var;
+    if (inv.use_cache && options_.cache) {
+      out += " [cached: " + inv.cache_prefix + "]";
+    }
+    out += "\n";
+  }
+  if (!query.order_by.empty()) {
+    out += "  order by ?" + query.order_by +
+           (query.order_descending ? " desc" : " asc") + "\n";
+  }
+  if (query.limit > 0) out += "  limit " + std::to_string(query.limit) + "\n";
+  return out;
+}
+
+}  // namespace ids::core

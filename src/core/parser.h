@@ -1,0 +1,41 @@
+#pragma once
+
+// Text query language.
+//
+// A SPARQL-flavoured surface syntax for the unified engine, covering all
+// clause types of core::Query:
+//
+//   SELECT ?cpd ?prot
+//   WHERE {
+//     ?prot rdf:type bio:Protein .
+//     ?prot up:reviewed "true" .
+//     ?cpd chembl:inhibits ?prot .
+//   }
+//   KEYWORD ?prot MATCHES ALL ("adenosine", "receptor")
+//   VECTOR ?prot NEAREST 10 COSINE [0.1, 0.2, ...]
+//   FILTER ncnpr.sw_similarity(?prot) >= 0.9 && ncnpr.pic50(?cpd) >= 5
+//   DISTINCT ?cpd
+//   INVOKE ncnpr.dock(?cpd) AS ?energy CACHE "vina/P29274"
+//   ORDER BY ?energy DESC
+//   LIMIT 10
+//
+// Expressions support ||, &&, !, comparisons, arithmetic, numeric/string/
+// boolean literals, variables (?x), feature access (?x.feature), and UDF
+// calls (module.method(...)). IRIs in patterns are interned into the
+// store's dictionary (an unknown IRI simply matches nothing).
+
+#include <string_view>
+
+#include "common/result.h"
+#include "core/ast.h"
+#include "graph/dictionary.h"
+
+namespace ids::core {
+
+/// Parses a query. Errors carry a message with the offending position.
+Result<Query> parse_query(std::string_view text, graph::Dictionary* dict);
+
+/// Parses a standalone FILTER expression (exposed for tests and tools).
+Result<expr::ExprPtr> parse_expression(std::string_view text);
+
+}  // namespace ids::core

@@ -1,0 +1,136 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+
+namespace ids::core {
+
+namespace {
+
+void add_vars(const graph::TriplePattern& p, std::set<std::string>* vars) {
+  if (p.s.is_var) vars->insert(p.s.var);
+  if (p.p.is_var) vars->insert(p.p.var);
+  if (p.o.is_var) vars->insert(p.o.var);
+}
+
+bool shares_var(const graph::TriplePattern& p,
+                const std::set<std::string>& vars) {
+  return (p.s.is_var && vars.contains(p.s.var)) ||
+         (p.p.is_var && vars.contains(p.p.var)) ||
+         (p.o.is_var && vars.contains(p.o.var));
+}
+
+bool subject_bound(const graph::TriplePattern& p,
+                   const std::set<std::string>& vars) {
+  return !p.s.is_var || vars.contains(p.s.var);
+}
+
+}  // namespace
+
+std::size_t estimate_cardinality(const graph::TripleStore& store,
+                                 const graph::TriplePattern& pattern) {
+  std::size_t n = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    n += store.shard(s).count(pattern);
+  }
+  return n;
+}
+
+std::vector<std::size_t> order_patterns(
+    const graph::TripleStore& store,
+    const std::vector<graph::TriplePattern>& patterns) {
+  const std::size_t n = patterns.size();
+  std::vector<std::size_t> cardinality(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cardinality[i] = estimate_cardinality(store, patterns[i]);
+  }
+
+  std::vector<std::size_t> order;
+  std::vector<bool> used(n, false);
+  std::set<std::string> bound;
+
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    // Priority: (connected, subject-bound) > (connected) > any; within a
+    // class, lowest cardinality, then lowest index (determinism).
+    int best_class = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int cls;
+      if (step == 0) {
+        cls = 0;
+      } else if (shares_var(patterns[i], bound)) {
+        cls = subject_bound(patterns[i], bound) ? 2 : 1;
+      } else {
+        cls = 0;
+      }
+      if (best == n || cls > best_class ||
+          (cls == best_class && cardinality[i] < cardinality[best])) {
+        best = i;
+        best_class = cls;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    add_vars(patterns[best], &bound);
+  }
+  return order;
+}
+
+ConjunctEstimate estimate_conjunct(const expr::Conjunct& conjunct, int rank,
+                                   const udf::UdfProfiler& profiler) {
+  ConjunctEstimate e;
+  for (const auto& name : conjunct.udfs) {
+    e.cost_seconds += profiler.estimated_cost_seconds(rank, name);
+    const udf::UdfStats agg = profiler.aggregate(name);
+    e.rejection_rate = std::max(e.rejection_rate, agg.rejection_rate());
+  }
+  return e;
+}
+
+std::vector<std::size_t> order_conjuncts(
+    const std::vector<expr::Conjunct>& conjuncts, int rank,
+    const udf::UdfProfiler& profiler, double similar_ratio) {
+  const std::size_t n = conjuncts.size();
+  std::vector<ConjunctEstimate> est(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    est[i] = estimate_conjunct(conjuncts[i], rank, profiler);
+  }
+  // "Similar computational time" (§2.4.3) is made transitive by bucketing
+  // costs logarithmically at the similarity ratio; within a bucket, higher
+  // pruning power goes first, and stable sort preserves the written order
+  // for full ties.
+  auto bucket_of = [similar_ratio](double cost) {
+    if (cost <= 0.0) return std::numeric_limits<int>::min();
+    return static_cast<int>(std::floor(std::log(cost) / std::log(similar_ratio)));
+  };
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     int ba = bucket_of(est[a].cost_seconds);
+                     int bb = bucket_of(est[b].cost_seconds);
+                     if (ba != bb) return ba < bb;
+                     return est[a].rejection_rate > est[b].rejection_rate;
+                   });
+  return order;
+}
+
+double estimate_solution_seconds(
+    const std::vector<expr::Conjunct>& conjuncts,
+    const std::vector<std::size_t>& order, int rank,
+    const udf::UdfProfiler& profiler) {
+  double total = 0.0;
+  double reach_probability = 1.0;
+  for (std::size_t idx : order) {
+    ConjunctEstimate e = estimate_conjunct(conjuncts[idx], rank, profiler);
+    total += reach_probability * e.cost_seconds;
+    reach_probability *= std::max(0.0, 1.0 - e.rejection_rate);
+  }
+  return total;
+}
+
+}  // namespace ids::core

@@ -1,0 +1,106 @@
+#include "core/rebalancer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ids::core {
+
+std::vector<std::size_t> count_based_targets(std::size_t total, int ranks) {
+  assert(ranks > 0);
+  auto p = static_cast<std::size_t>(ranks);
+  std::vector<std::size_t> t(p, total / p);
+  for (std::size_t r = 0; r < total % p; ++r) ++t[r];
+  return t;
+}
+
+std::vector<std::size_t> throughput_targets(
+    std::size_t total, const std::vector<double>& throughput) {
+  const std::size_t p = throughput.size();
+  assert(p > 0);
+  double sum = 0.0;
+  for (double t : throughput) sum += std::max(0.0, t);
+  if (sum <= 0.0) return count_based_targets(total, static_cast<int>(p));
+
+  // Largest-remainder apportionment: floor the proportional shares, then
+  // hand the leftover rows to the largest fractional parts (ties to the
+  // lower rank index for determinism).
+  std::vector<std::size_t> targets(p, 0);
+  std::vector<std::pair<double, std::size_t>> fractions;
+  fractions.reserve(p);
+  std::size_t assigned = 0;
+  for (std::size_t r = 0; r < p; ++r) {
+    double share = static_cast<double>(total) *
+                   std::max(0.0, throughput[r]) / sum;
+    auto fl = static_cast<std::size_t>(share);
+    targets[r] = fl;
+    assigned += fl;
+    fractions.emplace_back(share - static_cast<double>(fl), r);
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::size_t leftover = total - assigned;
+  for (std::size_t i = 0; i < leftover; ++i) {
+    ++targets[fractions[i % p].second];
+  }
+  return targets;
+}
+
+RebalanceDecision decide_rebalance(RebalancePolicy policy,
+                                   const std::vector<std::size_t>& counts,
+                                   const std::vector<double>& throughput,
+                                   double ratio_threshold) {
+  RebalanceDecision d;
+  if (policy == RebalancePolicy::kNone || counts.empty()) return d;
+
+  std::size_t total = std::accumulate(counts.begin(), counts.end(),
+                                      static_cast<std::size_t>(0));
+  const int p = static_cast<int>(counts.size());
+
+  bool have_profiles = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  if (throughput.size() == counts.size()) {
+    have_profiles = true;
+    lo = hi = -1.0;
+    for (double t : throughput) {
+      if (t <= 0.0) {
+        have_profiles = false;  // some rank has no estimate yet
+        break;
+      }
+      if (lo < 0.0 || t < lo) lo = t;
+      if (t > hi) hi = t;
+    }
+  }
+
+  d.rebalance = true;
+  if (policy == RebalancePolicy::kThroughput && have_profiles) {
+    d.speed_ratio = hi / lo;
+    if (d.speed_ratio > ratio_threshold) {
+      d.used_throughput = true;
+      d.targets = throughput_targets(total, throughput);
+      return d;
+    }
+  }
+  d.targets = count_based_targets(total, p);
+  return d;
+}
+
+double completion_seconds(const std::vector<std::size_t>& counts,
+                          const std::vector<double>& throughput) {
+  assert(counts.size() == throughput.size());
+  double worst = 0.0;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] == 0) continue;
+    double t = throughput[r] > 0.0
+                   ? static_cast<double>(counts[r]) / throughput[r]
+                   : 0.0;
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+}  // namespace ids::core

@@ -1,0 +1,57 @@
+#pragma once
+
+// Solution re-balancing (§2.4.2).
+//
+// Before expensive operators (notably FILTERs containing UDFs), IDS
+// redistributes intermediate solutions across ranks. Two strategies:
+//
+//   count-based      — every rank gets ~total/P rows (the default between
+//                      scans/joins/merges).
+//   throughput-based — when per-rank UDF throughput estimates diverge by
+//                      more than ~20%, each rank is assigned rows in
+//                      proportion to its estimated solutions/second, so
+//                      all ranks finish together (the paper's worked
+//                      example: 900 ranks at 100/200/300 ops/s).
+//
+// Targets always conserve the total row count exactly (largest-remainder
+// apportionment), a tested invariant.
+
+#include <cstddef>
+#include <vector>
+
+namespace ids::core {
+
+enum class RebalancePolicy { kNone, kCount, kThroughput };
+
+struct RebalanceDecision {
+  bool rebalance = false;          // false: leave rows where they are
+  bool used_throughput = false;    // which strategy produced the targets
+  double speed_ratio = 1.0;        // fastest/slowest throughput observed
+  std::vector<std::size_t> targets;  // rows per rank after redistribution
+};
+
+/// Equal split of `total` over `ranks` (remainder spread over the first
+/// `total % ranks` ranks).
+std::vector<std::size_t> count_based_targets(std::size_t total, int ranks);
+
+/// Proportional-to-throughput split, conserving `total` exactly. Ranks
+/// with throughput <= 0 receive (almost) nothing.
+std::vector<std::size_t> throughput_targets(
+    std::size_t total, const std::vector<double>& throughput);
+
+/// Full policy: picks count- vs throughput-based per the ~20% rule
+/// ("within ~20% of the slowest one, re-balancing defaults to query
+/// count-based"). `throughput[r]` is rank r's estimated solutions/second;
+/// zeros (no profile yet) force count-based.
+RebalanceDecision decide_rebalance(RebalancePolicy policy,
+                                   const std::vector<std::size_t>& counts,
+                                   const std::vector<double>& throughput,
+                                   double ratio_threshold = 1.2);
+
+/// Modeled completion time (seconds) of `counts` rows at `throughput`
+/// solutions/second — the max over ranks. Used by tests and the ablation
+/// bench to check the paper's closed-form example.
+double completion_seconds(const std::vector<std::size_t>& counts,
+                          const std::vector<double>& throughput);
+
+}  // namespace ids::core

@@ -1,0 +1,65 @@
+#pragma once
+
+// The NCNPR drug-repurposing workflow (§4).
+//
+// Packages the paper's five-step query against the synthetic life-sciences
+// graph: (1) find proteins related to the target (the P29274 analogue),
+// (2) retrieve its sequence/structure, (3) assemble candidate inhibitor
+// compounds, (4) filter by Smith-Waterman similarity, pIC50 and DTBA, and
+// (5) dock the surviving compounds. The four UDFs are registered as a
+// dynamic "ncnpr" module (the paper's Python-module path) and are
+// intentionally ordered by increasing cost and pruning power — which the
+// planner then re-derives on its own from profiling data.
+
+#include <memory>
+
+#include "core/ast.h"
+#include "core/engine.h"
+#include "datagen/lifesci.h"
+#include "models/cost_profile.h"
+#include "models/docking.h"
+
+namespace ids::core {
+
+/// The generated dataset plus the stores the engine queries.
+struct NcnprData {
+  std::unique_ptr<graph::TripleStore> triples;
+  std::unique_ptr<store::FeatureStore> features;
+  std::unique_ptr<store::InvertedIndex> keywords;
+  std::unique_ptr<store::VectorStore> vectors;
+  datagen::LifeSciDataset dataset;
+
+  /// Target protein sequence (step 2 of the workflow).
+  std::string target_sequence;
+};
+
+/// Generates the synthetic graph sharded for `num_shards` ranks and
+/// finalizes the stores.
+NcnprData build_ncnpr_data(const datagen::LifeSciConfig& config,
+                           int num_shards);
+
+/// Registers the workflow UDFs on the engine (module "ncnpr"):
+///   ncnpr.sw_similarity(?prot)  -> normalized SW similarity to the target
+///   ncnpr.pic50(?cpd)           -> pIC50 from the stored IC50 assay
+///   ncnpr.dtba(?prot, ?cpd)     -> predicted binding affinity (pKd-like)
+///   ncnpr.dock(?cpd)            -> docking energy against the target
+///                                  receptor (kcal/mol; lower = better)
+/// The receptor comes from the structure predictor applied to the target
+/// sequence (the AlphaFold step). Docking parameters are configurable for
+/// the benches.
+void register_ncnpr_udfs(IdsEngine* engine, const NcnprData& data,
+                         const models::DockingParams& docking = {});
+
+struct NcnprThresholds {
+  double min_sw_similarity = 0.90;  // Table 2's sweep variable
+  double min_pic50 = 5.0;           // potency floor
+  double min_dtba = 7.4;            // predicted-affinity floor (~p25 of the
+                                    // synthetic DTBA score distribution)
+};
+
+/// Builds the 5-step query. `docking_cached` routes the docking INVOKE
+/// through the engine's global cache (when one is configured).
+Query make_ncnpr_query(const NcnprData& data, const NcnprThresholds& t,
+                       bool with_docking = true, bool docking_cached = false);
+
+}  // namespace ids::core

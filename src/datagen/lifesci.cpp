@@ -1,0 +1,207 @@
+#include "datagen/lifesci.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "models/dtba.h"
+#include "models/molgen.h"
+#include "models/smith_waterman.h"
+
+namespace ids::datagen {
+
+namespace {
+
+/// Background amino-acid frequencies (approximate UniProt composition).
+const std::vector<double>& residue_weights() {
+  // Order matches models::kAminoAcids = "ARNDCQEGHILKMFPSTWYV".
+  static const std::vector<double> w = {
+      8.3, 5.5, 4.1, 5.5, 1.4, 3.9, 6.7, 7.1, 2.3, 5.9,
+      9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.4, 1.1, 2.9, 6.9,
+  };
+  return w;
+}
+
+std::string protein_iri(int family, int member) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "uniprot:F%02dP%03d", family, member);
+  return buf;
+}
+
+std::string compound_iri(int family, int idx) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "chembl:CPD-F%02d-%03d", family, idx);
+  return buf;
+}
+
+}  // namespace
+
+std::string random_protein_sequence(Rng& rng, int length) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(length));
+  const auto& w = residue_weights();
+  for (int i = 0; i < length; ++i) {
+    s += models::kAminoAcids[rng.pick_weighted(w)];
+  }
+  return s;
+}
+
+std::string mutate_sequence(Rng& rng, const std::string& base, double sub_rate,
+                            double indel_rate) {
+  std::string out;
+  out.reserve(base.size() + 8);
+  const auto& w = residue_weights();
+  for (char c : base) {
+    if (rng.bernoulli(indel_rate * 0.5)) continue;  // deletion
+    if (rng.bernoulli(sub_rate)) {
+      out += models::kAminoAcids[rng.pick_weighted(w)];
+    } else {
+      out += c;
+    }
+    if (rng.bernoulli(indel_rate * 0.5)) {  // insertion
+      out += models::kAminoAcids[rng.pick_weighted(w)];
+    }
+  }
+  if (out.empty()) out = base.substr(0, 1);
+  return out;
+}
+
+LifeSciDataset generate_lifesci(const LifeSciConfig& config,
+                                graph::TripleStore* triples,
+                                store::FeatureStore* features,
+                                store::InvertedIndex* keywords,
+                                store::VectorStore* vectors) {
+  LifeSciDataset ds;
+  Rng rng(config.seed);
+  auto& dict = triples->dict();
+
+  // --- Family ancestor sequences -----------------------------------------
+  // Family 0 is the target clade; families 1..num_related_families are
+  // progressively diverged copies of its ancestor; the rest are fresh
+  // background sequences.
+  std::vector<std::string> ancestors;
+  ancestors.reserve(static_cast<std::size_t>(config.num_families));
+  for (int f = 0; f < config.num_families; ++f) {
+    int len = config.seq_len_mean +
+              static_cast<int>(rng.uniform_int(-config.seq_len_jitter,
+                                               config.seq_len_jitter));
+    len = std::max(40, len);
+    if (f == 0) {
+      ancestors.push_back(random_protein_sequence(rng, len));
+    } else if (f <= config.num_related_families) {
+      // Divergence ladder across the related families puts their SW
+      // similarity in the band the Table 2 threshold sweep walks through.
+      double div;
+      if (!config.related_divergences.empty()) {
+        div = config.related_divergences.at(static_cast<std::size_t>(f - 1));
+      } else {
+        div = config.related_div_min +
+              (config.related_div_max - config.related_div_min) *
+                  static_cast<double>(f - 1) /
+                  std::max(1, config.num_related_families - 1);
+      }
+      ancestors.push_back(mutate_sequence(rng, ancestors[0], div, 0.02));
+    } else {
+      ancestors.push_back(random_protein_sequence(rng, len));
+    }
+  }
+
+  models::DtbaModel dtba;  // reused for protein embeddings
+
+  // --- Proteins ------------------------------------------------------------
+  for (int f = 0; f < config.num_families; ++f) {
+    std::string family_iri = "bio:family/" + std::to_string(f);
+    for (int m = 0; m < config.proteins_per_family; ++m) {
+      bool is_target = (f == 0 && m == 0);
+      std::string iri =
+          is_target ? std::string(Vocab::kTargetProtein) : protein_iri(f, m);
+      graph::TermId id = dict.intern(iri);
+      ds.proteins.push_back(id);
+      ds.protein_family.push_back(f);
+      if (is_target) ds.target_protein = id;
+
+      // Members diverge only mildly from their family ancestor, so
+      // within-family similarity stays near 1 and the family band is tight.
+      std::string seq =
+          (is_target) ? ancestors[0]
+                      : mutate_sequence(rng,
+                                        ancestors[static_cast<std::size_t>(f)],
+                                        config.member_sub_rate,
+                                        config.member_indel_rate);
+
+      bool reviewed = rng.bernoulli(config.reviewed_fraction);
+      triples->add(iri, Vocab::kType, Vocab::kProtein);
+      triples->add(iri, Vocab::kReviewed,
+                   reviewed ? Vocab::kTrue : Vocab::kFalse);
+      triples->add(iri, Vocab::kInFamily, family_iri);
+      ds.triples += 3;
+
+      features->set(id, Feat::kSequence, seq);
+      features->set(id, Feat::kLength,
+                    static_cast<std::int64_t>(seq.size()));
+
+      if (keywords && config.build_keyword_index) {
+        std::string doc = "protein family " + std::to_string(f) +
+                          (reviewed ? " reviewed" : " unreviewed") +
+                          (f == 0 ? " receptor adenosine target clade"
+                                  : " enzyme transferase");
+        keywords->add_document(id, doc);
+      }
+      if (vectors && config.build_vector_store) {
+        auto emb = models::DtbaModel::protein_features(seq);
+        vectors->add(id, emb);
+      }
+    }
+  }
+
+  // --- Compounds -------------------------------------------------------------
+  // Each family gets a pool of compounds inhibiting its members; a few
+  // cross-family edges mirror promiscuous binders.
+  const int ppf = config.proteins_per_family;
+  for (int f = 0; f < config.num_families; ++f) {
+    models::MolGenParams gen_params;
+    gen_params.min_atoms = f == 0 ? config.target_min_atoms
+                                  : config.offfamily_min_atoms;
+    gen_params.max_atoms = f == 0 ? config.target_max_atoms
+                                  : config.offfamily_max_atoms;
+    for (int c = 0; c < config.compounds_per_family; ++c) {
+      std::string iri = compound_iri(f, c);
+      graph::TermId id = dict.intern(iri);
+      ds.compounds.push_back(id);
+
+      std::string smiles = models::generate_smiles(rng, gen_params);
+      // Log-uniform IC50 between 1 nM and 100 uM.
+      double ic50 = std::pow(10.0, rng.uniform(0.0, 5.0));
+
+      triples->add(iri, Vocab::kType, Vocab::kCompound);
+      ds.triples += 1;
+      features->set(id, Feat::kSmiles, smiles);
+      features->set(id, Feat::kIc50Nm, ic50);
+
+      // Inhibit 1-3 proteins of the home family.
+      int n_edges = 1 + static_cast<int>(rng.next_below(3));
+      for (int e = 0; e < n_edges; ++e) {
+        int m = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(ppf)));
+        std::size_t pidx = static_cast<std::size_t>(f * ppf + m);
+        triples->add_ids({id, dict.intern(Vocab::kInhibits),
+                          ds.proteins[pidx]});
+        ds.triples += 1;
+      }
+      // Occasional cross-family edge.
+      if (rng.bernoulli(config.cross_family_edges * 0.2)) {
+        std::size_t pidx = rng.next_below(ds.proteins.size());
+        triples->add_ids({id, dict.intern(Vocab::kInhibits),
+                          ds.proteins[pidx]});
+        ds.triples += 1;
+      }
+
+      if (keywords && config.build_keyword_index) {
+        keywords->add_document(id, "compound inhibitor family " +
+                                       std::to_string(f) + " " + smiles);
+      }
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace ids::datagen

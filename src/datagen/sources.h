@@ -1,0 +1,43 @@
+#pragma once
+
+// Table 1 dataset sources, scaled down.
+//
+// The paper's knowledge graph integrates seven public RDF sources (Table
+// 1: UniProt 12.7 TB / 87.6 B triples ... Reactome 3.2 GB / 19 M). We
+// cannot host 100 B facts in a container, so each source is regenerated at
+// a configurable scale divisor with synthetic triples whose string sizes
+// approximate the source's bytes-per-triple ratio. bench_table1_ingest
+// replays Table 1 from these specs and reports both the paper-scale
+// figures and the generated (scaled) measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/triple_store.h"
+
+namespace ids::datagen {
+
+struct SourceSpec {
+  std::string name;
+  std::uint64_t paper_raw_bytes;  // "Raw Size (disk)" in Table 1
+  std::uint64_t paper_triples;    // "Size (triples)" in Table 1
+};
+
+/// The seven rows of Table 1.
+const std::vector<SourceSpec>& paper_sources();
+
+struct SourceStats {
+  std::string name;
+  std::uint64_t triples_generated = 0;
+  std::uint64_t raw_bytes_generated = 0;  // total IRI/literal bytes emitted
+  double ingest_seconds = 0.0;            // wall-clock generation+insert time
+};
+
+/// Generates `spec.paper_triples / scale_divisor` synthetic triples into
+/// the store, matching the source's bytes-per-triple ratio. Deterministic
+/// in `seed`.
+SourceStats generate_source(graph::TripleStore* store, const SourceSpec& spec,
+                            std::uint64_t scale_divisor, std::uint64_t seed);
+
+}  // namespace ids::datagen

@@ -1,0 +1,77 @@
+#include "deploy/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ids::deploy {
+
+namespace {
+
+/// Modeled fetch seconds for `task` if placed on `node`. Absent objects
+/// (recompute sentinel) contribute a large fixed penalty so they do not
+/// dominate placement.
+double task_cost_on(const cache::CacheManager& cache, const TaskSpec& task,
+                    int node) {
+  double total = 0.0;
+  for (const auto& obj : task.objects) {
+    sim::Nanos c = cache.estimated_get_cost(node, obj);
+    if (c == std::numeric_limits<sim::Nanos>::max()) {
+      total += 1.0;  // absent everywhere: recompute penalty, node-agnostic
+    } else {
+      total += sim::to_seconds(c);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Placement schedule_by_locality(const cache::CacheManager& cache,
+                               const std::vector<TaskSpec>& tasks,
+                               const SchedulerOptions& options) {
+  Placement placement;
+  const int nodes = cache.config().num_nodes;
+  std::vector<int> load(static_cast<std::size_t>(nodes), 0);
+
+  // Largest tasks first, ties by id for determinism.
+  std::vector<const TaskSpec*> order;
+  order.reserve(tasks.size());
+  for (const auto& t : tasks) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](const TaskSpec* a, const TaskSpec* b) {
+              if (a->objects.size() != b->objects.size()) {
+                return a->objects.size() > b->objects.size();
+              }
+              return a->id < b->id;
+            });
+
+  for (const TaskSpec* task : order) {
+    int best_node = -1;
+    double best_cost = 0.0;
+    for (int n = 0; n < nodes; ++n) {
+      if (options.slots_per_node > 0 &&
+          load[static_cast<std::size_t>(n)] >= options.slots_per_node) {
+        continue;
+      }
+      double c = task_cost_on(cache, *task, n);
+      if (best_node < 0 || c < best_cost) {
+        best_node = n;
+        best_cost = c;
+      }
+    }
+    if (best_node < 0) best_node = 0;  // over-subscribed: spill to node 0
+    placement.node_of_task[task->id] = best_node;
+    ++load[static_cast<std::size_t>(best_node)];
+    placement.transfer_seconds += best_cost;
+  }
+
+  // Locality-blind baseline: round-robin in input order.
+  int rr = 0;
+  for (const auto& task : tasks) {
+    placement.round_robin_seconds += task_cost_on(cache, task, rr);
+    rr = (rr + 1) % nodes;
+  }
+  return placement;
+}
+
+}  // namespace ids::deploy

@@ -1,0 +1,74 @@
+#include "expr/value.h"
+
+#include <cstdio>
+
+namespace ids::expr {
+
+bool truthy(const Value& v) {
+  if (const bool* b = std::get_if<bool>(&v)) return *b;
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) return *i != 0;
+  if (const double* d = std::get_if<double>(&v)) return *d != 0.0;
+  if (const std::string* s = std::get_if<std::string>(&v)) return !s->empty();
+  if (const Entity* e = std::get_if<Entity>(&v)) {
+    return e->id != graph::kInvalidTerm;
+  }
+  return false;
+}
+
+bool as_double(const Value& v, double* out) {
+  if (const double* d = std::get_if<double>(&v)) {
+    *out = *d;
+    return true;
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    *out = static_cast<double>(*i);
+    return true;
+  }
+  if (const bool* b = std::get_if<bool>(&v)) {
+    *out = *b ? 1.0 : 0.0;
+    return true;
+  }
+  return false;
+}
+
+bool compare(const Value& a, const Value& b, int* out) {
+  double da = 0.0;
+  double db = 0.0;
+  if (as_double(a, &da) && as_double(b, &db)) {
+    *out = (da < db) ? -1 : (da > db ? 1 : 0);
+    return true;
+  }
+  const std::string* sa = std::get_if<std::string>(&a);
+  const std::string* sb = std::get_if<std::string>(&b);
+  if (sa && sb) {
+    int c = sa->compare(*sb);
+    *out = (c < 0) ? -1 : (c > 0 ? 1 : 0);
+    return true;
+  }
+  const Entity* ea = std::get_if<Entity>(&a);
+  const Entity* eb = std::get_if<Entity>(&b);
+  if (ea && eb) {
+    *out = (ea->id < eb->id) ? -1 : (ea->id > eb->id ? 1 : 0);
+    return true;
+  }
+  return false;
+}
+
+std::string to_string(const Value& v) {
+  if (is_null(v)) return "null";
+  if (const bool* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const double* d = std::get_if<double>(&v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", *d);
+    return buf;
+  }
+  if (const Entity* e = std::get_if<Entity>(&v)) {
+    return "entity:" + std::to_string(e->id);
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace ids::expr

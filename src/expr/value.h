@@ -1,0 +1,45 @@
+#pragma once
+
+// Runtime values flowing through FILTER expression trees.
+//
+// A value is null, a boolean, a number, an entity reference (dictionary
+// term id), or a string. Comparison and arithmetic follow SPARQL-like
+// semantics: numeric types promote to double, type mismatches yield null,
+// and null propagates (a FILTER that evaluates to null rejects the row).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "graph/dictionary.h"
+
+namespace ids::expr {
+
+/// Wrapper so an entity id is distinguishable from a plain integer.
+struct Entity {
+  graph::TermId id = graph::kInvalidTerm;
+  friend bool operator==(const Entity&, const Entity&) = default;
+};
+
+using Value =
+    std::variant<std::monostate, bool, std::int64_t, double, Entity, std::string>;
+
+inline Value null_value() { return std::monostate{}; }
+inline bool is_null(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// SPARQL-style effective boolean value. Null/invalid -> false.
+bool truthy(const Value& v);
+
+/// Numeric view; returns false if the value is not numeric.
+bool as_double(const Value& v, double* out);
+
+/// Three-way comparison: -1/0/+1 via *out; returns false for incomparable
+/// types (which makes any comparison operator yield null).
+bool compare(const Value& a, const Value& b, int* out);
+
+/// For logs and test output.
+std::string to_string(const Value& v);
+
+}  // namespace ids::expr

@@ -1,0 +1,219 @@
+#include "fam/fam.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ids::fam {
+
+FamService::FamService(FamOptions options) : options_(std::move(options)) {
+  assert(!options_.server_nodes.empty());
+  servers_.reserve(options_.server_nodes.size());
+  for (int node : options_.server_nodes) {
+    Server s;
+    s.node = node;
+    servers_.push_back(std::move(s));
+  }
+}
+
+sim::Nanos FamService::transfer_cost(int caller_node, int server,
+                                     std::uint64_t bytes) const {
+  const auto& link = (caller_node == servers_[static_cast<std::size_t>(server)].node)
+                         ? options_.fabric.intra_node
+                         : options_.fabric.inter_node;
+  return link.transfer_cost(bytes);
+}
+
+Result<Descriptor> FamService::allocate(std::string_view name,
+                                        std::uint64_t size,
+                                        int preferred_server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key(name);
+  if (names_.contains(key)) {
+    return Status::AlreadyExists("fam allocation exists: " + key);
+  }
+
+  int server = -1;
+  if (preferred_server >= 0) {
+    if (preferred_server >= num_servers()) {
+      return Status::InvalidArgument("no such fam server");
+    }
+    const auto& s = servers_[static_cast<std::size_t>(preferred_server)];
+    if (s.alive && s.used + size <= options_.server_capacity_bytes) {
+      server = preferred_server;
+    }
+  }
+  if (server < 0) {
+    // Least-loaded live server with room.
+    std::uint64_t best_used = ~0ull;
+    for (int i = 0; i < num_servers(); ++i) {
+      const auto& s = servers_[static_cast<std::size_t>(i)];
+      if (!s.alive) continue;
+      if (s.used + size > options_.server_capacity_bytes) continue;
+      if (s.used < best_used) {
+        best_used = s.used;
+        server = i;
+      }
+    }
+  }
+  if (server < 0) {
+    return Status::ResourceExhausted("no fam server can hold " +
+                                     std::to_string(size) + " bytes");
+  }
+
+  auto& s = servers_[static_cast<std::size_t>(server)];
+  Region r;
+  r.id = next_region_++;
+  r.size = size;
+  r.data.assign(size, std::byte{0});
+  Descriptor d{server, r.id, size};
+  s.regions.emplace(r.id, std::move(r));
+  s.used += size;
+  names_.emplace(std::move(key), d);
+  return d;
+}
+
+Status FamService::deallocate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(std::string(name));
+  if (it == names_.end()) {
+    return Status::NotFound("fam allocation not found");
+  }
+  Descriptor d = it->second;
+  names_.erase(it);
+  auto& s = servers_[static_cast<std::size_t>(d.server)];
+  auto rit = s.regions.find(d.region);
+  if (rit != s.regions.end()) {
+    s.used -= rit->second.size;
+    s.regions.erase(rit);
+  }
+  return Status::Ok();
+}
+
+Result<Descriptor> FamService::lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(std::string(name));
+  if (it == names_.end()) {
+    return Status::NotFound("fam allocation not found: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status FamService::check(const Descriptor& d, std::uint64_t offset,
+                         std::uint64_t len) const {
+  if (!d.valid() || d.server >= num_servers()) {
+    return Status::InvalidArgument("invalid fam descriptor");
+  }
+  const auto& s = servers_[static_cast<std::size_t>(d.server)];
+  if (!s.alive) return Status::Unavailable("fam server is down");
+  auto rit = s.regions.find(d.region);
+  if (rit == s.regions.end()) {
+    return Status::NotFound("fam region gone (server failure?)");
+  }
+  if (offset + len > rit->second.size) {
+    return Status::OutOfRange("fam access beyond region");
+  }
+  return Status::Ok();
+}
+
+const FamService::Region* FamService::find_region(const Descriptor& d) const {
+  const auto& s = servers_[static_cast<std::size_t>(d.server)];
+  auto rit = s.regions.find(d.region);
+  return rit == s.regions.end() ? nullptr : &rit->second;
+}
+
+Status FamService::put(sim::VirtualClock& clock, int caller_node,
+                       const Descriptor& d, std::uint64_t offset,
+                       std::span<const std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status st = check(d, offset, data.size()); !st.ok()) return st;
+  auto& region =
+      servers_[static_cast<std::size_t>(d.server)].regions.at(d.region);
+  std::memcpy(region.data.data() + offset, data.data(), data.size());
+  clock.advance(transfer_cost(caller_node, d.server, data.size()));
+  return Status::Ok();
+}
+
+Status FamService::get(sim::VirtualClock& clock, int caller_node,
+                       const Descriptor& d, std::uint64_t offset,
+                       std::span<std::byte> out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Status st = check(d, offset, out.size()); !st.ok()) return st;
+  const Region* region = find_region(d);
+  std::memcpy(out.data(), region->data.data() + offset, out.size());
+  clock.advance(transfer_cost(caller_node, d.server, out.size()));
+  return Status::Ok();
+}
+
+Result<std::uint64_t> FamService::fetch_add(sim::VirtualClock& clock,
+                                            int caller_node,
+                                            const Descriptor& d,
+                                            std::uint64_t offset,
+                                            std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset % 8 != 0) return Status::InvalidArgument("unaligned fam atomic");
+  if (Status st = check(d, offset, 8); !st.ok()) return st;
+  auto& region =
+      servers_[static_cast<std::size_t>(d.server)].regions.at(d.region);
+  std::uint64_t old = 0;
+  std::memcpy(&old, region.data.data() + offset, 8);
+  std::uint64_t updated = old + delta;
+  std::memcpy(region.data.data() + offset, &updated, 8);
+  clock.advance(transfer_cost(caller_node, d.server, 8) * 2);  // round trip
+  return old;
+}
+
+Result<std::uint64_t> FamService::compare_swap(sim::VirtualClock& clock,
+                                               int caller_node,
+                                               const Descriptor& d,
+                                               std::uint64_t offset,
+                                               std::uint64_t expected,
+                                               std::uint64_t desired) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset % 8 != 0) return Status::InvalidArgument("unaligned fam atomic");
+  if (Status st = check(d, offset, 8); !st.ok()) return st;
+  auto& region =
+      servers_[static_cast<std::size_t>(d.server)].regions.at(d.region);
+  std::uint64_t old = 0;
+  std::memcpy(&old, region.data.data() + offset, 8);
+  if (old == expected) {
+    std::memcpy(region.data.data() + offset, &desired, 8);
+  }
+  clock.advance(transfer_cost(caller_node, d.server, 8) * 2);
+  return old;
+}
+
+std::uint64_t FamService::used_bytes(int server) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return servers_[static_cast<std::size_t>(server)].used;
+}
+
+void FamService::fail_server(int server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& s = servers_[static_cast<std::size_t>(server)];
+  s.alive = false;
+  s.regions.clear();
+  s.used = 0;
+  // Name records for lost allocations are dropped so the names can be
+  // re-allocated after recovery. Descriptors clients still hold dangle and
+  // fail at access time — matching real FAM semantics.
+  for (auto it = names_.begin(); it != names_.end();) {
+    if (it->second.server == server) {
+      it = names_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FamService::recover_server(int server) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  servers_[static_cast<std::size_t>(server)].alive = true;
+}
+
+bool FamService::server_alive(int server) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return servers_[static_cast<std::size_t>(server)].alive;
+}
+
+}  // namespace ids::fam

@@ -1,0 +1,130 @@
+#pragma once
+
+// OpenFAM-style disaggregated memory (§3.3).
+//
+// The paper's global cache moves data over RDMA through OpenFAM: named
+// allocations on memory servers, descriptor-based put/get, and lightweight
+// atomics (the OpenSHMEM-modelled API). This module reproduces that
+// surface: FamService owns a set of memory servers (each mapped to a
+// cluster node id), allocations are named regions with capacity
+// accounting, and every data operation charges the caller's virtual clock
+// with the alpha-beta cost of the transfer (intra-node when caller and
+// server share a node, fabric otherwise).
+//
+// Server failure drops the server's contents (fabric-attached memory in
+// this prototype is not persistent) — exactly the failure model the cache
+// layer must tolerate by re-populating from backing storage.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/fabric.h"
+#include "sim/virtual_clock.h"
+
+namespace ids::fam {
+
+/// Identifies one allocation; opaque to clients, like an OpenFAM
+/// Fam_Descriptor.
+struct Descriptor {
+  int server = -1;
+  std::uint64_t region = 0;
+  std::uint64_t size = 0;
+
+  bool valid() const { return server >= 0; }
+};
+
+struct FamOptions {
+  /// Cluster node id of each memory server (index = server id).
+  std::vector<int> server_nodes;
+  std::uint64_t server_capacity_bytes = 64ull << 20;
+  sim::FabricParams fabric;
+};
+
+class FamService {
+ public:
+  explicit FamService(FamOptions options);
+
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int server_node(int server) const { return servers_[static_cast<std::size_t>(server)].node; }
+
+  /// Allocates `size` bytes under `name` on `preferred_server` (or the
+  /// least-loaded live server when -1). Fails with kResourceExhausted when
+  /// no live server has room, kAlreadyExists on a name collision.
+  Result<Descriptor> allocate(std::string_view name, std::uint64_t size,
+                              int preferred_server = -1);
+
+  /// Frees the named allocation (no-op cost; metadata only).
+  Status deallocate(std::string_view name);
+
+  /// Finds an existing allocation by name.
+  Result<Descriptor> lookup(std::string_view name) const;
+
+  /// Writes `data` at `offset` within the allocation, charging `clock`
+  /// with the transfer cost from `caller_node` to the owning server.
+  Status put(sim::VirtualClock& clock, int caller_node, const Descriptor& d,
+             std::uint64_t offset, std::span<const std::byte> data);
+
+  /// Reads `out.size()` bytes at `offset`, charging `clock` likewise.
+  Status get(sim::VirtualClock& clock, int caller_node, const Descriptor& d,
+             std::uint64_t offset, std::span<std::byte> out) const;
+
+  /// Atomic fetch-and-add on a 64-bit word at `offset` (must be 8-aligned).
+  /// Charges one small-message round trip.
+  Result<std::uint64_t> fetch_add(sim::VirtualClock& clock, int caller_node,
+                                  const Descriptor& d, std::uint64_t offset,
+                                  std::uint64_t delta);
+
+  /// Atomic compare-and-swap; returns the previous value.
+  Result<std::uint64_t> compare_swap(sim::VirtualClock& clock, int caller_node,
+                                     const Descriptor& d, std::uint64_t offset,
+                                     std::uint64_t expected,
+                                     std::uint64_t desired);
+
+  std::uint64_t used_bytes(int server) const;
+  std::uint64_t capacity_bytes() const { return options_.server_capacity_bytes; }
+
+  /// Crashes a server: all its allocations disappear, capacity returns
+  /// when it is recovered.
+  void fail_server(int server);
+  /// Brings a failed server back empty.
+  void recover_server(int server);
+  bool server_alive(int server) const;
+
+  /// Transfer cost between a caller node and a server, exposed so the
+  /// cache layer prices placements consistently.
+  sim::Nanos transfer_cost(int caller_node, int server,
+                           std::uint64_t bytes) const;
+
+ private:
+  struct Region {
+    std::uint64_t id;
+    std::uint64_t size;
+    std::vector<std::byte> data;
+  };
+  struct Server {
+    int node;
+    bool alive = true;
+    std::uint64_t used = 0;
+    std::unordered_map<std::uint64_t, Region> regions;
+  };
+
+  Status check(const Descriptor& d, std::uint64_t offset,
+               std::uint64_t len) const;
+  const Region* find_region(const Descriptor& d) const;
+
+  FamOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Server> servers_;
+  std::unordered_map<std::string, Descriptor> names_;
+  std::uint64_t next_region_ = 1;
+};
+
+}  // namespace ids::fam

@@ -1,0 +1,45 @@
+#pragma once
+
+// Dictionary encoding for RDF terms.
+//
+// Like CGE (and every serious triple store), IDS stores triples as integer
+// ids and keeps a two-way dictionary from IRIs/literals to ids. Id 0 is
+// reserved as "invalid"; ids are assigned densely in interning order, so a
+// graph built in a fixed order gets identical ids on every run.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ids::graph {
+
+using TermId = std::uint64_t;
+constexpr TermId kInvalidTerm = 0;
+
+class Dictionary {
+ public:
+  Dictionary() { names_.emplace_back(); }  // slot 0 = invalid
+
+  /// Returns the id for `term`, creating one if needed. Thread-safe.
+  TermId intern(std::string_view term);
+
+  /// Returns the id for `term` if already interned. Thread-safe.
+  std::optional<TermId> lookup(std::string_view term) const;
+
+  /// Returns the string for an id. The id must be valid.
+  const std::string& name(TermId id) const;
+
+  /// Number of interned terms (excluding the invalid slot).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ids::graph

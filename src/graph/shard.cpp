@@ -1,0 +1,148 @@
+#include "graph/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace ids::graph {
+
+namespace {
+
+struct KeySPO {
+  static std::tuple<TermId, TermId, TermId> key(const Triple& t) {
+    return {t.s, t.p, t.o};
+  }
+};
+struct KeyPOS {
+  static std::tuple<TermId, TermId, TermId> key(const Triple& t) {
+    return {t.p, t.o, t.s};
+  }
+};
+struct KeyOSP {
+  static std::tuple<TermId, TermId, TermId> key(const Triple& t) {
+    return {t.o, t.s, t.p};
+  }
+};
+
+template <typename K>
+void sort_index(std::vector<Triple>& v) {
+  std::sort(v.begin(), v.end(), [](const Triple& a, const Triple& b) {
+    return K::key(a) < K::key(b);
+  });
+}
+
+/// Binary-search range over a sorted-by-K index where the first `bound`
+/// components of the key equal `prefix`.
+template <typename K>
+std::pair<const Triple*, const Triple*> prefix_range(
+    const std::vector<Triple>& v, std::array<TermId, 3> prefix, int bound) {
+  auto cmp_lo = [&](const Triple& t) {
+    auto k = K::key(t);
+    std::array<TermId, 3> kk = {std::get<0>(k), std::get<1>(k), std::get<2>(k)};
+    for (int i = 0; i < bound; ++i) {
+      if (kk[static_cast<std::size_t>(i)] != prefix[static_cast<std::size_t>(i)])
+        return kk[static_cast<std::size_t>(i)] < prefix[static_cast<std::size_t>(i)];
+    }
+    return false;  // equal prefix: not less
+  };
+  auto cmp_hi = [&](const Triple& t) {
+    auto k = K::key(t);
+    std::array<TermId, 3> kk = {std::get<0>(k), std::get<1>(k), std::get<2>(k)};
+    for (int i = 0; i < bound; ++i) {
+      if (kk[static_cast<std::size_t>(i)] != prefix[static_cast<std::size_t>(i)])
+        return kk[static_cast<std::size_t>(i)] < prefix[static_cast<std::size_t>(i)];
+    }
+    return true;  // equal prefix: still "less than end"
+  };
+  auto lo = std::partition_point(v.begin(), v.end(), cmp_lo);
+  auto hi = std::partition_point(lo, v.end(), cmp_hi);
+  const Triple* base = v.data();
+  return {base + (lo - v.begin()), base + (hi - v.begin())};
+}
+
+}  // namespace
+
+void GraphShard::add(const Triple& t) {
+  spo_.push_back(t);
+  dirty_ = true;
+}
+
+void GraphShard::finalize() {
+  if (!dirty_) return;
+  sort_index<KeySPO>(spo_);
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  sort_index<KeyPOS>(pos_);
+  osp_ = spo_;
+  sort_index<KeyOSP>(osp_);
+  dirty_ = false;
+}
+
+IndexOrder GraphShard::choose_index(const TriplePattern& q) {
+  const bool bs = !q.s.is_var;
+  const bool bp = !q.p.is_var;
+  const bool bo = !q.o.is_var;
+  if (bs) return IndexOrder::kSPO;            // s [p [o]] prefix
+  if (bp) return IndexOrder::kPOS;            // p [o] prefix
+  if (bo) return IndexOrder::kOSP;            // o prefix
+  return IndexOrder::kSPO;                    // full scan
+}
+
+template <typename Fn>
+void GraphShard::scan_impl(const TriplePattern& q, Fn&& fn) const {
+  assert(!dirty_ && "scan before finalize");
+  const bool bs = !q.s.is_var;
+  const bool bp = !q.p.is_var;
+  const bool bo = !q.o.is_var;
+
+  // Repeated-variable constraints, e.g. {?x ?p ?x}.
+  const bool same_sp = q.s.is_var && q.p.is_var && q.s.var == q.p.var;
+  const bool same_so = q.s.is_var && q.o.is_var && q.s.var == q.o.var;
+  const bool same_po = q.p.is_var && q.o.is_var && q.p.var == q.o.var;
+
+  auto emit = [&](const Triple& t) {
+    if (bs && t.s != q.s.constant) return;
+    if (bp && t.p != q.p.constant) return;
+    if (bo && t.o != q.o.constant) return;
+    if (same_sp && t.s != t.p) return;
+    if (same_so && t.s != t.o) return;
+    if (same_po && t.p != t.o) return;
+    fn(t);
+  };
+
+  const Triple* lo = nullptr;
+  const Triple* hi = nullptr;
+  switch (choose_index(q)) {
+    case IndexOrder::kSPO: {
+      int bound = bs ? (bp ? (bo ? 3 : 2) : 1) : 0;
+      std::tie(lo, hi) = prefix_range<KeySPO>(
+          spo_, {q.s.constant, q.p.constant, q.o.constant}, bound);
+      break;
+    }
+    case IndexOrder::kPOS: {
+      int bound = bo ? 2 : 1;
+      std::tie(lo, hi) = prefix_range<KeyPOS>(
+          pos_, {q.p.constant, q.o.constant, kInvalidTerm}, bound);
+      break;
+    }
+    case IndexOrder::kOSP: {
+      std::tie(lo, hi) =
+          prefix_range<KeyOSP>(osp_, {q.o.constant, kInvalidTerm, kInvalidTerm}, 1);
+      break;
+    }
+  }
+  for (const Triple* t = lo; t != hi; ++t) emit(*t);
+}
+
+void GraphShard::scan(const TriplePattern& pattern,
+                      const std::function<void(const Triple&)>& fn) const {
+  scan_impl(pattern, fn);
+}
+
+std::size_t GraphShard::count(const TriplePattern& pattern) const {
+  std::size_t n = 0;
+  scan_impl(pattern, [&n](const Triple&) { ++n; });
+  return n;
+}
+
+}  // namespace ids::graph

@@ -1,0 +1,59 @@
+#pragma once
+
+// One rank's shard of the triple store.
+//
+// Each shard keeps three sorted copies of its triples (SPO, POS, OSP) so
+// any pattern with at least one bound position resolves to a binary-search
+// range scan, the access-path structure CGE uses. Appends mark the shard
+// dirty; finalize() (re)builds the indexes, so ingest and query phases can
+// interleave — IDS supports adding data to a running instance (§2.3).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/triple.h"
+
+namespace ids::graph {
+
+/// Index orderings available in a shard.
+enum class IndexOrder { kSPO, kPOS, kOSP };
+
+class GraphShard {
+ public:
+  /// Appends a triple; the shard must be finalized (again) before scans.
+  void add(const Triple& t);
+
+  /// (Re)builds the three sorted indexes and deduplicates. No-op when the
+  /// shard is already clean.
+  void finalize();
+
+  bool finalized() const { return !dirty_; }
+  std::size_t size() const { return spo_.size(); }
+
+  /// Calls `fn` for every triple matching the constant positions of
+  /// `pattern` in this shard. Variables with the same name in two positions
+  /// are required to bind consistently (e.g. {?x, p, ?x}).
+  void scan(const TriplePattern& pattern,
+            const std::function<void(const Triple&)>& fn) const;
+
+  /// Number of matching triples (same semantics as scan).
+  std::size_t count(const TriplePattern& pattern) const;
+
+  /// Chooses the best index for a pattern; exposed for planner tests.
+  static IndexOrder choose_index(const TriplePattern& pattern);
+
+  /// Direct access for iteration-heavy consumers (read-only, post-finalize).
+  const std::vector<Triple>& spo() const { return spo_; }
+
+ private:
+  template <typename Fn>
+  void scan_impl(const TriplePattern& pattern, Fn&& fn) const;
+
+  std::vector<Triple> spo_;
+  std::vector<Triple> pos_;
+  std::vector<Triple> osp_;
+  bool dirty_ = true;
+};
+
+}  // namespace ids::graph

@@ -1,0 +1,108 @@
+#include "graph/solution.h"
+
+#include <cassert>
+
+namespace ids::graph {
+
+SolutionTable::SolutionTable(std::vector<std::string> id_vars,
+                             std::vector<std::string> num_vars)
+    : id_vars_(std::move(id_vars)),
+      num_vars_(std::move(num_vars)),
+      id_cols_(id_vars_.size()),
+      num_cols_(num_vars_.size()) {}
+
+int SolutionTable::id_var_index(std::string_view name) const {
+  for (std::size_t i = 0; i < id_vars_.size(); ++i) {
+    if (id_vars_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SolutionTable::num_var_index(std::string_view name) const {
+  for (std::size_t i = 0; i < num_vars_.size(); ++i) {
+    if (num_vars_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SolutionTable::reserve(std::size_t rows) {
+  for (auto& c : id_cols_) c.reserve(rows);
+  for (auto& c : num_cols_) c.reserve(rows);
+}
+
+void SolutionTable::append_row(std::span<const TermId> ids,
+                               std::span<const double> nums) {
+  assert(ids.size() == id_cols_.size());
+  assert(nums.size() == num_cols_.size() || (nums.empty() && num_cols_.empty()));
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) id_cols_[i].push_back(ids[i]);
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    num_cols_[i].push_back(i < nums.size() ? nums[i] : 0.0);
+  }
+}
+
+void SolutionTable::append_table(const SolutionTable& other) {
+  assert(same_schema(other));
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) {
+    id_cols_[i].insert(id_cols_[i].end(), other.id_cols_[i].begin(),
+                       other.id_cols_[i].end());
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    num_cols_[i].insert(num_cols_[i].end(), other.num_cols_[i].begin(),
+                        other.num_cols_[i].end());
+  }
+}
+
+void SolutionTable::append_row_from(const SolutionTable& other,
+                                    std::size_t row) {
+  assert(same_schema(other));
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) {
+    id_cols_[i].push_back(other.id_cols_[i][row]);
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    num_cols_[i].push_back(other.num_cols_[i][row]);
+  }
+}
+
+int SolutionTable::add_num_var(std::string name) {
+  assert(num_var_index(name) < 0 && "duplicate numeric variable");
+  num_vars_.push_back(std::move(name));
+  num_cols_.emplace_back(num_rows(), 0.0);
+  return static_cast<int>(num_vars_.size() - 1);
+}
+
+void SolutionTable::filter_rows(const std::vector<char>& keep) {
+  assert(keep.size() == num_rows());
+  auto compact = [&keep](auto& col) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (keep[r]) col[w++] = col[r];
+    }
+    col.resize(w);
+  };
+  for (auto& c : id_cols_) compact(c);
+  for (auto& c : num_cols_) compact(c);
+}
+
+void SolutionTable::truncate(std::size_t n) {
+  if (n >= num_rows()) return;
+  for (auto& c : id_cols_) c.resize(n);
+  for (auto& c : num_cols_) c.resize(n);
+}
+
+SolutionTable SolutionTable::take_rows(std::span<const std::size_t> rows) const {
+  SolutionTable out = empty_like();
+  out.reserve(rows.size());
+  for (std::size_t r : rows) out.append_row_from(*this, r);
+  return out;
+}
+
+SolutionTable SolutionTable::empty_like() const {
+  return SolutionTable(id_vars_, num_vars_);
+}
+
+void SolutionTable::clear() {
+  for (auto& c : id_cols_) c.clear();
+  for (auto& c : num_cols_) c.clear();
+}
+
+}  // namespace ids::graph

@@ -1,0 +1,107 @@
+#pragma once
+
+// Columnar solution tables.
+//
+// Intermediate query results ("solutions" in SPARQL terminology) bind
+// variables to term ids, plus optionally to computed numeric values (UDF
+// scores such as Smith-Waterman similarity or predicted binding affinity).
+// Tables are columnar: appends and scans over one variable are cache
+// friendly, and redistribution packs rows densely.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dictionary.h"
+
+namespace ids::graph {
+
+class SolutionTable {
+ public:
+  SolutionTable() = default;
+
+  /// Schema: named id-typed variables and named double-typed variables.
+  explicit SolutionTable(std::vector<std::string> id_vars,
+                         std::vector<std::string> num_vars = {});
+
+  const std::vector<std::string>& id_vars() const { return id_vars_; }
+  const std::vector<std::string>& num_vars() const { return num_vars_; }
+
+  /// Index of an id variable, or -1.
+  int id_var_index(std::string_view name) const;
+  /// Index of a numeric variable, or -1.
+  int num_var_index(std::string_view name) const;
+
+  std::size_t num_rows() const {
+    return id_cols_.empty() ? (num_cols_.empty() ? 0 : num_cols_[0].size())
+                            : id_cols_[0].size();
+  }
+
+  void reserve(std::size_t rows);
+
+  /// Appends one row; `ids` and `nums` must match the schema arity.
+  void append_row(std::span<const TermId> ids, std::span<const double> nums = {});
+
+  /// Appends all rows of `other` (same schema required).
+  void append_table(const SolutionTable& other);
+
+  /// Appends row `row` of `other` (same schema required).
+  void append_row_from(const SolutionTable& other, std::size_t row);
+
+  TermId id_at(std::size_t row, int var_idx) const {
+    return id_cols_[static_cast<std::size_t>(var_idx)][row];
+  }
+  double num_at(std::size_t row, int var_idx) const {
+    return num_cols_[static_cast<std::size_t>(var_idx)][row];
+  }
+
+  /// Full column access for tight loops.
+  const std::vector<TermId>& id_col(int var_idx) const {
+    return id_cols_[static_cast<std::size_t>(var_idx)];
+  }
+  const std::vector<double>& num_col(int var_idx) const {
+    return num_cols_[static_cast<std::size_t>(var_idx)];
+  }
+
+  /// Adds a new numeric column (filled with 0.0 for existing rows) and
+  /// returns its index; used when a FILTER stage materializes a score.
+  int add_num_var(std::string name);
+
+  void set_num(std::size_t row, int var_idx, double v) {
+    num_cols_[static_cast<std::size_t>(var_idx)][row] = v;
+  }
+
+  /// Keeps only the rows whose flag is true (stable). flags.size() must
+  /// equal num_rows().
+  void filter_rows(const std::vector<char>& keep);
+
+  /// Keeps only the first n rows (no-op if n >= num_rows()).
+  void truncate(std::size_t n);
+
+  /// Extracts the given rows into a new table with the same schema.
+  SolutionTable take_rows(std::span<const std::size_t> rows) const;
+
+  /// An empty table with the same schema.
+  SolutionTable empty_like() const;
+
+  void clear();
+
+  /// Modeled size of one row in bytes, for communication costing.
+  std::size_t row_bytes() const {
+    return id_vars_.size() * sizeof(TermId) + num_vars_.size() * sizeof(double);
+  }
+
+  bool same_schema(const SolutionTable& other) const {
+    return id_vars_ == other.id_vars_ && num_vars_ == other.num_vars_;
+  }
+
+ private:
+  std::vector<std::string> id_vars_;
+  std::vector<std::string> num_vars_;
+  std::vector<std::vector<TermId>> id_cols_;
+  std::vector<std::vector<double>> num_cols_;
+};
+
+}  // namespace ids::graph

@@ -1,0 +1,51 @@
+#pragma once
+
+// Core triple and pattern types.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/dictionary.h"
+
+namespace ids::graph {
+
+/// One RDF fact as dictionary-encoded ids.
+struct Triple {
+  TermId s = kInvalidTerm;
+  TermId p = kInvalidTerm;
+  TermId o = kInvalidTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// A pattern term: either a constant id or a named variable.
+struct PatternTerm {
+  bool is_var = false;
+  TermId constant = kInvalidTerm;  // when !is_var
+  std::string var;                 // when is_var
+
+  static PatternTerm Const(TermId id) {
+    PatternTerm t;
+    t.constant = id;
+    return t;
+  }
+  static PatternTerm Var(std::string name) {
+    PatternTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+};
+
+/// One basic graph pattern (subject, predicate, object), SPARQL-style.
+struct TriplePattern {
+  PatternTerm s, p, o;
+
+  /// Number of constant (bound) positions — a cheap selectivity proxy.
+  int bound_positions() const {
+    return (!s.is_var ? 1 : 0) + (!p.is_var ? 1 : 0) + (!o.is_var ? 1 : 0);
+  }
+};
+
+}  // namespace ids::graph

@@ -1,0 +1,40 @@
+#include "graph/triple_store.h"
+
+#include <cassert>
+
+namespace ids::graph {
+
+TripleStore::TripleStore(int num_shards)
+    : shards_(static_cast<std::size_t>(num_shards)) {
+  assert(num_shards > 0);
+}
+
+void TripleStore::add(std::string_view s, std::string_view p,
+                      std::string_view o) {
+  Triple t{dict_.intern(s), dict_.intern(p), dict_.intern(o)};
+  add_ids(t);
+}
+
+void TripleStore::add_ids(const Triple& t) {
+  shards_[static_cast<std::size_t>(shard_of_subject(t.s))].add(t);
+}
+
+void TripleStore::finalize() {
+  for (auto& s : shards_) s.finalize();
+}
+
+std::size_t TripleStore::total_triples() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+std::vector<Triple> TripleStore::match_all(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  for (const auto& s : shards_) {
+    s.scan(pattern, [&out](const Triple& t) { out.push_back(t); });
+  }
+  return out;
+}
+
+}  // namespace ids::graph

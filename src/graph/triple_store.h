@@ -1,0 +1,53 @@
+#pragma once
+
+// Hash-sharded distributed triple store.
+//
+// Triples are assigned to shards by a stable hash of the subject id, the
+// same per-rank data sharding CGE uses. One shard corresponds to one rank
+// of the simulated machine; the engine layer pairs shard i with rank i.
+
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "graph/dictionary.h"
+#include "graph/shard.h"
+
+namespace ids::graph {
+
+class TripleStore {
+ public:
+  explicit TripleStore(int num_shards);
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Interns the three terms and adds the triple to the owning shard.
+  void add(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Adds an already-encoded triple.
+  void add_ids(const Triple& t);
+
+  /// Finalizes every shard (sort + dedup). Must be called before scans.
+  void finalize();
+
+  const GraphShard& shard(int i) const { return shards_[static_cast<std::size_t>(i)]; }
+
+  /// Stable owner shard for a subject id.
+  int shard_of_subject(TermId s) const {
+    return static_cast<int>(mix64(s) % static_cast<std::uint64_t>(shards_.size()));
+  }
+
+  std::size_t total_triples() const;
+
+  /// Scans all shards; for tests and small tools, not the engine hot path.
+  std::vector<Triple> match_all(const TriplePattern& pattern) const;
+
+ private:
+  Dictionary dict_;
+  std::vector<GraphShard> shards_;
+};
+
+}  // namespace ids::graph

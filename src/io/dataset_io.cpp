@@ -1,0 +1,144 @@
+#include "io/dataset_io.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ids::io {
+
+namespace {
+
+/// Splits one triple line into three terms; literals may contain spaces.
+bool split_triple_line(std::string_view line, std::string out[3]) {
+  std::size_t pos = 0;
+  for (int t = 0; t < 3; ++t) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) return false;
+    if (line[pos] == '"') {
+      std::size_t end = line.find('"', pos + 1);
+      if (end == std::string_view::npos) return false;
+      out[t] = std::string(line.substr(pos, end - pos + 1));
+      pos = end + 1;
+    } else {
+      std::size_t end = line.find(' ', pos);
+      if (end == std::string_view::npos) end = line.size();
+      out[t] = std::string(line.substr(pos, end - pos));
+      pos = end;
+    }
+  }
+  // Optional trailing " ."
+  std::string_view rest = trim(line.substr(pos));
+  return rest.empty() || rest == ".";
+}
+
+}  // namespace
+
+Result<std::size_t> export_triples(const graph::TripleStore& store,
+                                   std::ostream& out) {
+  std::vector<graph::Triple> all = store.match_all(graph::TriplePattern{
+      graph::PatternTerm::Var("s"), graph::PatternTerm::Var("p"),
+      graph::PatternTerm::Var("o")});
+  std::sort(all.begin(), all.end(),
+            [](const graph::Triple& a, const graph::Triple& b) {
+              return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+            });
+  const auto& dict = store.dict();
+  for (const auto& t : all) {
+    out << dict.name(t.s) << ' ' << dict.name(t.p) << ' ' << dict.name(t.o)
+        << " .\n";
+  }
+  if (!out) return Status::Internal("triple export stream failure");
+  return all.size();
+}
+
+Result<std::size_t> import_triples(graph::TripleStore* store,
+                                   std::istream& in) {
+  std::string line;
+  std::size_t count = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::string terms[3];
+    if (!split_triple_line(trimmed, terms)) {
+      return Status::InvalidArgument("malformed triple at line " +
+                                     std::to_string(line_no));
+    }
+    store->add(terms[0], terms[1], terms[2]);
+    ++count;
+  }
+  return count;
+}
+
+Result<std::size_t> export_features(const store::FeatureStore& features,
+                                    const graph::Dictionary& dict,
+                                    std::ostream& out) {
+  std::vector<std::string> lines;
+  features.for_each([&](graph::TermId entity, std::string_view feature,
+                        const store::FeatureValue& value) {
+    std::string line = dict.name(entity);
+    line += '\t';
+    line += feature;
+    line += '\t';
+    if (const double* d = std::get_if<double>(&value)) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "f\t%.17g", *d);
+      line += buf;
+    } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value)) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "i\t%" PRId64, *i);
+      line += buf;
+    } else {
+      line += "s\t";
+      line += std::get<std::string>(value);
+    }
+    lines.push_back(std::move(line));
+  });
+  std::sort(lines.begin(), lines.end());
+  for (const auto& l : lines) out << l << '\n';
+  if (!out) return Status::Internal("feature export stream failure");
+  return lines.size();
+}
+
+Result<std::size_t> import_features(store::FeatureStore* features,
+                                    graph::Dictionary* dict,
+                                    std::istream& in) {
+  std::string line;
+  std::size_t count = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = split(line, '\t');
+    if (fields.size() != 4 || fields[2].size() != 1) {
+      return Status::InvalidArgument("malformed feature at line " +
+                                     std::to_string(line_no));
+    }
+    graph::TermId entity = dict->intern(fields[0]);
+    switch (fields[2][0]) {
+      case 'f':
+        features->set(entity, fields[1], std::strtod(fields[3].c_str(), nullptr));
+        break;
+      case 'i':
+        features->set(entity, fields[1],
+                      static_cast<std::int64_t>(
+                          std::strtoll(fields[3].c_str(), nullptr, 10)));
+        break;
+      case 's':
+        features->set(entity, fields[1], fields[3]);
+        break;
+      default:
+        return Status::InvalidArgument("unknown feature type at line " +
+                                       std::to_string(line_no));
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace ids::io

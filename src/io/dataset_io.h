@@ -1,0 +1,45 @@
+#pragma once
+
+// Dataset import/export.
+//
+// IDS's deployment story (§2.3) is "launch on your laptop and then
+// transition to a larger system using the same container" — which needs
+// datasets to move between instances. Two line-oriented text formats:
+//
+//   Triples  — N-Triples-flavoured: `<term> <term> <term> .` per line,
+//              where a term is either a compact IRI (no spaces) or a
+//              quoted literal. Comment lines start with '#'.
+//   Features — TSV: `entity <TAB> feature <TAB> {f|i|s} <TAB> value`.
+//
+// Exports are deterministic (sorted), so round-tripped files are
+// byte-comparable.
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "graph/triple_store.h"
+#include "store/feature_store.h"
+
+namespace ids::io {
+
+/// Writes every triple (sorted by id) as one line. Returns the count.
+Result<std::size_t> export_triples(const graph::TripleStore& store,
+                                   std::ostream& out);
+
+/// Reads triples into the store (does NOT finalize — callers batch).
+/// Fails on the first malformed line (message includes the line number).
+Result<std::size_t> import_triples(graph::TripleStore* store,
+                                   std::istream& in);
+
+/// Writes every (entity, feature, value) as a TSV line, sorted.
+Result<std::size_t> export_features(const store::FeatureStore& features,
+                                    const graph::Dictionary& dict,
+                                    std::ostream& out);
+
+/// Reads feature lines; entities are interned into `dict`.
+Result<std::size_t> import_features(store::FeatureStore* features,
+                                    graph::Dictionary* dict,
+                                    std::istream& in);
+
+}  // namespace ids::io

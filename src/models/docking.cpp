@@ -1,0 +1,191 @@
+#include "models/docking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace ids::models {
+
+double interaction_energy(const Molecule& receptor, const Molecule& ligand) {
+  double energy = 0.0;
+  for (const auto& ra : receptor.atoms) {
+    LjParams rl = lj_params(ra.element);
+    for (const auto& la : ligand.atoms) {
+      double dx = ra.x - la.x;
+      double dy = ra.y - la.y;
+      double dz = ra.z - la.z;
+      double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 > 64.0) continue;  // 8 A cutoff
+      r2 = std::max(r2, 0.25);  // clamp to avoid singularities
+      double r = std::sqrt(r2);
+
+      LjParams ll = lj_params(la.element);
+      double sigma = (rl.radius + ll.radius) * 0.5 * 1.78;
+      double eps = std::sqrt(static_cast<double>(rl.well_depth) *
+                             static_cast<double>(ll.well_depth));
+      double sr2 = (sigma * sigma) / r2;
+      double sr6 = sr2 * sr2 * sr2;
+      // 6-12 Lennard-Jones, softened on the repulsive side so clashes are
+      // steep but finite (Vina similarly caps steric terms).
+      double lj = 4.0 * eps * (sr6 * sr6 - sr6);
+      energy += std::min(lj, 10.0);
+
+      // Coulomb with distance-dependent dielectric (4r).
+      energy += 332.0 * ra.charge * la.charge / (4.0 * r2);
+
+      // Hydrogen-bond-flavoured term: N/O donor-acceptor pairs in the
+      // 2.6-3.4 A window get a bonus.
+      bool ra_polar = ra.element == Element::N || ra.element == Element::O;
+      bool la_polar = la.element == Element::N || la.element == Element::O;
+      if (ra_polar && la_polar && r > 2.4 && r < 3.6) {
+        double center = 3.0;
+        double w = 1.0 - std::abs(r - center) / 0.6;
+        if (w > 0.0) energy -= 1.6 * w;
+      }
+
+      // Hydrophobic contact (Vina's "hydrophobic" term): carbon-carbon
+      // pairs in van-der-Waals contact contribute a mild attraction.
+      if (ra.element == Element::C && la.element == Element::C && r > 3.2 &&
+          r < 5.0) {
+        energy -= 0.45 * (1.0 - (r - 3.2) / 1.8);
+      }
+    }
+  }
+  return energy;
+}
+
+DockingEngine::DockingEngine(Molecule receptor, DockingParams params)
+    : receptor_(std::move(receptor)), params_(params) {}
+
+DockingResult DockingEngine::dock(const Molecule& ligand,
+                                  std::uint64_t seed) const {
+  DockingResult result;
+  if (ligand.atoms.empty() || receptor_.atoms.empty()) return result;
+
+  const std::uint64_t pair_work =
+      static_cast<std::uint64_t>(ligand.atoms.size()) *
+      static_cast<std::uint64_t>(receptor_.atoms.size());
+
+  // Larger ligands have a larger pose space and need proportionally more
+  // Monte Carlo steps to converge (Vina's search effort likewise grows
+  // with ligand size/torsions). This is what makes docking cost strongly
+  // ligand-dependent — and the uncached Table 2 sweep superlinear once
+  // diverse, bigger compounds enter the candidate set.
+  const int steps =
+      static_cast<int>(params_.steps_per_run *
+                       std::max(1.0, static_cast<double>(ligand.atoms.size()) /
+                                         10.0));
+
+  Rng base_rng(hash_combine(fnv1a64(ligand.name), seed));
+
+  std::vector<double> mode_energies;
+  for (int run = 0; run < params_.exhaustiveness; ++run) {
+    Rng rng = base_rng.fork(static_cast<std::uint64_t>(run));
+
+    // Random initial placement inside the box.
+    Molecule pose = ligand;
+    pose.translate(rng.uniform(-params_.box_radius, params_.box_radius),
+                   rng.uniform(-params_.box_radius, params_.box_radius),
+                   rng.uniform(-params_.box_radius, params_.box_radius));
+    pose.rotate(rng.uniform(0.0, 6.2831853), rng.uniform(0.0, 6.2831853),
+                rng.uniform(0.0, 6.2831853));
+
+    double current = interaction_energy(receptor_, pose);
+    double best = current;
+    result.work_units += pair_work;
+
+    for (int step = 0; step < steps; ++step) {
+      double frac = static_cast<double>(step) / static_cast<double>(steps);
+      double temp = params_.temp_start *
+                    std::pow(params_.temp_end / params_.temp_start, frac);
+      double move_scale = 0.3 + 1.2 * (1.0 - frac);  // shrink moves as we cool
+
+      Molecule trial = pose;
+      if (rng.bernoulli(0.5)) {
+        trial.translate(rng.normal(0.0, move_scale),
+                        rng.normal(0.0, move_scale),
+                        rng.normal(0.0, move_scale));
+      } else {
+        trial.rotate(rng.normal(0.0, 0.35 * move_scale),
+                     rng.normal(0.0, 0.35 * move_scale),
+                     rng.normal(0.0, 0.35 * move_scale));
+      }
+      // Keep the pose inside the search box.
+      Vec3 c = trial.centroid();
+      if (std::abs(c.x) > params_.box_radius ||
+          std::abs(c.y) > params_.box_radius ||
+          std::abs(c.z) > params_.box_radius) {
+        continue;
+      }
+
+      double e = interaction_energy(receptor_, trial);
+      result.work_units += pair_work;
+      ++result.iterations;
+
+      if (e < current || rng.bernoulli(std::exp(-(e - current) / temp))) {
+        pose = std::move(trial);
+        current = e;
+        best = std::min(best, e);
+      }
+    }
+    mode_energies.push_back(best);
+  }
+
+  std::sort(mode_energies.begin(), mode_energies.end());
+  if (mode_energies.size() > static_cast<std::size_t>(params_.num_modes)) {
+    mode_energies.resize(static_cast<std::size_t>(params_.num_modes));
+  }
+  result.mode_energies = std::move(mode_energies);
+  result.best_energy = result.mode_energies.front();
+  return result;
+}
+
+DockingResult DockingEngine::dock_smiles(std::string_view smiles,
+                                         std::uint64_t seed) const {
+  return dock(ligand_from_smiles(smiles), seed);
+}
+
+std::string serialize(const DockingResult& r) {
+  std::string out;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", r.best_energy);
+  out += buf;
+  out += ';';
+  for (std::size_t i = 0; i < r.mode_energies.size(); ++i) {
+    if (i) out += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", r.mode_energies[i]);
+    out += buf;
+  }
+  out += ';';
+  out += std::to_string(r.work_units);
+  out += ';';
+  out += std::to_string(r.iterations);
+  return out;
+}
+
+bool deserialize(std::string_view text, DockingResult* out) {
+  auto parts = split(text, ';');
+  if (parts.size() != 4) return false;
+  DockingResult r;
+  char* end = nullptr;
+  r.best_energy = std::strtod(parts[0].c_str(), &end);
+  if (end == parts[0].c_str()) return false;
+  if (!parts[1].empty()) {
+    for (const auto& tok : split(parts[1], ',')) {
+      r.mode_energies.push_back(std::strtod(tok.c_str(), nullptr));
+    }
+  }
+  r.work_units = std::strtoull(parts[2].c_str(), nullptr, 10);
+  r.iterations = static_cast<std::uint32_t>(
+      std::strtoul(parts[3].c_str(), nullptr, 10));
+  *out = r;
+  return true;
+}
+
+}  // namespace ids::models

@@ -1,0 +1,63 @@
+#include "models/dtba.h"
+
+#include "common/hash.h"
+
+namespace ids::models {
+
+namespace {
+
+void add_kmer_features(std::string_view text, std::size_t k,
+                       std::vector<float>* out) {
+  if (text.size() < k) return;
+  for (std::size_t i = 0; i + k <= text.size(); ++i) {
+    std::uint64_t h = fnv1a64(text.substr(i, k));
+    (*out)[h % out->size()] += 1.0f;
+  }
+}
+
+}  // namespace
+
+std::vector<float> DtbaModel::protein_features(std::string_view seq) {
+  std::vector<float> f(kProteinDims, 0.0f);
+  add_kmer_features(seq, 3, &f);
+  l2_normalize(f);
+  return f;
+}
+
+std::vector<float> DtbaModel::ligand_features(std::string_view smiles) {
+  std::vector<float> f(kLigandDims, 0.0f);
+  add_kmer_features(smiles, 2, &f);
+  l2_normalize(f);
+  return f;
+}
+
+DtbaModel::DtbaModel(std::uint64_t weights_seed)
+    : w1_(Matrix::xavier(kHidden1, kProteinDims + kLigandDims,
+                         mix64(weights_seed))),
+      w2_(Matrix::xavier(kHidden2, kHidden1, mix64(weights_seed + 1))),
+      w3_(Matrix::xavier(1, kHidden2, mix64(weights_seed + 2))) {}
+
+DtbaModel::Prediction DtbaModel::predict(std::string_view protein_seq,
+                                         std::string_view smiles) const {
+  std::vector<float> x = protein_features(protein_seq);
+  std::vector<float> lig = ligand_features(smiles);
+  x.insert(x.end(), lig.begin(), lig.end());
+
+  std::vector<float> h1 = w1_.matvec(x);
+  relu_inplace(h1);
+  std::vector<float> h2 = w2_.matvec(h1);
+  relu_inplace(h2);
+  std::vector<float> y = w3_.matvec(h2);
+
+  Prediction p;
+  // Gain of 6 spreads raw activations across the pKd range.
+  p.affinity = 4.0 + 7.0 * static_cast<double>(sigmoid(6.0f * y[0]));
+  p.work_units =
+      static_cast<std::uint64_t>(w1_.rows() * w1_.cols() +
+                                 w2_.rows() * w2_.cols() +
+                                 w3_.rows() * w3_.cols()) +
+      static_cast<std::uint64_t>(protein_seq.size() + smiles.size());
+  return p;
+}
+
+}  // namespace ids::models

@@ -1,0 +1,53 @@
+#pragma once
+
+// Drug-Target Binding Affinity prediction (the DeepDTA stand-in, §5.1).
+//
+// Substitution note (DESIGN.md): the paper runs a TensorFlow DeepDTA model
+// that consumes a protein sequence and a SMILES string and predicts
+// binding affinity in tenths of a second per call. We reproduce the same
+// interface and computational shape with a deterministic MLP: hashed
+// k-mer features for the protein (character 3-mers) and the ligand
+// (character 2-grams), two hidden layers, and a sigmoid head scaled to a
+// pKd-like range. Weights come from a fixed seed — the stand-in for
+// "pre-trained" — so predictions are reproducible and consistent
+// (identical inputs always score identically, which the cache relies on).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "models/tensor.h"
+
+namespace ids::models {
+
+class DtbaModel {
+ public:
+  static constexpr std::uint64_t kPretrainedSeed = 0xD7BAul;
+  static constexpr std::size_t kProteinDims = 128;
+  static constexpr std::size_t kLigandDims = 64;
+  static constexpr std::size_t kHidden1 = 64;
+  static constexpr std::size_t kHidden2 = 16;
+
+  explicit DtbaModel(std::uint64_t weights_seed = kPretrainedSeed);
+
+  struct Prediction {
+    double affinity = 0.0;        // pKd-like, ~4 (weak) .. ~11 (strong)
+    std::uint64_t work_units = 0; // multiply-adds of the forward pass
+  };
+
+  /// Predicts binding affinity for (protein sequence, ligand SMILES).
+  Prediction predict(std::string_view protein_seq,
+                     std::string_view smiles) const;
+
+  /// Feature extraction, exposed for tests: hashed, L2-normalized k-mer
+  /// count vectors.
+  static std::vector<float> protein_features(std::string_view seq);
+  static std::vector<float> ligand_features(std::string_view smiles);
+
+ private:
+  Matrix w1_;  // (kHidden1) x (kProteinDims + kLigandDims)
+  Matrix w2_;  // (kHidden2) x (kHidden1)
+  Matrix w3_;  // 1 x kHidden2
+};
+
+}  // namespace ids::models

@@ -1,0 +1,164 @@
+#include "models/molecule.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ids::models {
+
+namespace {
+
+constexpr std::size_t kNumElements = static_cast<std::size_t>(Element::kCount);
+
+constexpr LjParams kLj[kNumElements] = {
+    {1.90f, 0.086f},  // C
+    {1.82f, 0.170f},  // N
+    {1.66f, 0.210f},  // O
+    {2.00f, 0.250f},  // S
+    {2.10f, 0.200f},  // P
+    {1.75f, 0.061f},  // F
+    {1.20f, 0.016f},  // H
+};
+
+constexpr float kCharge[kNumElements] = {
+    0.05f,   // C
+    -0.35f,  // N
+    -0.45f,  // O
+    -0.15f,  // S
+    0.30f,   // P
+    -0.20f,  // F
+    0.10f,   // H
+};
+
+constexpr double kAtomicWeight[kNumElements] = {
+    12.011, 14.007, 15.999, 32.06, 30.974, 18.998, 1.008,
+};
+
+}  // namespace
+
+LjParams lj_params(Element e) { return kLj[static_cast<std::size_t>(e)]; }
+
+float typical_charge(Element e) { return kCharge[static_cast<std::size_t>(e)]; }
+
+Vec3 Molecule::centroid() const {
+  Vec3 c;
+  if (atoms.empty()) return c;
+  for (const auto& a : atoms) {
+    c.x += a.x;
+    c.y += a.y;
+    c.z += a.z;
+  }
+  double n = static_cast<double>(atoms.size());
+  c.x /= n;
+  c.y /= n;
+  c.z /= n;
+  return c;
+}
+
+void Molecule::translate(double dx, double dy, double dz) {
+  for (auto& a : atoms) {
+    a.x += static_cast<float>(dx);
+    a.y += static_cast<float>(dy);
+    a.z += static_cast<float>(dz);
+  }
+}
+
+void Molecule::rotate(double rx, double ry, double rz) {
+  Vec3 c = centroid();
+  double cx = std::cos(rx), sx = std::sin(rx);
+  double cy = std::cos(ry), sy = std::sin(ry);
+  double cz = std::cos(rz), sz = std::sin(rz);
+  for (auto& a : atoms) {
+    double x = a.x - c.x;
+    double y = a.y - c.y;
+    double z = a.z - c.z;
+    // Rotate about X, then Y, then Z.
+    double y1 = y * cx - z * sx;
+    double z1 = y * sx + z * cx;
+    double x2 = x * cy + z1 * sy;
+    double z2 = -x * sy + z1 * cy;
+    double x3 = x2 * cz - y1 * sz;
+    double y3 = x2 * sz + y1 * cz;
+    a.x = static_cast<float>(x3 + c.x);
+    a.y = static_cast<float>(y3 + c.y);
+    a.z = static_cast<float>(z2 + c.z);
+  }
+}
+
+std::vector<Element> elements_from_smiles(std::string_view smiles) {
+  std::vector<Element> out;
+  for (char ch : smiles) {
+    switch (ch) {
+      case 'C': case 'c': out.push_back(Element::C); break;
+      case 'N': case 'n': out.push_back(Element::N); break;
+      case 'O': case 'o': out.push_back(Element::O); break;
+      case 'S': case 's': out.push_back(Element::S); break;
+      case 'P': case 'p': out.push_back(Element::P); break;
+      case 'F': case 'f': out.push_back(Element::F); break;
+      case 'H': out.push_back(Element::H); break;
+      default: break;  // bonds, rings, branches: geometry-only here
+    }
+  }
+  return out;
+}
+
+Molecule ligand_from_smiles(std::string_view smiles, std::uint64_t seed) {
+  Molecule m;
+  m.name = std::string(smiles);
+  auto elems = elements_from_smiles(smiles);
+  if (elems.empty()) return m;
+
+  Rng rng(hash_combine(fnv1a64(smiles), seed));
+  constexpr double kBond = 1.5;  // Angstrom
+
+  // Self-avoiding-ish chain walk: propose a bond direction, reject when it
+  // collides with an earlier atom (bounded retries keep it deterministic
+  // and total).
+  double px = 0.0, py = 0.0, pz = 0.0;
+  for (Element e : elems) {
+    double x = px, y = py, z = pz;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      double theta = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      double cphi = rng.uniform(-1.0, 1.0);
+      double sphi = std::sqrt(std::max(0.0, 1.0 - cphi * cphi));
+      x = px + kBond * sphi * std::cos(theta);
+      y = py + kBond * sphi * std::sin(theta);
+      z = pz + kBond * cphi;
+      bool clash = false;
+      for (const auto& a : m.atoms) {
+        double dx = a.x - x, dy = a.y - y, dz = a.z - z;
+        if (dx * dx + dy * dy + dz * dz < 1.2 * 1.2) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) break;
+    }
+    Atom a;
+    a.element = e;
+    a.x = static_cast<float>(x);
+    a.y = static_cast<float>(y);
+    a.z = static_cast<float>(z);
+    a.charge = typical_charge(e) +
+               static_cast<float>(rng.uniform(-0.05, 0.05));
+    m.atoms.push_back(a);
+    px = x;
+    py = y;
+    pz = z;
+  }
+
+  // Center at the origin so docking starts from a canonical placement.
+  Vec3 c = m.centroid();
+  m.translate(-c.x, -c.y, -c.z);
+  return m;
+}
+
+double molecular_weight(std::string_view smiles) {
+  double w = 0.0;
+  for (Element e : elements_from_smiles(smiles)) {
+    w += kAtomicWeight[static_cast<std::size_t>(e)];
+  }
+  return w;
+}
+
+}  // namespace ids::models

@@ -1,0 +1,76 @@
+#pragma once
+
+// Minimal 3D chemistry types shared by the docking engine, the structure
+// predictor, and the molecule generator.
+//
+// Substitution note (see DESIGN.md): the paper docks real PDB receptors
+// and ChEMBL ligands with AutoDock Vina. Without those inputs we build
+// deterministic synthetic 3D structures — ligands are embedded from our
+// SMILES-like strings by a seeded self-avoiding walk with chemically
+// plausible bond lengths; receptors come from the toy structure predictor.
+// What matters for the evaluation is preserved: molecule size drives
+// docking cost, and identical inputs yield identical poses/energies
+// (cacheability).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ids::models {
+
+/// Chemical elements we model, with Lennard-Jones-style parameters.
+enum class Element : std::uint8_t { C = 0, N, O, S, P, F, H, kCount };
+
+struct LjParams {
+  float radius = 1.7f;      // van der Waals radius, Angstrom
+  float well_depth = 0.1f;  // potential well depth, kcal/mol
+};
+
+/// Per-element LJ parameters (AMBER-like magnitudes).
+LjParams lj_params(Element e);
+
+/// Typical partial charge of an element in an organic molecule.
+float typical_charge(Element e);
+
+struct Atom {
+  Element element = Element::C;
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  float charge = 0.0f;
+};
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+struct Molecule {
+  std::string name;
+  std::vector<Atom> atoms;
+
+  std::size_t size() const { return atoms.size(); }
+  Vec3 centroid() const;
+  void translate(double dx, double dy, double dz);
+  /// Rotates around the centroid by Euler angles (radians).
+  void rotate(double rx, double ry, double rz);
+};
+
+/// Parses our SMILES-like strings: every letter is an atom (C/N/O/S/P/F,
+/// lowercase = aromatic treated the same); digits, brackets and bond
+/// symbols contribute to topology only implicitly. Returns the element
+/// sequence.
+std::vector<Element> elements_from_smiles(std::string_view smiles);
+
+/// Deterministically embeds a SMILES string into 3D: a seeded
+/// self-avoiding chain walk with ~1.5 A bonds. The same (smiles, seed)
+/// always produces the same coordinates.
+Molecule ligand_from_smiles(std::string_view smiles, std::uint64_t seed = 0);
+
+/// Approximate molecular weight from element counts (Daltons).
+double molecular_weight(std::string_view smiles);
+
+}  // namespace ids::models

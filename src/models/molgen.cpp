@@ -1,0 +1,80 @@
+#include "models/molgen.h"
+
+#include <cmath>
+#include <set>
+
+#include "models/molecule.h"
+
+namespace ids::models {
+
+namespace {
+
+std::string generate_once(Rng& rng, const MolGenParams& p) {
+  static const char kHetero[] = {'N', 'O', 'S', 'F'};
+  int n_atoms = static_cast<int>(
+      rng.uniform_int(p.min_atoms, p.max_atoms));
+  std::string s;
+  int open_branches = 0;
+  bool ring_open = false;
+  for (int i = 0; i < n_atoms; ++i) {
+    if (rng.bernoulli(p.hetero_prob)) {
+      s += kHetero[rng.next_below(4)];
+    } else {
+      s += rng.bernoulli(0.25) ? 'c' : 'C';  // aromatic or aliphatic carbon
+    }
+    if (i + 2 < n_atoms && rng.bernoulli(p.branch_prob)) {
+      s += '(';
+      ++open_branches;
+    } else if (open_branches > 0 && rng.bernoulli(0.3)) {
+      s += ')';
+      --open_branches;
+    }
+    if (!ring_open && i + 6 < n_atoms && rng.bernoulli(p.ring_prob)) {
+      s += '1';
+      ring_open = true;
+    } else if (ring_open && rng.bernoulli(0.15)) {
+      s += '1';
+      ring_open = false;
+    }
+    if (rng.bernoulli(0.1)) s += '=';  // occasional double bond
+  }
+  while (open_branches-- > 0) s += ')';
+  if (ring_open) s += '1';
+  return s;
+}
+
+}  // namespace
+
+std::string generate_smiles(Rng& rng, const MolGenParams& params) {
+  if (params.target_weight <= 0.0) return generate_once(rng, params);
+  std::string best = generate_once(rng, params);
+  double best_err = std::abs(molecular_weight(best) - params.target_weight);
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    if (best_err <= 0.2 * params.target_weight) break;
+    std::string cand = generate_once(rng, params);
+    double err = std::abs(molecular_weight(cand) - params.target_weight);
+    if (err < best_err) {
+      best = std::move(cand);
+      best_err = err;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> generate_library(std::size_t n, std::uint64_t seed,
+                                          const MolGenParams& params) {
+  Rng rng(seed);
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  // Bounded attempts guarantee termination even with tiny atom ranges.
+  std::size_t attempts = 0;
+  while (out.size() < n && attempts < n * 50 + 100) {
+    ++attempts;
+    std::string s = generate_smiles(rng, params);
+    if (seen.insert(s).second) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ids::models

@@ -1,0 +1,40 @@
+#pragma once
+
+// Toy generative molecule model (the MolGAN stand-in).
+//
+// Substitution note (DESIGN.md): the paper lists MolGAN among the AI
+// models IDS integrates for "what-could-be" queries. This generator emits
+// syntactically simple SMILES-like strings from a seeded grammar walk,
+// optionally conditioned on a target molecular weight — enough to drive
+// the generative leg of the example workflows (generate, then screen with
+// DTBA + docking).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ids::models {
+
+struct MolGenParams {
+  // Default size band keeps synthetic ligands in the drug-like range whose
+  // docking cost lands in the paper's 31-44 s/compound envelope.
+  int min_atoms = 14;
+  int max_atoms = 30;
+  double hetero_prob = 0.3;   // chance of a non-carbon atom
+  double branch_prob = 0.12;  // chance of opening a branch
+  double ring_prob = 0.08;    // chance of a ring digit pair
+  /// When > 0, rejection-sample until molecular weight is within 20% of
+  /// the target (bounded retries).
+  double target_weight = 0.0;
+};
+
+/// Generates one SMILES-like string. Deterministic in the RNG state.
+std::string generate_smiles(Rng& rng, const MolGenParams& params = {});
+
+/// Generates a library of n distinct molecules, deterministic in `seed`.
+std::vector<std::string> generate_library(std::size_t n, std::uint64_t seed,
+                                          const MolGenParams& params = {});
+
+}  // namespace ids::models

@@ -1,0 +1,18 @@
+#include "models/pic50.h"
+
+#include <cmath>
+
+namespace ids::models {
+
+std::optional<double> pic50_from_ic50_nm(double ic50_nm) {
+  if (!(ic50_nm > 0.0)) return std::nullopt;
+  // IC50 [M] = IC50 [nM] * 1e-9; pIC50 = -log10(IC50 [M]) = 9 - log10(nM).
+  return 9.0 - std::log10(ic50_nm);
+}
+
+bool is_potent(double ic50_nm, double pic50_threshold) {
+  auto p = pic50_from_ic50_nm(ic50_nm);
+  return p.has_value() && *p >= pic50_threshold;
+}
+
+}  // namespace ids::models

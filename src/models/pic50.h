@@ -1,0 +1,21 @@
+#pragma once
+
+// pIC50 computation.
+//
+// pIC50 = -log10(IC50 in molar) is the standard potency measure the
+// paper's inner FILTER uses ("filtering by ... pIC50"; footnote 1). It is
+// the cheapest UDF in the chain (the paper budgets 1e-5 s per call), so it
+// is also where the planner's cost-ascending reordering places it.
+
+#include <optional>
+
+namespace ids::models {
+
+/// Converts an IC50 in nanomolar to pIC50. 1 nM -> 9.0, 1 uM -> 6.0.
+/// Returns nullopt for non-positive inputs.
+std::optional<double> pic50_from_ic50_nm(double ic50_nm);
+
+/// True when the potency clears a drug-likeness bar (pIC50 >= threshold).
+bool is_potent(double ic50_nm, double pic50_threshold);
+
+}  // namespace ids::models

@@ -1,0 +1,135 @@
+#include "models/smith_waterman.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace ids::models {
+
+namespace {
+
+// BLOSUM62 over ARNDCQEGHILKMFPSTWYV (standard published matrix).
+constexpr int kB62[20][20] = {
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    {  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0},  // A
+    { -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3},  // R
+    { -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3},  // N
+    { -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3},  // D
+    {  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1},  // C
+    { -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2},  // Q
+    { -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2},  // E
+    {  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3},  // G
+    { -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3},  // H
+    { -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3},  // I
+    { -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1},  // L
+    { -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2},  // K
+    { -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1},  // M
+    { -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1},  // F
+    { -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2},  // P
+    {  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2},  // S
+    {  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0},  // T
+    { -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3},  // W
+    { -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -2},  // Y
+    {  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -2,  4},  // V
+};
+
+constexpr std::array<int, 256> build_residue_table() {
+  std::array<int, 256> t{};
+  for (auto& v : t) v = -1;
+  for (std::size_t i = 0; i < kAminoAcids.size(); ++i) {
+    t[static_cast<unsigned char>(kAminoAcids[i])] = static_cast<int>(i);
+    // Lowercase letters map too.
+    t[static_cast<unsigned char>(kAminoAcids[i] + 32)] = static_cast<int>(i);
+  }
+  return t;
+}
+
+constexpr std::array<int, 256> kResidueTable = build_residue_table();
+
+}  // namespace
+
+int residue_index(char c) { return kResidueTable[static_cast<unsigned char>(c)]; }
+
+int blosum62(char a, char b) {
+  int ia = residue_index(a);
+  int ib = residue_index(b);
+  if (ia < 0 || ib < 0) return -4;
+  return kB62[ia][ib];
+}
+
+SwResult smith_waterman(std::string_view a, std::string_view b,
+                        const SwParams& params) {
+  SwResult result;
+  const int m = static_cast<int>(a.size());
+  const int n = static_cast<int>(b.size());
+  if (m == 0 || n == 0) return result;
+
+  // Gotoh affine-gap DP over int32 rows:
+  //   H[i][j] = best score of local alignment ending at (i, j)
+  //   E[i][j] = best ending with a gap in a (horizontal)
+  //   F[i][j] = best ending with a gap in b (vertical)
+  // Rolling single-row arrays; contiguous int32 keeps the inner loop
+  // branch-light and autovectorizable.
+  const int go = params.gap_open;
+  const int ge = params.gap_extend;
+
+  std::vector<int> h(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> e(static_cast<std::size_t>(n) + 1, 0);
+
+  // Precompute the residue row of the substitution matrix for a[i].
+  std::vector<int> b_idx(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) b_idx[static_cast<std::size_t>(j)] = residue_index(b[static_cast<std::size_t>(j)]);
+
+  int best = 0;
+  int best_i = 0;
+  int best_j = 0;
+  for (int i = 0; i < m; ++i) {
+    int ia = residue_index(a[static_cast<std::size_t>(i)]);
+    const int* row = (ia >= 0) ? kB62[ia] : nullptr;
+    int f = 0;
+    int h_diag = 0;  // H[i-1][j-1]
+    for (int j = 1; j <= n; ++j) {
+      auto ju = static_cast<std::size_t>(j);
+      int sub = (row && b_idx[ju - 1] >= 0) ? row[b_idx[ju - 1]] : -4;
+      int score = h_diag + sub;
+      h_diag = h[ju];
+
+      e[ju] = std::max(e[ju] - ge, h[ju] - go - ge);
+      f = std::max(f - ge, h[ju - 1] - go - ge);
+
+      int v = std::max({0, score, e[ju], f});
+      h[ju] = v;
+      if (v > best) {
+        best = v;
+        best_i = i + 1;
+        best_j = j;
+      }
+    }
+  }
+
+  result.score = best;
+  result.end_a = best_i;
+  result.end_b = best_j;
+  result.cells = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
+  return result;
+}
+
+int self_score(std::string_view a) {
+  int s = 0;
+  for (char c : a) s += blosum62(c, c);
+  return s;
+}
+
+double normalized_similarity(std::string_view a, std::string_view b,
+                             const SwParams& params) {
+  if (a.empty() || b.empty()) return 0.0;
+  int sa = self_score(a);
+  int sb = self_score(b);
+  if (sa <= 0 || sb <= 0) return 0.0;
+  SwResult r = smith_waterman(a, b, params);
+  double denom = std::sqrt(static_cast<double>(sa) * static_cast<double>(sb));
+  double sim = static_cast<double>(r.score) / denom;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+}  // namespace ids::models

@@ -1,0 +1,54 @@
+#pragma once
+
+// Smith–Waterman local sequence alignment with affine gaps (Gotoh).
+//
+// The paper filters ~66M UniProt sequences against the target protein
+// P29274 using the SSW SIMD Smith-Waterman library at <1 ms per
+// comparison. This is a faithful reimplementation of the algorithm itself
+// (BLOSUM62 scoring, affine gap penalties, O(mn) anti-diagonal-friendly
+// inner loop over int16 rows that GCC autovectorizes); only the SIMD
+// intrinsics of SSW are substituted by portable code.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ids::models {
+
+/// Standard one-letter amino-acid alphabet used across the repo.
+inline constexpr std::string_view kAminoAcids = "ARNDCQEGHILKMFPSTWYV";
+
+/// Maps a residue letter to its alphabet index (0..19), or -1.
+int residue_index(char c);
+
+/// BLOSUM62 substitution score for two residue letters (unknown letters
+/// score as mismatch -4).
+int blosum62(char a, char b);
+
+struct SwParams {
+  int gap_open = 11;    // affine gap: cost of opening
+  int gap_extend = 1;   // cost of each extension
+};
+
+struct SwResult {
+  int score = 0;           // raw Smith-Waterman local alignment score
+  int end_a = 0;           // alignment end position in a (exclusive)
+  int end_b = 0;           // alignment end position in b (exclusive)
+  std::uint64_t cells = 0; // DP cells computed (work units for costing)
+};
+
+/// Computes the best local alignment score of a vs b.
+SwResult smith_waterman(std::string_view a, std::string_view b,
+                        const SwParams& params = {});
+
+/// Self-alignment score (sum of diagonal substitution scores) — the
+/// normalization denominator.
+int self_score(std::string_view a);
+
+/// Normalized similarity in [0, 1]: score / sqrt(self(a) * self(b)).
+/// Symmetric, and 1.0 exactly for identical sequences.
+double normalized_similarity(std::string_view a, std::string_view b,
+                             const SwParams& params = {});
+
+}  // namespace ids::models

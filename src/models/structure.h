@@ -1,0 +1,48 @@
+#pragma once
+
+// Toy protein structure predictor (the AlphaFold stand-in).
+//
+// Substitution note (DESIGN.md): the paper retrieves/predicts 3D protein
+// structures (PDB, AlphaFold) to dock against. Here, secondary structure
+// is assigned from classical single-residue propensities (Chou-Fasman
+// style), and a CA trace is laid out with helix / strand / coil geometry.
+// The output is deterministic in the sequence, provides per-residue
+// confidence (a pLDDT-like score), and yields a receptor pocket for the
+// docking engine — everything the downstream pipeline consumes.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "models/molecule.h"
+
+namespace ids::models {
+
+enum class SecondaryStructure : std::uint8_t { kHelix, kSheet, kCoil };
+
+struct ResidueCoord {
+  char residue = 'A';
+  SecondaryStructure ss = SecondaryStructure::kCoil;
+  float x = 0.0f, y = 0.0f, z = 0.0f;
+  float confidence = 0.0f;  // pLDDT-like, 0..100
+};
+
+struct PredictedStructure {
+  std::vector<ResidueCoord> ca_trace;
+  double mean_confidence = 0.0;
+  std::uint64_t work_units = 0;  // for cost modeling
+};
+
+/// Per-residue helix/sheet propensity classification (exposed for tests).
+SecondaryStructure residue_propensity(char residue);
+
+/// Predicts a CA trace for the sequence. Deterministic.
+PredictedStructure predict_structure(std::string_view sequence);
+
+/// Builds a docking receptor from a predicted structure: pseudo-atoms for
+/// the `pocket_residues` residues nearest the structure centroid (the
+/// "binding pocket"), centered at the origin.
+Molecule receptor_from_structure(const PredictedStructure& s,
+                                 std::size_t pocket_residues = 48);
+
+}  // namespace ids::models

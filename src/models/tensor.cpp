@@ -1,0 +1,37 @@
+#include "models/tensor.h"
+
+#include <cassert>
+
+namespace ids::models {
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (auto& x : m.data_) {
+    x = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return m;
+}
+
+std::vector<float> Matrix::matvec(std::span<const float> x) const {
+  assert(x.size() == cols_);
+  std::vector<float> y(rows_, 0.0f);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* w = data_.data() + r * cols_;
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < cols_; ++c) acc += w[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+void l2_normalize(std::vector<float>& v) {
+  float n = 0.0f;
+  for (float x : v) n += x * x;
+  if (n <= 0.0f) return;
+  n = std::sqrt(n);
+  for (float& x : v) x /= n;
+}
+
+}  // namespace ids::models

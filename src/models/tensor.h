@@ -1,0 +1,56 @@
+#pragma once
+
+// Minimal dense tensor kernels for the DTBA network.
+//
+// Just enough linear algebra for a deterministic MLP forward pass: a
+// row-major matrix with seeded Xavier-style init, matrix-vector products,
+// and elementwise activations. No autograd — the model is "pre-trained"
+// (fixed seeded weights; see dtba.h).
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ids::models {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Xavier-uniform initialized matrix, deterministic in `seed`.
+  static Matrix xavier(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<const float> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = W x (rows() outputs from cols() inputs).
+  std::vector<float> matvec(std::span<const float> x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+inline void relu_inplace(std::vector<float>& v) {
+  for (float& x : v) x = x > 0.0f ? x : 0.0f;
+}
+
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+/// v /= ||v||_2 (no-op on the zero vector).
+void l2_normalize(std::vector<float>& v);
+
+}  // namespace ids::models

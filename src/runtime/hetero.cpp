@@ -1,0 +1,40 @@
+#include "runtime/hetero.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ids::runtime {
+
+HeteroProfile HeteroProfile::uniform(int num_ranks, double s) {
+  return HeteroProfile(std::vector<double>(static_cast<std::size_t>(num_ranks), s));
+}
+
+HeteroProfile HeteroProfile::groups(
+    const std::vector<std::pair<int, double>>& blocks) {
+  std::vector<double> speed;
+  for (const auto& [count, s] : blocks) {
+    speed.insert(speed.end(), static_cast<std::size_t>(count), s);
+  }
+  return HeteroProfile(std::move(speed));
+}
+
+HeteroProfile HeteroProfile::random(int num_ranks, double lo, double hi,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> speed(static_cast<std::size_t>(num_ranks));
+  for (auto& s : speed) s = rng.uniform(lo, hi);
+  return HeteroProfile(std::move(speed));
+}
+
+double HeteroProfile::min_speed() const {
+  if (speed_.empty()) return 1.0;
+  return *std::min_element(speed_.begin(), speed_.end());
+}
+
+double HeteroProfile::max_speed() const {
+  if (speed_.empty()) return 1.0;
+  return *std::max_element(speed_.begin(), speed_.end());
+}
+
+}  // namespace ids::runtime

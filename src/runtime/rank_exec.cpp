@@ -1,0 +1,17 @@
+#include "runtime/rank_exec.h"
+
+#include "common/thread_pool.h"
+
+namespace ids::runtime {
+
+void for_each_rank(int num_ranks, const std::function<void(int)>& fn) {
+  ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(num_ranks),
+      [&fn](std::size_t i) { fn(static_cast<int>(i)); });
+}
+
+void for_each_rank_serial(int num_ranks, const std::function<void(int)>& fn) {
+  for (int r = 0; r < num_ranks; ++r) fn(r);
+}
+
+}  // namespace ids::runtime

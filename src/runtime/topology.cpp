@@ -1,0 +1,29 @@
+#include "runtime/topology.h"
+
+namespace ids::runtime {
+
+Topology Topology::cray_ex(int nodes) {
+  Topology t;
+  t.num_nodes = nodes;
+  t.ranks_per_node = 32;  // the paper's runs use 32 ranks/node
+  // Defaults in FabricParams already model a Slingshot-class network.
+  return t;
+}
+
+Topology Topology::cache_testbed(int compute_nodes, int memory_nodes) {
+  Topology t;
+  t.num_nodes = compute_nodes;
+  t.ranks_per_node = 64;  // dual-socket EPYC 7763: one rank per core pair
+  t.num_memory_nodes = memory_nodes;
+  t.fabric.inter_node.bytes_per_second = 25.0e9;  // Slingshot 25 GB/s
+  return t;
+}
+
+Topology Topology::laptop(int ranks) {
+  Topology t;
+  t.num_nodes = 1;
+  t.ranks_per_node = ranks;
+  return t;
+}
+
+}  // namespace ids::runtime

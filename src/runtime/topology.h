@@ -1,0 +1,56 @@
+#pragma once
+
+// Machine topology: how ranks map onto nodes and which link model connects
+// any two ranks.
+//
+// The paper's scaling experiments use 64/128/256 compute nodes with 32
+// ranks per node (2048/4096/8192 ranks) on Slingshot; the cache testbed
+// uses 52 nodes (compute + dedicated memory nodes). A Topology instance
+// captures exactly those parameters and nothing more — actual placement of
+// data and work is decided by the layers above.
+
+#include <cassert>
+
+#include "sim/fabric.h"
+
+namespace ids::runtime {
+
+struct Topology {
+  int num_nodes = 1;        // compute nodes hosting IDS ranks
+  int ranks_per_node = 1;   // MPI ranks per compute node
+  int num_memory_nodes = 0; // dedicated memory-server nodes (cache only)
+  sim::FabricParams fabric;
+
+  int num_ranks() const { return num_nodes * ranks_per_node; }
+
+  int node_of_rank(int rank) const {
+    assert(rank >= 0 && rank < num_ranks());
+    return rank / ranks_per_node;
+  }
+
+  bool same_node(int rank_a, int rank_b) const {
+    return node_of_rank(rank_a) == node_of_rank(rank_b);
+  }
+
+  /// Link model between two ranks (intra- vs inter-node).
+  const sim::LinkModel& link(int from_rank, int to_rank) const {
+    return same_node(from_rank, to_rank) ? fabric.intra_node
+                                         : fabric.inter_node;
+  }
+
+  /// Total node count including memory servers (used by the cache layer).
+  int total_nodes() const { return num_nodes + num_memory_nodes; }
+
+  /// The paper's Cray EX scaling configuration at the given node count
+  /// (32 ranks per node, Slingshot-class fabric).
+  static Topology cray_ex(int nodes);
+
+  /// The paper's 52-node cache testbed shape, scaled to the given number of
+  /// compute and memory nodes (64-core EPYC nodes, 25 GB/s Slingshot).
+  static Topology cache_testbed(int compute_nodes, int memory_nodes);
+
+  /// A laptop-scale topology for examples and tests.
+  static Topology laptop(int ranks = 4);
+};
+
+}  // namespace ids::runtime

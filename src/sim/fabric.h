@@ -1,0 +1,40 @@
+#pragma once
+
+// Interconnect cost model.
+//
+// The paper's systems use HPE Slingshot (25 GB/s per-node injection on the
+// 52-node cache testbed). We model every transfer as latency + size /
+// bandwidth — the standard alpha-beta (Hockney) model — with separate
+// parameters for intra-node (shared memory), inter-node (fabric), and
+// storage (Lustre/DAOS backing) paths. These parameters are the calibration
+// surface for matching the paper's measured magnitudes.
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ids::sim {
+
+/// Alpha-beta link model: cost(bytes) = latency + bytes / bandwidth.
+struct LinkModel {
+  Nanos latency = 0;                 // per-message startup (alpha)
+  double bytes_per_second = 1.0e9;   // sustained bandwidth (1/beta)
+
+  Nanos transfer_cost(std::uint64_t bytes) const {
+    double secs = static_cast<double>(bytes) / bytes_per_second;
+    return latency + from_seconds(secs);
+  }
+};
+
+/// Fabric parameters for a whole machine. Defaults approximate the paper's
+/// testbeds: Slingshot-class fabric (sub-2us latency, 25 GB/s), DDR-class
+/// intra-node copies, NVMe-class local SSDs, and a Lustre-class backing
+/// store whose effective per-client bandwidth is far below the fabric.
+struct FabricParams {
+  LinkModel intra_node{from_micros(0.3), 80.0e9};
+  LinkModel inter_node{from_micros(1.8), 25.0e9};
+  LinkModel local_ssd{from_micros(90.0), 3.0e9};
+  LinkModel backing_store{from_millis(4.0), 1.2e9};
+};
+
+}  // namespace ids::sim

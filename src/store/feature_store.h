@@ -1,0 +1,84 @@
+#pragma once
+
+// Feature store: typed per-entity attributes.
+//
+// One third of the paper's "3-in-1" datastore. Entities are dictionary
+// term ids shared with the knowledge graph; features hold the payloads
+// UDFs consume — protein sequences, SMILES strings, IC50 measurements,
+// review flags. Sharded by entity id with the same hash as the triple
+// store so an entity's triples and features live on the same rank.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "graph/dictionary.h"
+
+namespace ids::store {
+
+using FeatureValue = std::variant<double, std::int64_t, std::string>;
+
+class FeatureStore {
+ public:
+  explicit FeatureStore(int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  int shard_of(graph::TermId entity) const {
+    return static_cast<int>(mix64(entity) %
+                            static_cast<std::uint64_t>(shards_.size()));
+  }
+
+  /// Sets (or overwrites) one feature of an entity.
+  void set(graph::TermId entity, std::string_view feature, FeatureValue value);
+
+  /// Returns the value if present. Pointer is invalidated by writes.
+  const FeatureValue* get(graph::TermId entity, std::string_view feature) const;
+
+  /// Typed accessors; return nullopt on missing feature or wrong type.
+  std::optional<double> get_double(graph::TermId entity,
+                                   std::string_view feature) const;
+  std::optional<std::int64_t> get_int(graph::TermId entity,
+                                      std::string_view feature) const;
+  /// Returned view is invalidated by writes to the same entity.
+  std::optional<std::string_view> get_string(graph::TermId entity,
+                                             std::string_view feature) const;
+
+  /// Total number of (entity, feature) pairs stored.
+  std::size_t size() const;
+
+  /// Visits every (entity, feature name, value) pair. Shard-then-insertion
+  /// order within a shard is unspecified; callers needing determinism sort.
+  void for_each(const std::function<void(graph::TermId, std::string_view,
+                                         const FeatureValue&)>& fn) const;
+
+  /// Modeled bytes of one feature value, for cache/communication costing.
+  static std::size_t value_bytes(const FeatureValue& v);
+
+ private:
+  using FeatureId = std::uint32_t;
+
+  struct Entry {
+    FeatureId feature;
+    FeatureValue value;
+  };
+  struct Shard {
+    // Entities carry a handful of features; a small vector beats a nested map.
+    std::unordered_map<graph::TermId, std::vector<Entry>> entities;
+    std::size_t pair_count = 0;
+  };
+
+  FeatureId intern_feature(std::string_view name);
+  std::optional<FeatureId> lookup_feature(std::string_view name) const;
+
+  std::vector<Shard> shards_;
+  std::unordered_map<std::string, FeatureId> feature_ids_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace ids::store

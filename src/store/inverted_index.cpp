@@ -1,0 +1,91 @@
+#include "store/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ids::store {
+
+std::vector<std::string> InvertedIndex::tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void InvertedIndex::add_document(graph::TermId entity, std::string_view text) {
+  for (auto& tok : tokenize(text)) {
+    postings_[tok].push_back(entity);
+  }
+  ++documents_;
+  prepared_ = false;
+}
+
+void InvertedIndex::ensure_prepared() const {
+  if (prepared_) return;
+  for (auto& [tok, list] : postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  prepared_ = true;
+}
+
+const std::vector<graph::TermId>* InvertedIndex::posting(
+    std::string_view token) const {
+  ensure_prepared();
+  auto it = postings_.find(to_lower(token));
+  if (it == postings_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<graph::TermId> InvertedIndex::search_and(
+    const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return {};
+  // Intersect smallest-first to keep intermediate results minimal.
+  std::vector<const std::vector<graph::TermId>*> lists;
+  for (const auto& t : tokens) {
+    const auto* p = posting(t);
+    if (!p) return {};
+    lists.push_back(p);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<graph::TermId> acc = *lists[0];
+  for (std::size_t i = 1; i < lists.size() && !acc.empty(); ++i) {
+    std::vector<graph::TermId> next;
+    std::set_intersection(acc.begin(), acc.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+std::vector<graph::TermId> InvertedIndex::search_or(
+    const std::vector<std::string>& tokens) const {
+  std::vector<graph::TermId> acc;
+  for (const auto& t : tokens) {
+    const auto* p = posting(t);
+    if (!p) continue;
+    std::vector<graph::TermId> next;
+    std::set_union(acc.begin(), acc.end(), p->begin(), p->end(),
+                   std::back_inserter(next));
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+std::size_t InvertedIndex::posting_size(std::string_view token) const {
+  const auto* p = posting(token);
+  return p ? p->size() : 0;
+}
+
+}  // namespace ids::store

@@ -1,0 +1,53 @@
+#pragma once
+
+// Keyword search: a classic inverted index over entity-attached text.
+//
+// The keyword leg of the paper's unified query engine. Documents are
+// free-text blobs attached to entity term ids (names, descriptions,
+// annotations); queries are conjunctions/disjunctions of tokens resolved
+// by posting-list intersection/union.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dictionary.h"
+
+namespace ids::store {
+
+class InvertedIndex {
+ public:
+  /// Tokenizes `text` (lowercased alnum runs) and indexes every token for
+  /// `entity`. May be called repeatedly per entity.
+  void add_document(graph::TermId entity, std::string_view text);
+
+  /// Entities whose documents contain ALL of the tokens. Sorted ascending.
+  std::vector<graph::TermId> search_and(
+      const std::vector<std::string>& tokens) const;
+
+  /// Entities whose documents contain ANY of the tokens. Sorted ascending.
+  std::vector<graph::TermId> search_or(
+      const std::vector<std::string>& tokens) const;
+
+  /// Posting-list length of a token (0 if absent) — selectivity estimate.
+  std::size_t posting_size(std::string_view token) const;
+
+  std::size_t num_tokens() const { return postings_.size(); }
+  std::size_t num_documents() const { return documents_; }
+
+  /// Exposed for tests: the tokenizer used by add_document.
+  static std::vector<std::string> tokenize(std::string_view text);
+
+ private:
+  const std::vector<graph::TermId>* posting(std::string_view token) const;
+  /// Sorts and dedups all posting lists; done lazily before reads.
+  void ensure_prepared() const;
+
+  mutable std::unordered_map<std::string, std::vector<graph::TermId>> postings_;
+  mutable bool prepared_ = true;
+  std::size_t documents_ = 0;
+};
+
+}  // namespace ids::store

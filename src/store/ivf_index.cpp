@@ -1,0 +1,144 @@
+#include "store/ivf_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace ids::store {
+
+namespace {
+
+float l2sq(std::span<const float> a, std::span<const float> b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+IvfIndex::IvfIndex(const VectorStore& store, int shard, Params params)
+    : store_(store), shard_(shard), dim_(store.dim()) {
+  const std::size_t n = store.shard_size(shard);
+  const int kc = std::max(1, std::min<int>(params.num_clusters,
+                                           static_cast<int>(n > 0 ? n : 1)));
+
+  // Initialize centroids from evenly spaced, deterministic samples.
+  Rng rng(params.seed);
+  centroids_.assign(static_cast<std::size_t>(kc),
+                    std::vector<float>(static_cast<std::size_t>(dim_), 0.0f));
+  if (n == 0) {
+    members_.assign(static_cast<std::size_t>(kc), {});
+    return;
+  }
+  for (int c = 0; c < kc; ++c) {
+    std::size_t pick = (n * static_cast<std::size_t>(c)) / static_cast<std::size_t>(kc);
+    auto v = store.shard_vector(shard, pick);
+    std::copy(v.begin(), v.end(), centroids_[static_cast<std::size_t>(c)].begin());
+  }
+
+  std::vector<int> assign(n, 0);
+  for (int iter = 0; iter < params.kmeans_iters; ++iter) {
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      auto v = store.shard_vector(shard, i);
+      float best = std::numeric_limits<float>::max();
+      int best_c = 0;
+      for (int c = 0; c < kc; ++c) {
+        float d = l2sq(v, centroids_[static_cast<std::size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assign[i] = best_c;
+    }
+    // Update step.
+    std::vector<std::vector<float>> sums(
+        static_cast<std::size_t>(kc),
+        std::vector<float>(static_cast<std::size_t>(dim_), 0.0f));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(kc), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto v = store.shard_vector(shard, i);
+      auto c = static_cast<std::size_t>(assign[i]);
+      for (int d = 0; d < dim_; ++d) sums[c][static_cast<std::size_t>(d)] += v[static_cast<std::size_t>(d)];
+      ++counts[c];
+    }
+    for (int c = 0; c < kc; ++c) {
+      auto cc = static_cast<std::size_t>(c);
+      if (counts[cc] == 0) {
+        // Re-seed an empty cluster with a deterministic random point.
+        std::size_t pick = rng.next_below(n);
+        auto v = store.shard_vector(shard, pick);
+        std::copy(v.begin(), v.end(), centroids_[cc].begin());
+        continue;
+      }
+      for (int d = 0; d < dim_; ++d) {
+        centroids_[cc][static_cast<std::size_t>(d)] =
+            sums[cc][static_cast<std::size_t>(d)] /
+            static_cast<float>(counts[cc]);
+      }
+    }
+  }
+
+  members_.assign(static_cast<std::size_t>(kc), {});
+  for (std::size_t i = 0; i < n; ++i) {
+    members_[static_cast<std::size_t>(assign[i])].push_back(i);
+  }
+}
+
+std::vector<VectorHit> IvfIndex::topk(std::span<const float> query,
+                                      std::size_t k, Metric metric,
+                                      int nprobe) const {
+  const int kc = num_clusters();
+  nprobe = std::max(1, std::min(nprobe, kc));
+
+  // Rank clusters by centroid distance to the query.
+  std::vector<std::pair<float, int>> order;
+  order.reserve(static_cast<std::size_t>(kc));
+  for (int c = 0; c < kc; ++c) {
+    order.emplace_back(l2sq(query, centroids_[static_cast<std::size_t>(c)]), c);
+  }
+  std::sort(order.begin(), order.end());
+
+  std::vector<VectorHit> hits;
+  auto ids = store_.shard_ids(shard_);
+  for (int p = 0; p < nprobe; ++p) {
+    for (std::size_t idx : members_[static_cast<std::size_t>(order[static_cast<std::size_t>(p)].second)]) {
+      auto v = store_.shard_vector(shard_, idx);
+      hits.push_back(
+          VectorHit{ids[idx], VectorStore::similarity(query, v, metric)});
+    }
+  }
+  auto better = [](const VectorHit& a, const VectorHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::sort(hits.begin(), hits.end(), better);
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+double IvfIndex::scan_fraction(int nprobe) const {
+  const int kc = num_clusters();
+  nprobe = std::max(1, std::min(nprobe, kc));
+  std::size_t total = 0;
+  for (const auto& m : members_) total += m.size();
+  if (total == 0) return 0.0;
+  // Average over cluster sizes: assume probes hit average-sized clusters.
+  return static_cast<double>(nprobe) / static_cast<double>(kc);
+}
+
+std::uint64_t IvfIndex::work_units(int nprobe) const {
+  std::size_t total = 0;
+  for (const auto& m : members_) total += m.size();
+  return static_cast<std::uint64_t>(
+      scan_fraction(nprobe) * static_cast<double>(total) *
+      static_cast<double>(dim_));
+}
+
+}  // namespace ids::store

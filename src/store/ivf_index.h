@@ -1,0 +1,50 @@
+#pragma once
+
+// IVF (inverted-file) approximate nearest-neighbour index.
+//
+// For large shards an exact scan is wasteful; this index clusters a
+// shard's vectors with a few rounds of k-means and searches only the
+// `nprobe` clusters whose centroids are closest to the query. Recall vs
+// the exact scan is a tested property (see tests/store_test.cpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "store/vector_store.h"
+
+namespace ids::store {
+
+class IvfIndex {
+ public:
+  struct Params {
+    int num_clusters = 16;
+    int kmeans_iters = 8;
+    std::uint64_t seed = 0x1f5a11ad;
+  };
+
+  /// Builds an index over one shard of `store`. The store must outlive the
+  /// index and not be mutated afterwards.
+  IvfIndex(const VectorStore& store, int shard, Params params);
+
+  /// Approximate top-k: scans the nprobe nearest clusters.
+  std::vector<VectorHit> topk(std::span<const float> query, std::size_t k,
+                              Metric metric, int nprobe) const;
+
+  int num_clusters() const { return static_cast<int>(centroids_.size()); }
+
+  /// Fraction of shard vectors scanned for a given nprobe (cost proxy).
+  double scan_fraction(int nprobe) const;
+
+  /// Modeled work units for a query at the given nprobe.
+  std::uint64_t work_units(int nprobe) const;
+
+ private:
+  const VectorStore& store_;
+  int shard_;
+  int dim_;
+  std::vector<std::vector<float>> centroids_;
+  std::vector<std::vector<std::size_t>> members_;  // per-cluster vector idxs
+};
+
+}  // namespace ids::store

@@ -1,0 +1,132 @@
+#include "store/vector_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace ids::store {
+
+namespace {
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float norm(std::span<const float> a) {
+  return std::sqrt(dot(a, a));
+}
+
+}  // namespace
+
+float VectorStore::similarity(std::span<const float> a,
+                              std::span<const float> b, Metric metric) {
+  switch (metric) {
+    case Metric::kDot:
+      return dot(a, b);
+    case Metric::kCosine: {
+      float na = norm(a);
+      float nb = norm(b);
+      if (na == 0.0f || nb == 0.0f) return 0.0f;
+      return dot(a, b) / (na * nb);
+    }
+    case Metric::kL2: {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        float d = a[i] - b[i];
+        acc += d * d;
+      }
+      return -std::sqrt(acc);
+    }
+  }
+  return 0.0f;
+}
+
+VectorStore::VectorStore(int num_shards, int dim)
+    : dim_(dim), shards_(static_cast<std::size_t>(num_shards)) {
+  assert(num_shards > 0 && dim > 0);
+}
+
+std::size_t VectorStore::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.ids.size();
+  return n;
+}
+
+void VectorStore::add(graph::TermId id, std::span<const float> vec) {
+  assert(vec.size() == static_cast<std::size_t>(dim_));
+  auto& s = shards_[static_cast<std::size_t>(shard_of(id))];
+  auto it = s.index.find(id);
+  if (it != s.index.end()) {
+    std::copy(vec.begin(), vec.end(),
+              s.data.begin() + static_cast<std::ptrdiff_t>(
+                                   it->second * static_cast<std::size_t>(dim_)));
+    return;
+  }
+  s.index.emplace(id, s.ids.size());
+  s.ids.push_back(id);
+  s.data.insert(s.data.end(), vec.begin(), vec.end());
+}
+
+std::span<const float> VectorStore::get(graph::TermId id) const {
+  const auto& s = shards_[static_cast<std::size_t>(shard_of(id))];
+  auto it = s.index.find(id);
+  if (it == s.index.end()) return {};
+  return {s.data.data() + it->second * static_cast<std::size_t>(dim_),
+          static_cast<std::size_t>(dim_)};
+}
+
+std::vector<VectorHit> VectorStore::topk_shard(int shard,
+                                               std::span<const float> query,
+                                               std::size_t k,
+                                               Metric metric) const {
+  const auto& s = shards_[static_cast<std::size_t>(shard)];
+  std::vector<VectorHit> hits;
+  hits.reserve(s.ids.size());
+  for (std::size_t i = 0; i < s.ids.size(); ++i) {
+    std::span<const float> v{
+        s.data.data() + i * static_cast<std::size_t>(dim_),
+        static_cast<std::size_t>(dim_)};
+    hits.push_back(VectorHit{s.ids[i], similarity(query, v, metric)});
+  }
+  auto better = [](const VectorHit& a, const VectorHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(),
+                      hits.begin() + static_cast<std::ptrdiff_t>(k), hits.end(),
+                      better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+std::vector<VectorHit> VectorStore::topk(std::span<const float> query,
+                                         std::size_t k, Metric metric) const {
+  std::vector<VectorHit> all;
+  for (int s = 0; s < num_shards(); ++s) {
+    auto part = topk_shard(s, query, k, metric);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  auto better = [](const VectorHit& a, const VectorHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::sort(all.begin(), all.end(), better);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+float VectorStore::score(std::span<const float> query, graph::TermId id,
+                         Metric metric) const {
+  auto v = get(id);
+  if (v.empty()) return metric == Metric::kL2 ? -1e30f : -1e30f;
+  return similarity(query, v, metric);
+}
+
+}  // namespace ids::store

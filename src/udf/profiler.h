@@ -1,0 +1,114 @@
+#pragma once
+
+// Per-rank UDF profiling (§2.4.1).
+//
+// For every UDF, each rank tracks exactly the three statistics the paper
+// lists: (i) execution count, (ii) total execution time, and (iii) the
+// number of query expressions rejected due to the UDF. The planner uses
+// mean cost for chain reordering (§2.4.3) and per-rank throughput for
+// solution re-balancing (§2.4.2). The store is continually updated over
+// the lifetime of an IDS instance — stats persist across queries.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ids::udf {
+
+struct UdfStats {
+  std::uint64_t execs = 0;
+  sim::Nanos total_time = 0;
+  std::uint64_t rejects = 0;
+
+  /// Mean modeled seconds per execution; 0 when never executed.
+  double mean_cost_seconds() const {
+    return execs == 0 ? 0.0
+                      : sim::to_seconds(total_time) / static_cast<double>(execs);
+  }
+
+  /// Fraction of executions that rejected the enclosing expression —
+  /// the planner's pruning-power estimate. 0 when never executed.
+  double rejection_rate() const {
+    return execs == 0 ? 0.0
+                      : static_cast<double>(rejects) / static_cast<double>(execs);
+  }
+
+  void merge(const UdfStats& other) {
+    execs += other.execs;
+    total_time += other.total_time;
+    rejects += other.rejects;
+  }
+};
+
+class UdfProfiler {
+ public:
+  explicit UdfProfiler(int num_ranks)
+      : per_rank_(static_cast<std::size_t>(num_ranks)) {}
+
+  int num_ranks() const { return static_cast<int>(per_rank_.size()); }
+
+  /// Records one execution on `rank`. Safe to call concurrently from
+  /// different ranks (each rank owns its own map).
+  void record_exec(int rank, std::string_view name, sim::Nanos cost) {
+    auto& s = per_rank_[static_cast<std::size_t>(rank)][std::string(name)];
+    ++s.execs;
+    s.total_time += cost;
+  }
+
+  /// Records that `name`'s evaluation rejected an expression on `rank`.
+  void record_reject(int rank, std::string_view name) {
+    ++per_rank_[static_cast<std::size_t>(rank)][std::string(name)].rejects;
+  }
+
+  /// Stats of one UDF on one rank; nullptr if never seen there.
+  const UdfStats* get(int rank, std::string_view name) const {
+    const auto& m = per_rank_[static_cast<std::size_t>(rank)];
+    auto it = m.find(std::string(name));
+    return it == m.end() ? nullptr : &it->second;
+  }
+
+  /// Stats aggregated over all ranks.
+  UdfStats aggregate(std::string_view name) const {
+    UdfStats out;
+    for (const auto& m : per_rank_) {
+      auto it = m.find(std::string(name));
+      if (it != m.end()) out.merge(it->second);
+    }
+    return out;
+  }
+
+  /// Executions a rank needs before its own mean is fully trusted. Below
+  /// this, the estimate shrinks toward the cross-rank aggregate: with a
+  /// handful of samples, per-rank means mostly reflect *which rows* the
+  /// rank happened to evaluate (data skew), not how fast the rank is, and
+  /// trusting them would let the re-balancer assign nearly all solutions
+  /// to a rank whose one sampled row was cheap.
+  static constexpr std::uint64_t kFullConfidenceExecs = 16;
+
+  /// Estimated mean cost of one execution on `rank`: the rank's own mean,
+  /// shrunk toward the cross-rank aggregate by sample count. Falls back to
+  /// the aggregate (then 0) for unseen UDFs.
+  double estimated_cost_seconds(int rank, std::string_view name) const {
+    UdfStats agg = aggregate(name);
+    double agg_mean = agg.mean_cost_seconds();
+    const UdfStats* s = get(rank, name);
+    if (!s || s->execs == 0) return agg_mean;
+    double w = std::min(1.0, static_cast<double>(s->execs) /
+                                 static_cast<double>(kFullConfidenceExecs));
+    return (1.0 - w) * agg_mean + w * s->mean_cost_seconds();
+  }
+
+  void clear() {
+    for (auto& m : per_rank_) m.clear();
+  }
+
+ private:
+  std::vector<std::unordered_map<std::string, UdfStats>> per_rank_;
+};
+
+}  // namespace ids::udf

@@ -1,0 +1,96 @@
+#pragma once
+
+// User-defined function registry and module cache.
+//
+// Mirrors §2.3 of the paper: IDS supports (i) *static* UDFs compiled in at
+// launch (CGE's shared-object path, tracked by unique name) and (ii)
+// *dynamic* UDFs loaded at query time (the Python path, tracked by module
+// name + method name). Loading a dynamic module is expensive, so a
+// per-rank module cache charges the import cost only on first use; a
+// force_reload API invalidates a module so edited user code takes effect,
+// paying the load cost again.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "expr/value.h"
+#include "sim/time.h"
+
+namespace ids::store {
+class FeatureStore;
+class VectorStore;
+}  // namespace ids::store
+
+namespace ids::udf {
+
+/// Read-only services a UDF may use, plus the rank identity and a
+/// deterministic per-call RNG stream.
+struct UdfContext {
+  int rank = 0;
+  const store::FeatureStore* features = nullptr;
+  const store::VectorStore* vectors = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// A UDF returns its value plus the *modeled* execution cost. Separating
+/// modeled cost from wall time keeps the simulation deterministic: the real
+/// kernel runs at laptop scale while the cost reflects the paper's
+/// measured per-call magnitudes.
+struct UdfResult {
+  expr::Value value;
+  sim::Nanos modeled_cost = 0;
+};
+
+using UdfFn = std::function<UdfResult(const UdfContext&, std::span<const expr::Value>)>;
+
+struct UdfInfo {
+  std::string name;        // fully qualified: "sw_similarity" or "mod.fn"
+  std::string module;      // empty for static UDFs
+  UdfFn fn;
+  bool dynamic = false;
+  sim::Nanos module_load_cost = 0;  // one-time per-rank import cost
+};
+
+class UdfRegistry {
+ public:
+  /// Registers a compiled-in UDF under a unique name. Static UDFs cannot be
+  /// replaced once registered (the paper notes the shared-object path "was
+  /// static because they cannot be modified once IDS launched").
+  /// Returns false if the name exists.
+  bool register_static(std::string name, UdfFn fn);
+
+  /// Registers (or replaces) a dynamically loaded UDF as `module.method`.
+  /// `load_cost` models the module import time charged once per rank.
+  void register_dynamic(std::string module, std::string method, UdfFn fn,
+                        sim::Nanos load_cost);
+
+  /// Looks up a UDF by its qualified name. nullptr if absent.
+  const UdfInfo* find(std::string_view name) const;
+
+  /// Returns the modeled cost this rank must pay before calling `info`
+  /// (the module import on first touch), and marks the module loaded.
+  sim::Nanos charge_module_load(int rank, const UdfInfo& info);
+
+  /// Drops the module from every rank's cache; next call per rank pays the
+  /// load cost again. Models the paper's "special function that forces IDS
+  /// to reload the module".
+  void force_reload(std::string_view module);
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, UdfInfo> udfs_;
+  std::set<std::pair<int, std::string>> loaded_;  // (rank, module)
+};
+
+}  // namespace ids::udf

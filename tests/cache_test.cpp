@@ -1,0 +1,317 @@
+// Global multi-tier cache tests: tier hit paths and their cost ordering,
+// LRU + spill, locality queries, placement hints, node failure and
+// repopulation, write-through semantics, and statistics.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cache/cross_cluster.h"
+#include "cache/manager.h"
+
+namespace ids::cache {
+namespace {
+
+CacheConfig small_config() {
+  CacheConfig c;
+  c.num_nodes = 4;
+  c.dram_capacity_bytes = 1000;
+  c.ssd_capacity_bytes = 4000;
+  return c;
+}
+
+std::string blob(std::size_t n, char fill = 'a') { return std::string(n, fill); }
+
+TEST(ObjectIdTest, StableAndDistinct) {
+  EXPECT_EQ(object_id("vina/P29274/CCN"), object_id("vina/P29274/CCN"));
+  EXPECT_NE(object_id("a"), object_id("b"));
+}
+
+TEST(Cache, PutThenLocalGetHitsLocalDram) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "obj", blob(100));
+  auto got = cache.get(clock, 0, "obj");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 100u);
+  EXPECT_EQ(cache.stats().hits_local_dram, 1u);
+}
+
+TEST(Cache, RemoteGetHitsRemoteDramAndCostsMore) {
+  CacheManager cache(small_config());
+  sim::VirtualClock w;
+  cache.put(w, 0, "obj", blob(400));
+
+  sim::VirtualClock local;
+  sim::VirtualClock remote;
+  ASSERT_TRUE(cache.get(local, 0, "obj").has_value());
+  ASSERT_TRUE(cache.get(remote, 2, "obj").has_value());
+  EXPECT_EQ(cache.stats().hits_local_dram, 1u);
+  EXPECT_EQ(cache.stats().hits_remote_dram, 1u);
+  EXPECT_LT(local.now(), remote.now());
+}
+
+TEST(Cache, DramEvictionSpillsToSsdLru) {
+  CacheManager cache(small_config());  // 1000 B DRAM per node
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "a", blob(400));
+  cache.put(clock, 0, "b", blob(400));
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_TRUE(cache.get(clock, 0, "a").has_value());
+  cache.put(clock, 0, "c", blob(400));  // evicts b -> SSD
+
+  EXPECT_EQ(cache.stats().spills_to_ssd, 1u);
+  auto locs = cache.locations("b");
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].tier, TierKind::kSsd);
+  // And "b" is still served (from SSD).
+  cache.reset_stats();
+  ASSERT_TRUE(cache.get(clock, 0, "b").has_value());
+  EXPECT_EQ(cache.stats().hits_local_ssd, 1u);
+}
+
+TEST(Cache, SsdDisabledDropsOnEviction) {
+  CacheConfig cfg = small_config();
+  cfg.enable_ssd = false;
+  cfg.write_through = false;  // nothing in backing either
+  CacheManager cache(cfg);
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "a", blob(600));
+  cache.put(clock, 0, "b", blob(600));  // evicts a, which is simply dropped
+  EXPECT_EQ(cache.stats().spills_to_ssd, 0u);
+  EXPECT_FALSE(cache.get(clock, 0, "a").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, TierCostOrdering) {
+  // local DRAM < local SSD < remote DRAM(+) < backing store for a sizable
+  // object, matching §3's motivation for the tier hierarchy.
+  CacheConfig cfg = small_config();
+  cfg.dram_capacity_bytes = 1 << 20;
+  cfg.ssd_capacity_bytes = 4 << 20;
+  CacheManager cache(cfg);
+  sim::VirtualClock w;
+  const std::size_t size = 512 * 1024;
+
+  cache.put(w, 0, "dram_obj", blob(size));
+
+  auto timed_get = [&cache](int node, const std::string& name) {
+    sim::VirtualClock c;
+    EXPECT_TRUE(cache.get(c, node, name).has_value());
+    return c.now();
+  };
+
+  sim::Nanos local_dram = timed_get(0, "dram_obj");
+  sim::Nanos remote_dram = timed_get(1, "dram_obj");
+  EXPECT_LT(local_dram, remote_dram);
+
+  // Force a spill to SSD by filling node 0's DRAM.
+  cache.put(w, 0, "filler1", blob(512 * 1024));
+  cache.put(w, 0, "filler2", blob(512 * 1024));
+  auto locs = cache.locations("dram_obj");
+  ASSERT_FALSE(locs.empty());
+  ASSERT_EQ(locs[0].tier, TierKind::kSsd);
+  sim::Nanos local_ssd = timed_get(0, "dram_obj");
+  EXPECT_GT(local_ssd, local_dram);
+}
+
+TEST(Cache, BackingStoreServesAfterAllCopiesLost) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "persist", blob(200));
+  cache.fail_node(0);
+  EXPECT_TRUE(cache.locations("persist").empty());
+
+  // Served from the backing store and re-populated into local DRAM.
+  cache.reset_stats();
+  ASSERT_TRUE(cache.get(clock, 1, "persist").has_value());
+  EXPECT_EQ(cache.stats().hits_backing, 1u);
+  auto locs = cache.locations("persist");
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].node, 1);
+  EXPECT_EQ(locs[0].tier, TierKind::kDram);
+
+  // Second read is a local DRAM hit: the working set rebuilt itself.
+  cache.reset_stats();
+  ASSERT_TRUE(cache.get(clock, 1, "persist").has_value());
+  EXPECT_EQ(cache.stats().hits_local_dram, 1u);
+}
+
+TEST(Cache, WriteThroughOffMeansFailureLosesData) {
+  CacheConfig cfg = small_config();
+  cfg.write_through = false;
+  CacheManager cache(cfg);
+  sim::VirtualClock clock;
+  cache.put(clock, 2, "volatile", blob(100));
+  ASSERT_TRUE(cache.get(clock, 2, "volatile").has_value());
+  cache.fail_node(2);
+  EXPECT_FALSE(cache.get(clock, 2, "volatile").has_value());
+}
+
+TEST(Cache, PlacementHintPinsNode) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  PlacementHint hint;
+  hint.target_node = 3;
+  cache.put(clock, 0, "pinned", blob(100), hint);
+  auto locs = cache.locations("pinned");
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].node, 3);
+}
+
+TEST(Cache, LocalityQueryPrefersLocalThenRemoteDram) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 1, "obj", blob(100));
+  EXPECT_EQ(cache.nearest_node_with("obj", 1), 1);
+  EXPECT_EQ(cache.nearest_node_with("obj", 0), 1);
+  EXPECT_EQ(cache.nearest_node_with("missing", 0), -1);
+}
+
+TEST(Cache, PromoteOnRemoteHitCreatesLocalCopy) {
+  CacheConfig cfg = small_config();
+  cfg.promote_on_remote_hit = true;
+  CacheManager cache(cfg);
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "hot", blob(200));
+  ASSERT_TRUE(cache.get(clock, 3, "hot").has_value());
+  EXPECT_EQ(cache.stats().promotions, 1u);
+  // Now node 3 has its own DRAM copy.
+  cache.reset_stats();
+  ASSERT_TRUE(cache.get(clock, 3, "hot").has_value());
+  EXPECT_EQ(cache.stats().hits_local_dram, 1u);
+}
+
+TEST(Cache, RelocateMovesDramCopy) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "mv", blob(100));
+  cache.relocate(clock, "mv", 2);
+  auto locs = cache.locations("mv");
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].node, 2);
+  EXPECT_EQ(cache.dram_used(0), 0u);
+  EXPECT_EQ(cache.dram_used(2), 100u);
+}
+
+TEST(Cache, InvalidateRemovesEverywhere) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "gone", blob(100));
+  cache.invalidate("gone");
+  EXPECT_FALSE(cache.contains("gone"));
+  EXPECT_FALSE(cache.get(clock, 0, "gone").has_value());
+  EXPECT_EQ(cache.num_objects(), 0u);
+}
+
+TEST(Cache, OverwriteReplacesPayload) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "v", "first");
+  cache.put(clock, 0, "v", "second-version");
+  auto got = cache.get(clock, 0, "v");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "second-version");
+  EXPECT_EQ(cache.num_objects(), 1u);
+}
+
+TEST(Cache, ObjectBiggerThanDramGoesToSsd) {
+  CacheManager cache(small_config());  // DRAM 1000, SSD 4000
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "big", blob(2000));
+  auto locs = cache.locations("big");
+  ASSERT_EQ(locs.size(), 1u);
+  EXPECT_EQ(locs[0].tier, TierKind::kSsd);
+  ASSERT_TRUE(cache.get(clock, 0, "big").has_value());
+}
+
+TEST(Cache, StatsBytesAccounting) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "x", blob(300));
+  cache.get(clock, 0, "x");
+  EXPECT_EQ(cache.stats().bytes_written, 300u);
+  EXPECT_EQ(cache.stats().bytes_read, 300u);
+  EXPECT_EQ(cache.stats().puts, 1u);
+  EXPECT_FALSE(cache.stats().to_string().empty());
+}
+
+TEST(Cache, MissOnUnknownObject) {
+  CacheManager cache(small_config());
+  sim::VirtualClock clock;
+  EXPECT_FALSE(cache.get(clock, 0, "never-put").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SerializationServiceChargesPerOp) {
+  CacheConfig cfg = small_config();
+  cfg.serialization_service_seconds = 0.25;
+  CacheManager cache(cfg);
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "obj", blob(100));
+  sim::Nanos after_put = clock.now();
+  EXPECT_GE(after_put, sim::from_seconds(0.25));
+  ASSERT_TRUE(cache.get(clock, 0, "obj").has_value());
+  EXPECT_GE(clock.now(), after_put + sim::from_seconds(0.25));
+}
+
+TEST(Cache, EstimatedGetCostMatchesTierOrdering) {
+  CacheConfig cfg = small_config();
+  cfg.dram_capacity_bytes = 1 << 20;
+  CacheManager cache(cfg);
+  sim::VirtualClock clock;
+  cache.put(clock, 1, "obj", blob(400'000));
+  sim::Nanos local = cache.estimated_get_cost(1, "obj");
+  sim::Nanos remote = cache.estimated_get_cost(0, "obj");
+  EXPECT_LT(local, remote);
+  EXPECT_EQ(cache.estimated_get_cost(0, "nope"),
+            std::numeric_limits<sim::Nanos>::max());
+}
+
+TEST(CrossCluster, ReadThroughFetchAndLocalization) {
+  CacheManager cluster_a(small_config());
+  CacheManager cluster_b(small_config());
+  CrossClusterBridge bridge(&cluster_b, &cluster_a);  // b reads through a
+
+  // Researchers on cluster A stash an artifact.
+  sim::VirtualClock wa;
+  cluster_a.put(wa, 0, "vina/shared", blob(300, 'z'));
+
+  // Cluster B's first read goes over the WAN...
+  sim::VirtualClock wan_read;
+  auto got = bridge.get(wan_read, 2, "vina/shared");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 300u);
+  EXPECT_EQ(bridge.stats().peer_fetches, 1u);
+  EXPECT_EQ(bridge.stats().bytes_over_wan, 300u);
+  EXPECT_GE(wan_read.now(), sim::from_millis(30));  // WAN latency paid
+
+  // ...and localizes the artifact: the second read is cluster-B-local
+  // and much cheaper.
+  sim::VirtualClock local_read;
+  ASSERT_TRUE(bridge.get(local_read, 2, "vina/shared").has_value());
+  EXPECT_EQ(bridge.stats().local_hits, 1u);
+  EXPECT_LT(local_read.now(), wan_read.now() / 10);
+}
+
+TEST(CrossCluster, MissInBothClusters) {
+  CacheManager a(small_config());
+  CacheManager b(small_config());
+  CrossClusterBridge bridge(&b, &a);
+  sim::VirtualClock clock;
+  EXPECT_FALSE(bridge.get(clock, 0, "nowhere").has_value());
+  EXPECT_EQ(bridge.stats().misses, 1u);
+}
+
+TEST(CrossCluster, WritesStayLocal) {
+  CacheManager a(small_config());
+  CacheManager b(small_config());
+  CrossClusterBridge bridge(&b, &a);
+  sim::VirtualClock clock;
+  bridge.put(clock, 0, "local-artifact", blob(64));
+  EXPECT_TRUE(b.contains("local-artifact"));
+  EXPECT_FALSE(a.contains("local-artifact"));
+}
+
+}  // namespace
+}  // namespace ids::cache

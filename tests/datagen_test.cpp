@@ -1,0 +1,200 @@
+// Dataset generator tests: similarity band structure (the mechanism behind
+// Table 2's threshold sweep), graph shape, determinism, and the Table-1
+// source regeneration.
+
+#include <gtest/gtest.h>
+
+#include "datagen/lifesci.h"
+#include "datagen/sources.h"
+#include "models/smith_waterman.h"
+
+namespace ids::datagen {
+namespace {
+
+LifeSciConfig test_config() {
+  LifeSciConfig cfg;
+  cfg.num_families = 10;
+  cfg.proteins_per_family = 6;
+  cfg.num_related_families = 4;
+  cfg.compounds_per_family = 6;
+  cfg.seq_len_mean = 150;
+  cfg.seq_len_jitter = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct Built {
+  graph::TripleStore triples{4};
+  store::FeatureStore features{4};
+  store::InvertedIndex keywords;
+  store::VectorStore vectors{4, 128};
+  LifeSciDataset ds;
+};
+
+std::unique_ptr<Built> build(const LifeSciConfig& cfg) {
+  auto b = std::make_unique<Built>();
+  b->ds = generate_lifesci(cfg, &b->triples, &b->features, &b->keywords,
+                           &b->vectors);
+  b->triples.finalize();
+  return b;
+}
+
+TEST(LifeSci, CountsMatchConfig) {
+  auto cfg = test_config();
+  auto b = build(cfg);
+  EXPECT_EQ(b->ds.proteins.size(), 60u);
+  EXPECT_EQ(b->ds.compounds.size(), 60u);
+  EXPECT_EQ(b->ds.protein_family.size(), 60u);
+  EXPECT_GT(b->triples.total_triples(), 240u);  // 3/protein + 2+/compound
+}
+
+TEST(LifeSci, EveryProteinHasSequenceAndFlag) {
+  auto b = build(test_config());
+  for (graph::TermId p : b->ds.proteins) {
+    auto seq = b->features.get_string(p, Feat::kSequence);
+    ASSERT_TRUE(seq.has_value());
+    EXPECT_GT(seq->size(), 30u);
+    EXPECT_TRUE(b->features.get_int(p, Feat::kLength).has_value());
+  }
+}
+
+TEST(LifeSci, EveryCompoundHasSmilesAndIc50) {
+  auto b = build(test_config());
+  for (graph::TermId c : b->ds.compounds) {
+    ASSERT_TRUE(b->features.get_string(c, Feat::kSmiles).has_value());
+    auto ic50 = b->features.get_double(c, Feat::kIc50Nm);
+    ASSERT_TRUE(ic50.has_value());
+    EXPECT_GT(*ic50, 0.0);
+    EXPECT_LE(*ic50, 100000.0);
+  }
+}
+
+TEST(LifeSci, SimilarityBandsSupportThresholdSweep) {
+  auto cfg = test_config();
+  auto b = build(cfg);
+  auto target_seq =
+      std::string(*b->features.get_string(b->ds.target_protein, Feat::kSequence));
+
+  // Per-family mean similarity to the target.
+  std::vector<double> mean(static_cast<std::size_t>(cfg.num_families), 0.0);
+  std::vector<int> n(static_cast<std::size_t>(cfg.num_families), 0);
+  for (std::size_t i = 0; i < b->ds.proteins.size(); ++i) {
+    auto f = static_cast<std::size_t>(b->ds.protein_family[i]);
+    auto seq = b->features.get_string(b->ds.proteins[i], Feat::kSequence);
+    mean[f] += models::normalized_similarity(target_seq, *seq);
+    ++n[f];
+  }
+  for (std::size_t f = 0; f < mean.size(); ++f) mean[f] /= n[f];
+
+  // Target family plateaus above the paper's top threshold.
+  EXPECT_GT(mean[0], 0.98);
+  // Related families fill the sweep band, trending downward across the
+  // divergence ladder (mutation noise allows local inversions).
+  for (int f = 1; f <= cfg.num_related_families; ++f) {
+    EXPECT_LT(mean[static_cast<std::size_t>(f)], 0.6);
+    EXPECT_GT(mean[static_cast<std::size_t>(f)], 0.12);
+  }
+  EXPECT_GT(mean[1],
+            mean[static_cast<std::size_t>(cfg.num_related_families)]);
+  // ...and background families sit below 0.2.
+  for (int f = cfg.num_related_families + 1; f < cfg.num_families; ++f) {
+    EXPECT_LT(mean[static_cast<std::size_t>(f)], 0.2);
+  }
+}
+
+TEST(LifeSci, InhibitsEdgesPointAtProteins) {
+  auto b = build(test_config());
+  auto inhibits = b->triples.dict().lookup(Vocab::kInhibits);
+  ASSERT_TRUE(inhibits.has_value());
+  graph::TriplePattern p{graph::PatternTerm::Var("c"),
+                         graph::PatternTerm::Const(*inhibits),
+                         graph::PatternTerm::Var("p")};
+  auto edges = b->triples.match_all(p);
+  EXPECT_GE(edges.size(), b->ds.compounds.size());  // >= 1 edge per compound
+  std::set<graph::TermId> protein_set(b->ds.proteins.begin(),
+                                      b->ds.proteins.end());
+  for (const auto& t : edges) {
+    EXPECT_TRUE(protein_set.contains(t.o));
+  }
+}
+
+TEST(LifeSci, DeterministicInSeed) {
+  auto a = build(test_config());
+  auto b = build(test_config());
+  ASSERT_EQ(a->ds.proteins.size(), b->ds.proteins.size());
+  for (std::size_t i = 0; i < a->ds.proteins.size(); ++i) {
+    auto sa = a->features.get_string(a->ds.proteins[i], Feat::kSequence);
+    auto sb = b->features.get_string(b->ds.proteins[i], Feat::kSequence);
+    EXPECT_EQ(*sa, *sb);
+  }
+  EXPECT_EQ(a->triples.total_triples(), b->triples.total_triples());
+}
+
+TEST(LifeSci, DifferentSeedDifferentData) {
+  auto cfg = test_config();
+  auto a = build(cfg);
+  cfg.seed = 8;
+  auto b = build(cfg);
+  auto sa = a->features.get_string(a->ds.proteins[1], Feat::kSequence);
+  auto sb = b->features.get_string(b->ds.proteins[1], Feat::kSequence);
+  EXPECT_NE(*sa, *sb);
+}
+
+TEST(LifeSci, MutateSequenceRates) {
+  Rng rng(5);
+  std::string base = random_protein_sequence(rng, 400);
+  std::string same = mutate_sequence(rng, base, 0.0, 0.0);
+  EXPECT_EQ(same, base);
+  std::string heavy = mutate_sequence(rng, base, 0.9, 0.0);
+  int diff = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (heavy[i] != base[i]) ++diff;
+  }
+  EXPECT_GT(diff, 300);  // ~90% substituted (minus back-substitutions)
+}
+
+TEST(Sources, PaperTableHasSevenRows) {
+  const auto& sources = paper_sources();
+  ASSERT_EQ(sources.size(), 7u);
+  EXPECT_EQ(sources[0].name, "UniProt");
+  EXPECT_EQ(sources[0].paper_triples, 87'600'000'000ull);
+  EXPECT_EQ(sources[6].name, "Reactome");
+}
+
+TEST(Sources, GenerateAtScaleDivisor) {
+  graph::TripleStore store(4);
+  SourceSpec spec{"TestSource", 1'000'000'000ull, 10'000'000ull};
+  SourceStats stats = generate_source(&store, spec, 100'000, 1);
+  EXPECT_EQ(stats.triples_generated, 100u);
+  EXPECT_GT(stats.raw_bytes_generated, 0u);
+  store.finalize();
+  EXPECT_GT(store.total_triples(), 0u);
+  EXPECT_LE(store.total_triples(), 100u);  // dedup may shrink slightly
+}
+
+TEST(Sources, BytesPerTripleTracksSpec) {
+  graph::TripleStore store(2);
+  // UniProt: ~145 bytes/triple on disk.
+  SourceStats uni = generate_source(&store, paper_sources()[0], 1'000'000, 2);
+  double bpt = static_cast<double>(uni.raw_bytes_generated) /
+               static_cast<double>(uni.triples_generated);
+  double paper_bpt = static_cast<double>(paper_sources()[0].paper_raw_bytes) /
+                     static_cast<double>(paper_sources()[0].paper_triples);
+  EXPECT_NEAR(bpt, paper_bpt, paper_bpt);  // same order of magnitude
+}
+
+TEST(Sources, DeterministicInSeed) {
+  graph::TripleStore a(2);
+  graph::TripleStore b(2);
+  SourceSpec spec{"S", 1'000'000ull, 100'000ull};
+  auto sa = generate_source(&a, spec, 1000, 3);
+  auto sb = generate_source(&b, spec, 1000, 3);
+  EXPECT_EQ(sa.triples_generated, sb.triples_generated);
+  EXPECT_EQ(sa.raw_bytes_generated, sb.raw_bytes_generated);
+  a.finalize();
+  b.finalize();
+  EXPECT_EQ(a.total_triples(), b.total_triples());
+}
+
+}  // namespace
+}  // namespace ids::datagen

@@ -1,0 +1,255 @@
+// Oracle property test: the distributed engine must return exactly the
+// same solution set as a naive single-threaded reference evaluator, for
+// randomized graphs and queries, across shard counts and planner/
+// rebalancer configurations.
+//
+// The reference evaluator is deliberately naive: nested-loop pattern
+// matching over the full triple list and per-row expression evaluation.
+// If the engine's planner reorders patterns, its joins redistribute rows,
+// or its FILTER chains reorder conjuncts, none of that may change the
+// answer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace ids::core {
+namespace {
+
+using graph::TermId;
+using graph::PatternTerm;
+using graph::Triple;
+using graph::TriplePattern;
+
+using Row = std::map<std::string, TermId>;
+
+bool unify(const PatternTerm& term, TermId value, Row* row) {
+  if (!term.is_var) return term.constant == value;
+  auto [it, inserted] = row->emplace(term.var, value);
+  return inserted || it->second == value;
+}
+
+std::vector<Row> reference_match(const std::vector<Triple>& triples,
+                                 const std::vector<TriplePattern>& patterns) {
+  std::vector<Row> rows = {Row{}};
+  for (const auto& p : patterns) {
+    std::vector<Row> next;
+    for (const Row& row : rows) {
+      for (const Triple& t : triples) {
+        Row candidate = row;
+        if (unify(p.s, t.s, &candidate) && unify(p.p, t.p, &candidate) &&
+            unify(p.o, t.o, &candidate)) {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+  return rows;
+}
+
+bool reference_filter(const Row& row, const std::vector<expr::ExprPtr>& filters,
+                      udf::UdfRegistry* registry,
+                      const store::FeatureStore* features) {
+  // Build a one-row table carrying the bindings.
+  std::vector<std::string> vars;
+  std::vector<TermId> vals;
+  for (const auto& [v, id] : row) {
+    vars.push_back(v);
+    vals.push_back(id);
+  }
+  graph::SolutionTable t{vars};
+  t.append_row(vals);
+  for (const auto& f : filters) {
+    expr::EvalContext ctx;
+    ctx.row = {&t, 0};
+    ctx.registry = registry;
+    ctx.udf_ctx.features = features;
+    if (!expr::truthy(expr::eval(*f, ctx))) return false;
+  }
+  return true;
+}
+
+/// Canonical representation of a result set for comparison: sorted
+/// multiset of value tuples over the given variables.
+std::multiset<std::vector<TermId>> canonicalize_rows(
+    const std::vector<Row>& rows, const std::vector<std::string>& vars) {
+  std::multiset<std::vector<TermId>> out;
+  for (const Row& r : rows) {
+    std::vector<TermId> tuple;
+    for (const auto& v : vars) tuple.push_back(r.at(v));
+    out.insert(std::move(tuple));
+  }
+  return out;
+}
+
+std::multiset<std::vector<TermId>> canonicalize_table(
+    const graph::SolutionTable& t, const std::vector<std::string>& vars) {
+  std::multiset<std::vector<TermId>> out;
+  std::vector<int> cols;
+  for (const auto& v : vars) cols.push_back(t.id_var_index(v));
+  for (std::size_t row = 0; row < t.num_rows(); ++row) {
+    std::vector<TermId> tuple;
+    for (int c : cols) tuple.push_back(t.id_at(row, c));
+    out.insert(std::move(tuple));
+  }
+  return out;
+}
+
+struct Config {
+  std::uint64_t seed;
+  int shards;
+  bool reorder;
+  RebalancePolicy rebalance;
+  bool hetero;
+};
+
+class EngineVsReference : public ::testing::TestWithParam<Config> {};
+
+TEST_P(EngineVsReference, RandomGraphsAndQueries) {
+  const Config cfg = GetParam();
+  Rng rng(cfg.seed);
+
+  // --- Random graph ---------------------------------------------------
+  auto store = std::make_unique<graph::TripleStore>(cfg.shards);
+  auto features = std::make_unique<store::FeatureStore>(cfg.shards);
+  const int n_entities = 24;
+  const int n_preds = 3;
+  std::vector<Triple> all;
+  auto& dict = store->dict();
+  std::vector<TermId> entities;
+  std::vector<TermId> preds;
+  for (int i = 0; i < n_entities; ++i) {
+    TermId id = dict.intern("e" + std::to_string(i));
+    entities.push_back(id);
+    features->set(id, "score", rng.uniform(0.0, 10.0));
+  }
+  for (int i = 0; i < n_preds; ++i) {
+    preds.push_back(dict.intern("p" + std::to_string(i)));
+  }
+  int n_triples = 40 + static_cast<int>(rng.next_below(80));
+  for (int i = 0; i < n_triples; ++i) {
+    Triple t{entities[rng.next_below(entities.size())],
+             preds[rng.next_below(preds.size())],
+             entities[rng.next_below(entities.size())]};
+    store->add_ids(t);
+    all.push_back(t);
+  }
+  store->finalize();
+  std::sort(all.begin(), all.end(), [](const Triple& a, const Triple& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  });
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  // --- Engine under the parameterized configuration --------------------
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(cfg.shards);
+  opts.reorder_filters = cfg.reorder;
+  opts.rebalance = cfg.rebalance;
+  if (cfg.hetero) {
+    opts.hetero = runtime::HeteroProfile::random(cfg.shards, 0.5, 3.0,
+                                                 cfg.seed);
+  }
+  IdsEngine engine(opts, store.get(), features.get());
+  engine.registry().register_static(
+      "score_over",
+      [](const udf::UdfContext& ctx, std::span<const expr::Value> args) {
+        const auto* e = std::get_if<expr::Entity>(&args[0]);
+        double threshold = 0;
+        expr::as_double(args[1], &threshold);
+        auto s = ctx.features->get_double(e->id, "score");
+        return udf::UdfResult{s && *s > threshold, sim::from_micros(3)};
+      });
+  udf::UdfRegistry ref_registry;
+  ref_registry.register_static(
+      "score_over",
+      [](const udf::UdfContext& ctx, std::span<const expr::Value> args) {
+        const auto* e = std::get_if<expr::Entity>(&args[0]);
+        double threshold = 0;
+        expr::as_double(args[1], &threshold);
+        auto s = ctx.features->get_double(e->id, "score");
+        return udf::UdfResult{s && *s > threshold, 0};
+      });
+
+  // --- Random queries ---------------------------------------------------
+  for (int trial = 0; trial < 6; ++trial) {
+    Query q;
+    // Query shapes: chain (?a p ?b . ?b p ?c), star, or single + constants.
+    int shape = static_cast<int>(rng.next_below(3));
+    TermId p1 = preds[rng.next_below(preds.size())];
+    TermId p2 = preds[rng.next_below(preds.size())];
+    if (shape == 0) {
+      q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(p1),
+                            PatternTerm::Var("b")});
+      q.patterns.push_back({PatternTerm::Var("b"), PatternTerm::Const(p2),
+                            PatternTerm::Var("c")});
+    } else if (shape == 1) {
+      q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(p1),
+                            PatternTerm::Var("b")});
+      q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(p2),
+                            PatternTerm::Var("c")});
+    } else {
+      TermId obj = entities[rng.next_below(entities.size())];
+      q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(p1),
+                            PatternTerm::Const(obj)});
+      q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(p2),
+                            PatternTerm::Var("b")});
+    }
+    // Random UDF + feature filters.
+    double threshold = rng.uniform(0.0, 10.0);
+    q.filters.push_back(expr::Expr::Udf(
+        "score_over",
+        {expr::Expr::Var("a"), expr::Expr::Constant(threshold)}));
+    if (rng.bernoulli(0.5)) {
+      q.filters.push_back(expr::Expr::Compare(
+          expr::CmpOp::kLe, expr::Expr::Feature(expr::Expr::Var("b"), "score"),
+          expr::Expr::Constant(rng.uniform(2.0, 10.0))));
+    }
+
+    // Collect variables for comparison.
+    std::set<std::string> var_set;
+    for (const auto& p : q.patterns) {
+      if (p.s.is_var) var_set.insert(p.s.var);
+      if (p.o.is_var) var_set.insert(p.o.var);
+    }
+    std::vector<std::string> vars(var_set.begin(), var_set.end());
+
+    // Reference answer.
+    std::vector<Row> matched = reference_match(all, q.patterns);
+    std::vector<Row> kept;
+    for (const Row& r : matched) {
+      if (reference_filter(r, q.filters, &ref_registry, features.get())) {
+        kept.push_back(r);
+      }
+    }
+    auto want = canonicalize_rows(kept, vars);
+
+    // Engine answer.
+    QueryResult result = engine.execute(q);
+    auto got = canonicalize_table(result.solutions, vars);
+
+    EXPECT_EQ(got, want) << "seed=" << cfg.seed << " trial=" << trial
+                         << " shape=" << shape << " shards=" << cfg.shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EngineVsReference,
+    ::testing::Values(
+        Config{1, 1, true, RebalancePolicy::kThroughput, false},
+        Config{2, 4, true, RebalancePolicy::kThroughput, false},
+        Config{3, 16, true, RebalancePolicy::kThroughput, true},
+        Config{4, 4, false, RebalancePolicy::kNone, false},
+        Config{5, 8, false, RebalancePolicy::kCount, true},
+        Config{6, 32, true, RebalancePolicy::kCount, false},
+        Config{7, 3, true, RebalancePolicy::kThroughput, true},
+        Config{8, 64, false, RebalancePolicy::kThroughput, false}));
+
+}  // namespace
+}  // namespace ids::core

@@ -1,0 +1,160 @@
+// OpenFAM-substitute tests: allocation, data ops, atomics, capacity
+// accounting, cost model, and server failure semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fam/fam.h"
+
+namespace ids::fam {
+namespace {
+
+FamOptions two_servers() {
+  FamOptions o;
+  o.server_nodes = {0, 1};
+  o.server_capacity_bytes = 1024;
+  return o;
+}
+
+std::span<const std::byte> bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+TEST(Fam, AllocateLookupRoundTrip) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("region/a", 128);
+  ASSERT_TRUE(d.ok());
+  auto found = fam.lookup("region/a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().region, d.value().region);
+  EXPECT_EQ(found.value().size, 128u);
+}
+
+TEST(Fam, DuplicateNameRejected) {
+  FamService fam(two_servers());
+  ASSERT_TRUE(fam.allocate("x", 16).ok());
+  auto again = fam.allocate("x", 16);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Fam, PutGetRoundTrip) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("blob", 64);
+  ASSERT_TRUE(d.ok());
+  sim::VirtualClock clock;
+  std::string payload = "hello fabric-attached memory";
+  ASSERT_TRUE(fam.put(clock, 0, d.value(), 4, bytes(payload)).ok());
+  std::string out(payload.size(), '\0');
+  ASSERT_TRUE(fam.get(clock, 0, d.value(), 4,
+                      {reinterpret_cast<std::byte*>(out.data()), out.size()})
+                  .ok());
+  EXPECT_EQ(out, payload);
+  EXPECT_GT(clock.now(), 0u);
+}
+
+TEST(Fam, OutOfRangeAccessRejected) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("small", 8);
+  ASSERT_TRUE(d.ok());
+  sim::VirtualClock clock;
+  std::string p = "0123456789";
+  EXPECT_EQ(fam.put(clock, 0, d.value(), 0, bytes(p)).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Fam, CapacityEnforcedAndLeastLoadedPlacement) {
+  FamService fam(two_servers());
+  ASSERT_TRUE(fam.allocate("a", 800).ok());      // server 0 or 1
+  auto b = fam.allocate("b", 800);               // must land on the other
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(fam.used_bytes(0) + fam.used_bytes(1), 1600u);
+  auto c = fam.allocate("c", 800);               // no room anywhere
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Fam, DeallocateFreesCapacity) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("a", 1000, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(fam.used_bytes(0), 1000u);
+  ASSERT_TRUE(fam.deallocate("a").ok());
+  EXPECT_EQ(fam.used_bytes(0), 0u);
+  EXPECT_EQ(fam.deallocate("a").code(), StatusCode::kNotFound);
+}
+
+TEST(Fam, FetchAddAndCompareSwap) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("counter", 16);
+  ASSERT_TRUE(d.ok());
+  sim::VirtualClock clock;
+  auto old = fam.fetch_add(clock, 0, d.value(), 0, 5);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value(), 0u);
+  old = fam.fetch_add(clock, 0, d.value(), 0, 3);
+  EXPECT_EQ(old.value(), 5u);
+
+  auto cas = fam.compare_swap(clock, 0, d.value(), 0, 8, 100);
+  ASSERT_TRUE(cas.ok());
+  EXPECT_EQ(cas.value(), 8u);  // previous value; swap succeeded
+  cas = fam.compare_swap(clock, 0, d.value(), 0, 8, 200);
+  EXPECT_EQ(cas.value(), 100u);  // expected mismatch: no swap
+}
+
+TEST(Fam, UnalignedAtomicRejected) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("c", 16);
+  sim::VirtualClock clock;
+  EXPECT_EQ(fam.fetch_add(clock, 0, d.value(), 3, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Fam, LocalAccessCheaperThanRemote) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("blob", 512, 1);  // on server 1 (node 1)
+  ASSERT_TRUE(d.ok());
+  std::string p(256, 'x');
+  sim::VirtualClock local;
+  sim::VirtualClock remote;
+  ASSERT_TRUE(fam.put(local, 1, d.value(), 0, bytes(p)).ok());
+  ASSERT_TRUE(fam.put(remote, 0, d.value(), 0, bytes(p)).ok());
+  EXPECT_LT(local.now(), remote.now());
+}
+
+TEST(Fam, ServerFailureLosesDataButFreesNames) {
+  FamService fam(two_servers());
+  auto d = fam.allocate("victim", 64, 0);
+  ASSERT_TRUE(d.ok());
+  fam.fail_server(0);
+  EXPECT_FALSE(fam.server_alive(0));
+
+  sim::VirtualClock clock;
+  std::string out(8, '\0');
+  EXPECT_FALSE(fam.get(clock, 0, d.value(), 0,
+                       {reinterpret_cast<std::byte*>(out.data()), out.size()})
+                   .ok());
+  EXPECT_FALSE(fam.lookup("victim").ok());  // name records dropped
+
+  fam.recover_server(0);
+  EXPECT_TRUE(fam.server_alive(0));
+  EXPECT_EQ(fam.used_bytes(0), 0u);
+  // The name can be allocated again after recovery.
+  EXPECT_TRUE(fam.allocate("victim", 64, 0).ok());
+}
+
+TEST(Fam, FailedServerNotUsedForPlacement) {
+  FamService fam(two_servers());
+  fam.fail_server(0);
+  auto d = fam.allocate("x", 64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().server, 1);
+}
+
+TEST(Fam, TransferCostScalesWithSize) {
+  FamService fam(two_servers());
+  EXPECT_LT(fam.transfer_cost(0, 1, 1024), fam.transfer_cost(0, 1, 1 << 20));
+  EXPECT_LT(fam.transfer_cost(0, 0, 1 << 20), fam.transfer_cost(0, 1, 1 << 20));
+}
+
+}  // namespace
+}  // namespace ids::fam

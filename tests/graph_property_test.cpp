@@ -1,0 +1,139 @@
+// Property tests: index-backed shard scans must agree with a naive
+// filter over the raw triples, for every pattern shape, on randomized
+// graphs (parameterized over graph size and seed).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/shard.h"
+#include "graph/triple_store.h"
+
+namespace ids::graph {
+namespace {
+
+struct Params {
+  std::uint64_t seed;
+  int n_subjects;
+  int n_predicates;
+  int n_objects;
+  int n_triples;
+};
+
+class ScanVsNaive : public ::testing::TestWithParam<Params> {};
+
+std::vector<Triple> naive_match(const std::vector<Triple>& all,
+                                const TriplePattern& q) {
+  std::vector<Triple> out;
+  const bool same_sp = q.s.is_var && q.p.is_var && q.s.var == q.p.var;
+  const bool same_so = q.s.is_var && q.o.is_var && q.s.var == q.o.var;
+  const bool same_po = q.p.is_var && q.o.is_var && q.p.var == q.o.var;
+  for (const auto& t : all) {
+    if (!q.s.is_var && t.s != q.s.constant) continue;
+    if (!q.p.is_var && t.p != q.p.constant) continue;
+    if (!q.o.is_var && t.o != q.o.constant) continue;
+    if (same_sp && t.s != t.p) continue;
+    if (same_so && t.s != t.o) continue;
+    if (same_po && t.p != t.o) continue;
+    out.push_back(t);
+  }
+  return out;
+}
+
+bool triple_less(const Triple& a, const Triple& b) {
+  return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+}
+
+TEST_P(ScanVsNaive, AllPatternShapesAgree) {
+  const Params p = GetParam();
+  Rng rng(p.seed);
+
+  GraphShard shard;
+  std::vector<Triple> all;
+  for (int i = 0; i < p.n_triples; ++i) {
+    Triple t{1 + rng.next_below(static_cast<std::uint64_t>(p.n_subjects)),
+             100 + rng.next_below(static_cast<std::uint64_t>(p.n_predicates)),
+             1 + rng.next_below(static_cast<std::uint64_t>(p.n_objects))};
+    shard.add(t);
+    all.push_back(t);
+  }
+  shard.finalize();
+  // Dedup the reference set the same way finalize does.
+  std::sort(all.begin(), all.end(), triple_less);
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  auto check = [&](const TriplePattern& q) {
+    std::vector<Triple> got;
+    shard.scan(q, [&got](const Triple& t) { got.push_back(t); });
+    std::vector<Triple> want = naive_match(all, q);
+    std::sort(got.begin(), got.end(), triple_less);
+    std::sort(want.begin(), want.end(), triple_less);
+    EXPECT_EQ(got, want) << "pattern bound=" << q.bound_positions();
+    EXPECT_EQ(shard.count(q), want.size());
+  };
+
+  auto s_const = PatternTerm::Const(1 + rng.next_below(
+                     static_cast<std::uint64_t>(p.n_subjects)));
+  auto p_const = PatternTerm::Const(100 + rng.next_below(
+                     static_cast<std::uint64_t>(p.n_predicates)));
+  auto o_const = PatternTerm::Const(1 + rng.next_below(
+                     static_cast<std::uint64_t>(p.n_objects)));
+
+  // All 8 bound/unbound shapes.
+  check({PatternTerm::Var("s"), PatternTerm::Var("p"), PatternTerm::Var("o")});
+  check({s_const, PatternTerm::Var("p"), PatternTerm::Var("o")});
+  check({PatternTerm::Var("s"), p_const, PatternTerm::Var("o")});
+  check({PatternTerm::Var("s"), PatternTerm::Var("p"), o_const});
+  check({s_const, p_const, PatternTerm::Var("o")});
+  check({s_const, PatternTerm::Var("p"), o_const});
+  check({PatternTerm::Var("s"), p_const, o_const});
+  check({s_const, p_const, o_const});
+
+  // Repeated-variable shapes.
+  check({PatternTerm::Var("x"), PatternTerm::Var("p"), PatternTerm::Var("x")});
+  check({PatternTerm::Var("x"), PatternTerm::Var("x"), PatternTerm::Var("o")});
+  check({PatternTerm::Var("x"), p_const, PatternTerm::Var("x")});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ScanVsNaive,
+    ::testing::Values(Params{1, 5, 2, 5, 40},       // tiny, dense
+                      Params{2, 50, 5, 50, 500},    // medium
+                      Params{3, 10, 1, 10, 200},    // single predicate
+                      Params{4, 200, 10, 5, 800},   // few objects
+                      Params{5, 3, 3, 3, 100},      // heavy duplication
+                      Params{6, 1000, 20, 1000, 2000}));  // sparse
+
+class StoreShardingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreShardingProperty, MatchAllEqualsNaiveAcrossShardCounts) {
+  const int shards = GetParam();
+  Rng rng(77);
+  TripleStore store(shards);
+  std::vector<Triple> all;
+  for (int i = 0; i < 600; ++i) {
+    Triple t{1 + rng.next_below(80), 100 + rng.next_below(4),
+             1 + rng.next_below(80)};
+    store.add_ids(t);
+    all.push_back(t);
+  }
+  store.finalize();
+  std::sort(all.begin(), all.end(), triple_less);
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  EXPECT_EQ(store.total_triples(), all.size());
+
+  TriplePattern q{PatternTerm::Var("s"), PatternTerm::Const(101),
+                  PatternTerm::Var("o")};
+  auto got = store.match_all(q);
+  auto want = naive_match(all, q);
+  std::sort(got.begin(), got.end(), triple_less);
+  std::sort(want.begin(), want.end(), triple_less);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, StoreShardingProperty,
+                         ::testing::Values(1, 2, 3, 8, 32, 101));
+
+}  // namespace
+}  // namespace ids::graph

@@ -1,0 +1,143 @@
+// Smith-Waterman tests: exact values on tiny alignments, algebraic
+// properties (identity, symmetry, bounds), and parameterized monotonicity
+// under mutation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/lifesci.h"
+#include "models/cost_profile.h"
+#include "models/smith_waterman.h"
+
+namespace ids::models {
+namespace {
+
+TEST(Blosum62, KnownEntries) {
+  EXPECT_EQ(blosum62('A', 'A'), 4);
+  EXPECT_EQ(blosum62('W', 'W'), 11);
+  EXPECT_EQ(blosum62('A', 'R'), -1);
+  EXPECT_EQ(blosum62('R', 'A'), -1);  // symmetric
+  EXPECT_EQ(blosum62('X', 'A'), -4);  // unknown residue
+}
+
+TEST(Blosum62, MatrixIsSymmetric) {
+  for (char a : kAminoAcids) {
+    for (char b : kAminoAcids) {
+      EXPECT_EQ(blosum62(a, b), blosum62(b, a));
+    }
+  }
+}
+
+TEST(ResidueIndex, RoundTripsAlphabet) {
+  for (std::size_t i = 0; i < kAminoAcids.size(); ++i) {
+    EXPECT_EQ(residue_index(kAminoAcids[i]), static_cast<int>(i));
+  }
+  EXPECT_EQ(residue_index('X'), -1);
+  EXPECT_EQ(residue_index('a'), 0);  // lowercase accepted
+}
+
+TEST(SmithWaterman, EmptyInputsScoreZero) {
+  EXPECT_EQ(smith_waterman("", "ACD").score, 0);
+  EXPECT_EQ(smith_waterman("ACD", "").score, 0);
+}
+
+TEST(SmithWaterman, IdenticalSequenceScoresSelfScore) {
+  std::string seq = "ARNDCQEGHILKMFPSTWYV";
+  SwResult r = smith_waterman(seq, seq);
+  EXPECT_EQ(r.score, self_score(seq));
+}
+
+TEST(SmithWaterman, ExactValueSimpleMatch) {
+  // "AAAA" vs "AAAA": 4 matches * 4 = 16.
+  EXPECT_EQ(smith_waterman("AAAA", "AAAA").score, 16);
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresFlanks) {
+  // The common core "WWWW" dominates; unrelated flanks don't reduce it.
+  int core = smith_waterman("WWWW", "WWWW").score;
+  int flanked = smith_waterman("GGGGWWWWGGGG", "PPPPWWWWPPPP").score;
+  EXPECT_GE(flanked, core);
+}
+
+TEST(SmithWaterman, GapInsertionCostsAffine) {
+  // One gap: score = matches - (open + extend).
+  std::string a = "WWWWWW";
+  std::string b = "WWWXWWW";  // X never matches; best local may skip it
+  SwResult r = smith_waterman(a, b);
+  EXPECT_GT(r.score, 0);
+  EXPECT_LE(r.score, self_score(a));
+}
+
+TEST(SmithWaterman, ScoreIsSymmetric) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string a = datagen::random_protein_sequence(rng, 60);
+    std::string b = datagen::random_protein_sequence(rng, 80);
+    EXPECT_EQ(smith_waterman(a, b).score, smith_waterman(b, a).score);
+  }
+}
+
+TEST(SmithWaterman, CellsAreMTimesN) {
+  SwResult r = smith_waterman("ACDEFG", "ACD");
+  EXPECT_EQ(r.cells, 18u);
+}
+
+TEST(NormalizedSimilarity, IdentityIsOne) {
+  Rng rng(5);
+  std::string seq = datagen::random_protein_sequence(rng, 120);
+  EXPECT_DOUBLE_EQ(normalized_similarity(seq, seq), 1.0);
+}
+
+TEST(NormalizedSimilarity, BoundsAndSymmetry) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::string a = datagen::random_protein_sequence(rng, 100);
+    std::string b = datagen::random_protein_sequence(rng, 100);
+    double ab = normalized_similarity(a, b);
+    double ba = normalized_similarity(b, a);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba);
+  }
+}
+
+TEST(NormalizedSimilarity, UnrelatedSequencesScoreLow) {
+  Rng rng(9);
+  std::string a = datagen::random_protein_sequence(rng, 300);
+  std::string b = datagen::random_protein_sequence(rng, 300);
+  EXPECT_LT(normalized_similarity(a, b), 0.2);
+}
+
+// Parameterized monotonicity: more mutation -> lower similarity, and the
+// similarity bands must land where the Table 2 sweep expects them.
+class MutationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MutationSweep, SimilarityDecreasesWithDivergence) {
+  const double rate = GetParam();
+  Rng rng(42);
+  std::string base = datagen::random_protein_sequence(rng, 250);
+  std::string mutated = datagen::mutate_sequence(rng, base, rate, 0.001);
+  double sim = normalized_similarity(base, mutated);
+
+  std::string more_mutated =
+      datagen::mutate_sequence(rng, base, std::min(1.0, rate + 0.3), 0.001);
+  double sim_more = normalized_similarity(base, more_mutated);
+
+  EXPECT_GT(sim, sim_more) << "rate " << rate;
+  if (rate <= 0.01) EXPECT_GT(sim, 0.95);
+  if (rate >= 0.6) EXPECT_LT(sim, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MutationSweep,
+                         ::testing::Values(0.005, 0.05, 0.15, 0.3, 0.45, 0.6));
+
+TEST(SwCost, UnderOneMillisecondPerComparisonAtPaperScale) {
+  // The paper's <1 ms/comparison budget at ~350-residue sequences must hold
+  // under our calibrated cost model.
+  CostProfile costs;
+  std::uint64_t cells = 350ull * 350ull;
+  EXPECT_LT(sim::to_seconds(costs.sw_cost(cells)), 1e-3);
+}
+
+}  // namespace
+}  // namespace ids::models

@@ -1,0 +1,180 @@
+// Parser tests: clause coverage, expression grammar (precedence,
+// associativity), error reporting, and a parse-then-execute round trip.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/parser.h"
+
+namespace ids::core {
+namespace {
+
+TEST(Parser, MinimalSelectWhere) {
+  graph::Dictionary dict;
+  auto r = parse_query("SELECT ?x WHERE { ?x rdf:type bio:Protein . }", &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const Query& q = r.value();
+  ASSERT_EQ(q.patterns.size(), 1u);
+  EXPECT_TRUE(q.patterns[0].s.is_var);
+  EXPECT_EQ(q.patterns[0].s.var, "x");
+  EXPECT_FALSE(q.patterns[0].p.is_var);
+  EXPECT_EQ(dict.name(q.patterns[0].p.constant), "rdf:type");
+  EXPECT_EQ(q.select, (std::vector<std::string>{"x"}));
+}
+
+TEST(Parser, SelectStarProjectsEverything) {
+  graph::Dictionary dict;
+  auto r = parse_query("SELECT * WHERE { ?x p ?y }", &dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().select.empty());
+}
+
+TEST(Parser, StringLiteralObjectsAreQuoted) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?p WHERE { ?p up:reviewed \"true\" . }", &dict);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(dict.name(r.value().patterns[0].o.constant), "\"true\"");
+}
+
+TEST(Parser, MultiplePatternsWithDots) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?c ?p WHERE { ?p rdf:type bio:Protein . "
+      "?c chembl:inhibits ?p . ?p up:reviewed \"true\" }",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().patterns.size(), 3u);
+}
+
+TEST(Parser, FilterClause) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?p WHERE { ?p a b } "
+      "FILTER ncnpr.sw_similarity(?p) >= 0.9 && ncnpr.pic50(?p) >= 5",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r.value().filters.size(), 1u);
+  EXPECT_EQ(r.value().filters[0]->to_string(),
+            "((ncnpr.sw_similarity(?p) >= 0.9) && (ncnpr.pic50(?p) >= 5))");
+}
+
+TEST(Parser, KeywordClauseAllAndAny) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?p WHERE { ?p a b } "
+      "KEYWORD ?p MATCHES ALL (\"adenosine\", \"receptor\") "
+      "KEYWORD ?p MATCHES ANY (\"kinase\")",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r.value().keywords.size(), 2u);
+  EXPECT_TRUE(r.value().keywords[0].conjunctive);
+  EXPECT_EQ(r.value().keywords[0].tokens.size(), 2u);
+  EXPECT_FALSE(r.value().keywords[1].conjunctive);
+}
+
+TEST(Parser, VectorClause) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?p WHERE { ?p a b } "
+      "VECTOR ?p NEAREST 5 L2 [0.5, -1.25, 3]",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  ASSERT_EQ(r.value().vectors.size(), 1u);
+  const VectorClause& vc = r.value().vectors[0];
+  EXPECT_EQ(vc.k, 5u);
+  EXPECT_EQ(vc.metric, store::Metric::kL2);
+  ASSERT_EQ(vc.query.size(), 3u);
+  EXPECT_FLOAT_EQ(vc.query[1], -1.25f);
+}
+
+TEST(Parser, InvokeWithCacheAndOrderLimit) {
+  graph::Dictionary dict;
+  auto r = parse_query(
+      "SELECT ?c WHERE { ?c a b } "
+      "DISTINCT ?c "
+      "INVOKE ncnpr.dock(?c) AS ?energy CACHE \"vina/P29274\" "
+      "ORDER BY ?energy DESC LIMIT 10",
+      &dict);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const Query& q = r.value();
+  EXPECT_EQ(q.distinct_var, "c");
+  ASSERT_EQ(q.invokes.size(), 1u);
+  EXPECT_EQ(q.invokes[0].udf, "ncnpr.dock");
+  EXPECT_EQ(q.invokes[0].out_var, "energy");
+  EXPECT_TRUE(q.invokes[0].use_cache);
+  EXPECT_EQ(q.invokes[0].cache_prefix, "vina/P29274");
+  EXPECT_EQ(q.order_by, "energy");
+  EXPECT_TRUE(q.order_descending);
+  EXPECT_EQ(q.limit, 10u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto r = parse_expression("1 + 2 * 3 == 7 && !false");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  expr::EvalContext ctx;
+  EXPECT_TRUE(expr::truthy(expr::eval(*r.value(), ctx)));
+
+  auto left = parse_expression("10 - 2 - 3");  // left associative: 5
+  ASSERT_TRUE(left.ok());
+  double v = 0;
+  expr::Value val = expr::eval(*left.value(), ctx);
+  ASSERT_TRUE(expr::as_double(val, &v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(Parser, UnaryMinusAndParens) {
+  expr::EvalContext ctx;
+  auto r = parse_expression("-(2 + 3) * -2");
+  ASSERT_TRUE(r.ok());
+  double v = 0;
+  ASSERT_TRUE(expr::as_double(expr::eval(*r.value(), ctx), &v));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+TEST(Parser, FeatureAccessChains) {
+  auto r = parse_expression("?cpd.ic50_nm < 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->to_string(), "(?cpd.ic50_nm < 100)");
+}
+
+TEST(Parser, Errors) {
+  graph::Dictionary dict;
+  EXPECT_FALSE(parse_query("WHERE { ?x a b }", &dict).ok());       // no SELECT
+  EXPECT_FALSE(parse_query("SELECT ?x", &dict).ok());              // no WHERE
+  EXPECT_FALSE(parse_query("SELECT ?x WHERE { }", &dict).ok());    // empty BGP
+  EXPECT_FALSE(parse_query("SELECT ?x WHERE { ?x a b } LIMIT x", &dict).ok());
+  EXPECT_FALSE(parse_query("SELECT ?x WHERE { ?x a b } garbage", &dict).ok());
+  EXPECT_FALSE(parse_expression("1 +").ok());
+  EXPECT_FALSE(parse_expression("(1").ok());
+  // Error messages carry position info.
+  auto r = parse_query("SELECT ?x WHERE { ?x a b } LIMIT x", &dict);
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(Parser, ParseThenExecuteRoundTrip) {
+  constexpr int kRanks = 4;
+  graph::TripleStore triples(kRanks);
+  store::FeatureStore features(kRanks);
+  for (int i = 0; i < 10; ++i) {
+    std::string iri = "item" + std::to_string(i);
+    triples.add(iri, "rdf:type", "Thing");
+    features.set(*triples.dict().lookup(iri), "size",
+                 static_cast<double>(i));
+  }
+  triples.finalize();
+
+  auto parsed = parse_query(
+      "SELECT ?x WHERE { ?x rdf:type Thing } FILTER ?x.size >= 6 LIMIT 3",
+      &triples.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  IdsEngine engine(opts, &triples, &features);
+  QueryResult r = engine.execute(parsed.value());
+  EXPECT_EQ(r.solutions.num_rows(), 3u);  // sizes 6..9, limited to 3
+}
+
+}  // namespace
+}  // namespace ids::core

@@ -1,0 +1,248 @@
+// Tests for the 3-in-1 datastore legs: feature store, vector store (exact
+// + IVF), and keyword inverted index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "store/feature_store.h"
+#include "store/inverted_index.h"
+#include "store/ivf_index.h"
+#include "store/vector_store.h"
+
+namespace ids::store {
+namespace {
+
+TEST(FeatureStore, SetGetTyped) {
+  FeatureStore fs(4);
+  fs.set(1, "ic50_nm", 12.5);
+  fs.set(1, "length", std::int64_t{320});
+  fs.set(1, "sequence", std::string("ACDEF"));
+
+  EXPECT_DOUBLE_EQ(*fs.get_double(1, "ic50_nm"), 12.5);
+  EXPECT_EQ(*fs.get_int(1, "length"), 320);
+  EXPECT_EQ(*fs.get_string(1, "sequence"), "ACDEF");
+  EXPECT_EQ(fs.size(), 3u);
+}
+
+TEST(FeatureStore, OverwriteDoesNotGrow) {
+  FeatureStore fs(2);
+  fs.set(5, "x", 1.0);
+  fs.set(5, "x", 2.0);
+  EXPECT_EQ(fs.size(), 1u);
+  EXPECT_DOUBLE_EQ(*fs.get_double(5, "x"), 2.0);
+}
+
+TEST(FeatureStore, MissingReturnsNullopt) {
+  FeatureStore fs(2);
+  fs.set(5, "x", 1.0);
+  EXPECT_FALSE(fs.get_double(5, "y").has_value());
+  EXPECT_FALSE(fs.get_double(6, "x").has_value());
+  EXPECT_FALSE(fs.get_string(5, "x").has_value());  // wrong type
+}
+
+TEST(FeatureStore, IntPromotesToDouble) {
+  FeatureStore fs(2);
+  fs.set(1, "n", std::int64_t{7});
+  EXPECT_DOUBLE_EQ(*fs.get_double(1, "n"), 7.0);
+}
+
+TEST(FeatureStore, ValueBytes) {
+  EXPECT_EQ(FeatureStore::value_bytes(FeatureValue{1.0}), 8u);
+  EXPECT_EQ(FeatureStore::value_bytes(FeatureValue{std::string("abcd")}), 4u);
+}
+
+class VectorStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    for (graph::TermId id = 1; id <= 200; ++id) {
+      std::vector<float> v(8);
+      for (auto& x : v) x = static_cast<float>(rng.normal());
+      store_.add(id, v);
+      data_[id] = v;
+    }
+  }
+
+  std::vector<VectorHit> naive_topk(std::span<const float> q, std::size_t k,
+                                    Metric m) {
+    std::vector<VectorHit> hits;
+    for (auto& [id, v] : data_) {
+      hits.push_back({id, VectorStore::similarity(q, v, m)});
+    }
+    std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.id < b.id;
+    });
+    hits.resize(k);
+    return hits;
+  }
+
+  VectorStore store_{4, 8};
+  std::map<graph::TermId, std::vector<float>> data_;
+};
+
+TEST_F(VectorStoreTest, TopkMatchesNaiveForAllMetrics) {
+  Rng rng(7);
+  std::vector<float> q(8);
+  for (auto& x : q) x = static_cast<float>(rng.normal());
+  for (Metric m : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
+    auto got = store_.topk(q, 10, m);
+    auto want = naive_topk(q, 10, m);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "metric " << static_cast<int>(m);
+      EXPECT_FLOAT_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST_F(VectorStoreTest, SelfIsNearestUnderCosine) {
+  auto v = store_.get(17);
+  ASSERT_FALSE(v.empty());
+  auto hits = store_.topk(v, 1, Metric::kCosine);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 17u);
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-5);
+}
+
+TEST_F(VectorStoreTest, OverwriteReplacesVector) {
+  std::vector<float> v(8, 1.0f);
+  store_.add(17, v);
+  auto got = store_.get(17);
+  for (float x : got) EXPECT_FLOAT_EQ(x, 1.0f);
+  EXPECT_EQ(store_.size(), 200u);  // no growth
+}
+
+TEST_F(VectorStoreTest, L2ScoreIsNegatedDistance) {
+  std::vector<float> a(8, 0.0f);
+  std::vector<float> b(8, 0.0f);
+  b[0] = 3.0f;
+  EXPECT_FLOAT_EQ(VectorStore::similarity(a, b, Metric::kL2), -3.0f);
+}
+
+TEST_F(VectorStoreTest, ScanWorkUnitsScaleWithShardSize) {
+  std::uint64_t total = 0;
+  for (int s = 0; s < store_.num_shards(); ++s) {
+    total += store_.scan_work_units(s);
+  }
+  EXPECT_EQ(total, 200u * 8u);
+}
+
+TEST(IvfIndex, RecallIsHighWithAllProbes) {
+  Rng rng(11);
+  VectorStore store(1, 16);
+  for (graph::TermId id = 1; id <= 500; ++id) {
+    std::vector<float> v(16);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    store.add(id, v);
+  }
+  IvfIndex index(store, 0, IvfIndex::Params{8, 6, 3});
+
+  // With nprobe == num_clusters the IVF search is exhaustive: results must
+  // equal the exact scan.
+  std::vector<float> q(16);
+  for (auto& x : q) x = static_cast<float>(rng.normal());
+  auto exact = store.topk_shard(0, q, 10, Metric::kCosine);
+  auto approx = index.topk(q, 10, Metric::kCosine, 8);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].id, approx[i].id);
+  }
+}
+
+TEST(IvfIndex, PartialProbeRecallReasonable) {
+  Rng rng(13);
+  VectorStore store(1, 16);
+  for (graph::TermId id = 1; id <= 1000; ++id) {
+    std::vector<float> v(16);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    store.add(id, v);
+  }
+  IvfIndex index(store, 0, IvfIndex::Params{16, 8, 5});
+
+  int found = 0;
+  int total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(16);
+    for (auto& x : q) x = static_cast<float>(rng.normal());
+    auto exact = store.topk_shard(0, q, 5, Metric::kL2);
+    auto approx = index.topk(q, 5, Metric::kL2, 6);
+    for (const auto& e : exact) {
+      ++total;
+      for (const auto& a : approx) {
+        if (a.id == e.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  // 6/16 probes should recover well over half of the true neighbours.
+  EXPECT_GT(static_cast<double>(found) / total, 0.6);
+  EXPECT_LT(index.scan_fraction(6), 0.5);
+  EXPECT_GT(index.work_units(6), 0u);
+}
+
+TEST(IvfIndex, EmptyShardIsSafe) {
+  VectorStore store(2, 4);
+  std::vector<float> v(4, 1.0f);
+  store.add(1, v);  // lands in one shard; the other stays empty
+  for (int s = 0; s < 2; ++s) {
+    IvfIndex index(store, s, {});
+    auto hits = index.topk(v, 3, Metric::kCosine, 4);
+    EXPECT_LE(hits.size(), 1u);
+  }
+}
+
+TEST(InvertedIndex, TokenizeLowercasesAndSplits) {
+  auto toks = InvertedIndex::tokenize("Hello, World! x2");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "x2");
+}
+
+TEST(InvertedIndex, AndSemantics) {
+  InvertedIndex idx;
+  idx.add_document(1, "adenosine receptor protein");
+  idx.add_document(2, "adenosine kinase");
+  idx.add_document(3, "receptor tyrosine kinase");
+  auto hits = idx.search_and({"adenosine", "receptor"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(InvertedIndex, OrSemantics) {
+  InvertedIndex idx;
+  idx.add_document(1, "alpha");
+  idx.add_document(2, "beta");
+  idx.add_document(3, "gamma");
+  auto hits = idx.search_or({"alpha", "beta", "missing"});
+  EXPECT_EQ(hits, (std::vector<graph::TermId>{1, 2}));
+}
+
+TEST(InvertedIndex, MissingTokenMakesAndEmpty) {
+  InvertedIndex idx;
+  idx.add_document(1, "alpha beta");
+  EXPECT_TRUE(idx.search_and({"alpha", "zzz"}).empty());
+  EXPECT_TRUE(idx.search_and({}).empty());
+}
+
+TEST(InvertedIndex, DuplicateMentionsDedup) {
+  InvertedIndex idx;
+  idx.add_document(7, "spam spam spam");
+  auto hits = idx.search_or({"spam"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(idx.posting_size("spam"), 1u);
+}
+
+TEST(InvertedIndex, CaseInsensitiveQuery) {
+  InvertedIndex idx;
+  idx.add_document(1, "Receptor");
+  EXPECT_EQ(idx.search_and({"RECEPTOR"}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ids::store
