@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_tiers.dir/bench_ablation_cache_tiers.cpp.o"
+  "CMakeFiles/bench_ablation_cache_tiers.dir/bench_ablation_cache_tiers.cpp.o.d"
+  "bench_ablation_cache_tiers"
+  "bench_ablation_cache_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rebalance.dir/bench_ablation_rebalance.cpp.o"
+  "CMakeFiles/bench_ablation_rebalance.dir/bench_ablation_rebalance.cpp.o.d"
+  "bench_ablation_rebalance"
+  "bench_ablation_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_filter.dir/bench_fig5_filter.cpp.o"
+  "CMakeFiles/bench_fig5_filter.dir/bench_fig5_filter.cpp.o.d"
+  "bench_fig5_filter"
+  "bench_fig5_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ingest.dir/bench_table1_ingest.cpp.o"
+  "CMakeFiles/bench_table1_ingest.dir/bench_table1_ingest.cpp.o.d"
+  "bench_table1_ingest"
+  "bench_table1_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

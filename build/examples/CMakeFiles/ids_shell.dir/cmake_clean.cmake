@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_shell.dir/ids_shell.cpp.o"
+  "CMakeFiles/ids_shell.dir/ids_shell.cpp.o.d"
+  "ids_shell"
+  "ids_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncnpr_workflow.dir/ncnpr_workflow.cpp.o"
+  "CMakeFiles/ncnpr_workflow.dir/ncnpr_workflow.cpp.o.d"
+  "ncnpr_workflow"
+  "ncnpr_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncnpr_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

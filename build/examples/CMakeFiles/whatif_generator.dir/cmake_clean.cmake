@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_generator.dir/whatif_generator.cpp.o"
+  "CMakeFiles/whatif_generator.dir/whatif_generator.cpp.o.d"
+  "whatif_generator"
+  "whatif_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

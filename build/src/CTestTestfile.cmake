@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("runtime")
+subdirs("graph")
+subdirs("algo")
+subdirs("store")
+subdirs("expr")
+subdirs("udf")
+subdirs("fam")
+subdirs("cache")
+subdirs("models")
+subdirs("datagen")
+subdirs("io")
+subdirs("core")
+subdirs("deploy")

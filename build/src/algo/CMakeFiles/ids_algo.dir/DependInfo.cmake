@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/graph_algorithms.cpp" "src/algo/CMakeFiles/ids_algo.dir/graph_algorithms.cpp.o" "gcc" "src/algo/CMakeFiles/ids_algo.dir/graph_algorithms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ids_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_algo.dir/graph_algorithms.cpp.o"
+  "CMakeFiles/ids_algo.dir/graph_algorithms.cpp.o.d"
+  "libids_algo.a"
+  "libids_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cross_cluster.cpp" "src/cache/CMakeFiles/ids_cache.dir/cross_cluster.cpp.o" "gcc" "src/cache/CMakeFiles/ids_cache.dir/cross_cluster.cpp.o.d"
+  "/root/repo/src/cache/manager.cpp" "src/cache/CMakeFiles/ids_cache.dir/manager.cpp.o" "gcc" "src/cache/CMakeFiles/ids_cache.dir/manager.cpp.o.d"
+  "/root/repo/src/cache/stats.cpp" "src/cache/CMakeFiles/ids_cache.dir/stats.cpp.o" "gcc" "src/cache/CMakeFiles/ids_cache.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fam/CMakeFiles/ids_fam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

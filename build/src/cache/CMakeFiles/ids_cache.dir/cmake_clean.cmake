@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_cache.dir/cross_cluster.cpp.o"
+  "CMakeFiles/ids_cache.dir/cross_cluster.cpp.o.d"
+  "CMakeFiles/ids_cache.dir/manager.cpp.o"
+  "CMakeFiles/ids_cache.dir/manager.cpp.o.d"
+  "CMakeFiles/ids_cache.dir/stats.cpp.o"
+  "CMakeFiles/ids_cache.dir/stats.cpp.o.d"
+  "libids_cache.a"
+  "libids_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

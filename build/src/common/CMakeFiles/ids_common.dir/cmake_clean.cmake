@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_common.dir/logging.cpp.o"
+  "CMakeFiles/ids_common.dir/logging.cpp.o.d"
+  "CMakeFiles/ids_common.dir/strings.cpp.o"
+  "CMakeFiles/ids_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ids_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ids_common.dir/thread_pool.cpp.o.d"
+  "libids_common.a"
+  "libids_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_core.dir/engine.cpp.o"
+  "CMakeFiles/ids_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ids_core.dir/parser.cpp.o"
+  "CMakeFiles/ids_core.dir/parser.cpp.o.d"
+  "CMakeFiles/ids_core.dir/planner.cpp.o"
+  "CMakeFiles/ids_core.dir/planner.cpp.o.d"
+  "CMakeFiles/ids_core.dir/rebalancer.cpp.o"
+  "CMakeFiles/ids_core.dir/rebalancer.cpp.o.d"
+  "CMakeFiles/ids_core.dir/workflow.cpp.o"
+  "CMakeFiles/ids_core.dir/workflow.cpp.o.d"
+  "libids_core.a"
+  "libids_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

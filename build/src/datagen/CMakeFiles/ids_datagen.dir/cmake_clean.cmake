@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_datagen.dir/lifesci.cpp.o"
+  "CMakeFiles/ids_datagen.dir/lifesci.cpp.o.d"
+  "CMakeFiles/ids_datagen.dir/sources.cpp.o"
+  "CMakeFiles/ids_datagen.dir/sources.cpp.o.d"
+  "libids_datagen.a"
+  "libids_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

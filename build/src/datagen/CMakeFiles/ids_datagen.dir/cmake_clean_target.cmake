@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libids_datagen.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_deploy.dir/scheduler.cpp.o"
+  "CMakeFiles/ids_deploy.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ids_deploy.dir/service.cpp.o"
+  "CMakeFiles/ids_deploy.dir/service.cpp.o.d"
+  "libids_deploy.a"
+  "libids_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

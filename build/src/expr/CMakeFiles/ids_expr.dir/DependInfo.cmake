@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/chain.cpp" "src/expr/CMakeFiles/ids_expr.dir/chain.cpp.o" "gcc" "src/expr/CMakeFiles/ids_expr.dir/chain.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/expr/CMakeFiles/ids_expr.dir/expr.cpp.o" "gcc" "src/expr/CMakeFiles/ids_expr.dir/expr.cpp.o.d"
+  "/root/repo/src/expr/value.cpp" "src/expr/CMakeFiles/ids_expr.dir/value.cpp.o" "gcc" "src/expr/CMakeFiles/ids_expr.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ids_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/ids_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ids_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

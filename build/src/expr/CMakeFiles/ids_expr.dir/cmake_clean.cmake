@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_expr.dir/chain.cpp.o"
+  "CMakeFiles/ids_expr.dir/chain.cpp.o.d"
+  "CMakeFiles/ids_expr.dir/expr.cpp.o"
+  "CMakeFiles/ids_expr.dir/expr.cpp.o.d"
+  "CMakeFiles/ids_expr.dir/value.cpp.o"
+  "CMakeFiles/ids_expr.dir/value.cpp.o.d"
+  "libids_expr.a"
+  "libids_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

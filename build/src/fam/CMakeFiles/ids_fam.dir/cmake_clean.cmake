@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_fam.dir/fam.cpp.o"
+  "CMakeFiles/ids_fam.dir/fam.cpp.o.d"
+  "libids_fam.a"
+  "libids_fam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_fam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dictionary.cpp" "src/graph/CMakeFiles/ids_graph.dir/dictionary.cpp.o" "gcc" "src/graph/CMakeFiles/ids_graph.dir/dictionary.cpp.o.d"
+  "/root/repo/src/graph/shard.cpp" "src/graph/CMakeFiles/ids_graph.dir/shard.cpp.o" "gcc" "src/graph/CMakeFiles/ids_graph.dir/shard.cpp.o.d"
+  "/root/repo/src/graph/solution.cpp" "src/graph/CMakeFiles/ids_graph.dir/solution.cpp.o" "gcc" "src/graph/CMakeFiles/ids_graph.dir/solution.cpp.o.d"
+  "/root/repo/src/graph/triple_store.cpp" "src/graph/CMakeFiles/ids_graph.dir/triple_store.cpp.o" "gcc" "src/graph/CMakeFiles/ids_graph.dir/triple_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ids_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_graph.dir/dictionary.cpp.o"
+  "CMakeFiles/ids_graph.dir/dictionary.cpp.o.d"
+  "CMakeFiles/ids_graph.dir/shard.cpp.o"
+  "CMakeFiles/ids_graph.dir/shard.cpp.o.d"
+  "CMakeFiles/ids_graph.dir/solution.cpp.o"
+  "CMakeFiles/ids_graph.dir/solution.cpp.o.d"
+  "CMakeFiles/ids_graph.dir/triple_store.cpp.o"
+  "CMakeFiles/ids_graph.dir/triple_store.cpp.o.d"
+  "libids_graph.a"
+  "libids_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_io.dir/dataset_io.cpp.o"
+  "CMakeFiles/ids_io.dir/dataset_io.cpp.o.d"
+  "libids_io.a"
+  "libids_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

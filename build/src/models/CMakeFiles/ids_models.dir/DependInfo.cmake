@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/docking.cpp" "src/models/CMakeFiles/ids_models.dir/docking.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/docking.cpp.o.d"
+  "/root/repo/src/models/dtba.cpp" "src/models/CMakeFiles/ids_models.dir/dtba.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/dtba.cpp.o.d"
+  "/root/repo/src/models/molecule.cpp" "src/models/CMakeFiles/ids_models.dir/molecule.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/molecule.cpp.o.d"
+  "/root/repo/src/models/molgen.cpp" "src/models/CMakeFiles/ids_models.dir/molgen.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/molgen.cpp.o.d"
+  "/root/repo/src/models/pic50.cpp" "src/models/CMakeFiles/ids_models.dir/pic50.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/pic50.cpp.o.d"
+  "/root/repo/src/models/smith_waterman.cpp" "src/models/CMakeFiles/ids_models.dir/smith_waterman.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/smith_waterman.cpp.o.d"
+  "/root/repo/src/models/structure.cpp" "src/models/CMakeFiles/ids_models.dir/structure.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/structure.cpp.o.d"
+  "/root/repo/src/models/tensor.cpp" "src/models/CMakeFiles/ids_models.dir/tensor.cpp.o" "gcc" "src/models/CMakeFiles/ids_models.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

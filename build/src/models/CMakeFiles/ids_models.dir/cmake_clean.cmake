@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_models.dir/docking.cpp.o"
+  "CMakeFiles/ids_models.dir/docking.cpp.o.d"
+  "CMakeFiles/ids_models.dir/dtba.cpp.o"
+  "CMakeFiles/ids_models.dir/dtba.cpp.o.d"
+  "CMakeFiles/ids_models.dir/molecule.cpp.o"
+  "CMakeFiles/ids_models.dir/molecule.cpp.o.d"
+  "CMakeFiles/ids_models.dir/molgen.cpp.o"
+  "CMakeFiles/ids_models.dir/molgen.cpp.o.d"
+  "CMakeFiles/ids_models.dir/pic50.cpp.o"
+  "CMakeFiles/ids_models.dir/pic50.cpp.o.d"
+  "CMakeFiles/ids_models.dir/smith_waterman.cpp.o"
+  "CMakeFiles/ids_models.dir/smith_waterman.cpp.o.d"
+  "CMakeFiles/ids_models.dir/structure.cpp.o"
+  "CMakeFiles/ids_models.dir/structure.cpp.o.d"
+  "CMakeFiles/ids_models.dir/tensor.cpp.o"
+  "CMakeFiles/ids_models.dir/tensor.cpp.o.d"
+  "libids_models.a"
+  "libids_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

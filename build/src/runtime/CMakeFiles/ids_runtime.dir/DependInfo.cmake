@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/hetero.cpp" "src/runtime/CMakeFiles/ids_runtime.dir/hetero.cpp.o" "gcc" "src/runtime/CMakeFiles/ids_runtime.dir/hetero.cpp.o.d"
+  "/root/repo/src/runtime/rank_exec.cpp" "src/runtime/CMakeFiles/ids_runtime.dir/rank_exec.cpp.o" "gcc" "src/runtime/CMakeFiles/ids_runtime.dir/rank_exec.cpp.o.d"
+  "/root/repo/src/runtime/topology.cpp" "src/runtime/CMakeFiles/ids_runtime.dir/topology.cpp.o" "gcc" "src/runtime/CMakeFiles/ids_runtime.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_runtime.dir/hetero.cpp.o"
+  "CMakeFiles/ids_runtime.dir/hetero.cpp.o.d"
+  "CMakeFiles/ids_runtime.dir/rank_exec.cpp.o"
+  "CMakeFiles/ids_runtime.dir/rank_exec.cpp.o.d"
+  "CMakeFiles/ids_runtime.dir/topology.cpp.o"
+  "CMakeFiles/ids_runtime.dir/topology.cpp.o.d"
+  "libids_runtime.a"
+  "libids_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_store.dir/feature_store.cpp.o"
+  "CMakeFiles/ids_store.dir/feature_store.cpp.o.d"
+  "CMakeFiles/ids_store.dir/inverted_index.cpp.o"
+  "CMakeFiles/ids_store.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/ids_store.dir/ivf_index.cpp.o"
+  "CMakeFiles/ids_store.dir/ivf_index.cpp.o.d"
+  "CMakeFiles/ids_store.dir/vector_store.cpp.o"
+  "CMakeFiles/ids_store.dir/vector_store.cpp.o.d"
+  "libids_store.a"
+  "libids_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

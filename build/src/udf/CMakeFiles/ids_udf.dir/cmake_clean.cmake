@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_udf.dir/registry.cpp.o"
+  "CMakeFiles/ids_udf.dir/registry.cpp.o.d"
+  "libids_udf.a"
+  "libids_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_reference_test.dir/engine_reference_test.cpp.o"
+  "CMakeFiles/engine_reference_test.dir/engine_reference_test.cpp.o.d"
+  "engine_reference_test"
+  "engine_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_udf_test.dir/expr_udf_test.cpp.o"
+  "CMakeFiles/expr_udf_test.dir/expr_udf_test.cpp.o.d"
+  "expr_udf_test"
+  "expr_udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fam_test.dir/fam_test.cpp.o"
+  "CMakeFiles/fam_test.dir/fam_test.cpp.o.d"
+  "fam_test"
+  "fam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

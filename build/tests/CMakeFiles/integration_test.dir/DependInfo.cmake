@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deploy/CMakeFiles/ids_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ids_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ids_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/ids_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ids_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ids_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ids_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fam/CMakeFiles/ids_fam.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/ids_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/ids_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ids_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ids_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ids_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

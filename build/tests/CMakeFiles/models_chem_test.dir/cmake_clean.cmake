@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_chem_test.dir/models_chem_test.cpp.o"
+  "CMakeFiles/models_chem_test.dir/models_chem_test.cpp.o.d"
+  "models_chem_test"
+  "models_chem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_chem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

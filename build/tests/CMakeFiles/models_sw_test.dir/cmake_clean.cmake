@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_sw_test.dir/models_sw_test.cpp.o"
+  "CMakeFiles/models_sw_test.dir/models_sw_test.cpp.o.d"
+  "models_sw_test"
+  "models_sw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_sw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_rebalancer_test.dir/planner_rebalancer_test.cpp.o"
+  "CMakeFiles/planner_rebalancer_test.dir/planner_rebalancer_test.cpp.o.d"
+  "planner_rebalancer_test"
+  "planner_rebalancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_rebalancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
