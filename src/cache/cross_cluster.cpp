@@ -5,7 +5,11 @@ namespace ids::cache {
 std::optional<std::string> CrossClusterBridge::get(sim::VirtualClock& clock,
                                                    int node,
                                                    std::string_view name) {
+  // The underlying caches synchronize themselves; mutex_ only guards the
+  // bridge counters, so it is taken briefly around each update rather than
+  // across the (potentially slow, peer-blocking) cache calls.
   if (auto payload = local_->get(clock, node, name)) {
+    MutexLock lock(mutex_);
     ++stats_.local_hits;
     return payload;
   }
@@ -15,12 +19,16 @@ std::optional<std::string> CrossClusterBridge::get(sim::VirtualClock& clock,
   // entering the peer at its gateway node 0.
   auto payload = peer_->get(clock, /*node=*/0, name);
   if (!payload) {
+    MutexLock lock(mutex_);
     ++stats_.misses;
     return std::nullopt;
   }
   clock.advance(wan_.transfer_cost(payload->size()));
-  ++stats_.peer_fetches;
-  stats_.bytes_over_wan += payload->size();
+  {
+    MutexLock lock(mutex_);
+    ++stats_.peer_fetches;
+    stats_.bytes_over_wan += payload->size();
+  }
 
   // Populate the local cluster so the next read is cluster-local.
   local_->put(clock, node, name, *payload);

@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "cache/manager.h"
+#include "common/thread_annotations.h"
 
 namespace ids::cache {
 
@@ -41,7 +42,7 @@ class CrossClusterBridge {
   /// Read-through get: local cluster first, then the peer (+ WAN cost,
   /// + local population so the artifact becomes cluster-local).
   std::optional<std::string> get(sim::VirtualClock& clock, int node,
-                                 std::string_view name);
+                                 std::string_view name) IDS_EXCLUDES(mutex_);
 
   /// Writes are always local-cluster.
   void put(sim::VirtualClock& clock, int node, std::string_view name,
@@ -49,13 +50,19 @@ class CrossClusterBridge {
     local_->put(clock, node, name, std::move(payload), hint);
   }
 
-  const BridgeStats& stats() const { return stats_; }
+  /// Snapshot of the bridge counters (a copy: concurrent get()s keep
+  /// mutating the live struct).
+  BridgeStats stats() const IDS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
 
  private:
   CacheManager* local_;
   CacheManager* peer_;
   sim::LinkModel wan_;
-  BridgeStats stats_;
+  mutable Mutex mutex_;
+  BridgeStats stats_ IDS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ids::cache

@@ -184,7 +184,7 @@ void CacheManager::insert_dram(sim::VirtualClock& clock, int node, ObjectId id,
 void CacheManager::put(sim::VirtualClock& clock, int node,
                        std::string_view name, std::string payload,
                        PlacementHint hint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ObjectId id = object_id(name);
   charge_directory_lookup(clock, node, id);
 
@@ -215,7 +215,7 @@ void CacheManager::put(sim::VirtualClock& clock, int node,
 
 std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
                                              int node, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ObjectId id = object_id(name);
   charge_directory_lookup(clock, node, id);
 
@@ -313,14 +313,14 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
 }
 
 bool CacheManager::contains(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = directory_.find(object_id(name));
   if (it == directory_.end()) return false;
   return !it->second.copies.empty() || it->second.in_backing;
 }
 
 std::vector<Location> CacheManager::locations(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = directory_.find(object_id(name));
   if (it == directory_.end()) return {};
   return it->second.copies;
@@ -328,7 +328,7 @@ std::vector<Location> CacheManager::locations(std::string_view name) const {
 
 sim::Nanos CacheManager::estimated_get_cost(int node,
                                             std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = directory_.find(object_id(name));
   if (it == directory_.end()) return std::numeric_limits<sim::Nanos>::max();
   const Meta& meta = it->second;
@@ -357,7 +357,7 @@ sim::Nanos CacheManager::estimated_get_cost(int node,
 
 int CacheManager::nearest_node_with(std::string_view name,
                                     int from_node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = directory_.find(object_id(name));
   if (it == directory_.end()) return -1;
   const Meta& meta = it->second;
@@ -380,7 +380,7 @@ int CacheManager::nearest_node_with(std::string_view name,
 }
 
 void CacheManager::fail_node(int node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Abrupt loss of the node's fabric-attached DRAM and local SSD.
   fam_->fail_server(node);
   fam_->recover_server(node);
@@ -395,7 +395,7 @@ void CacheManager::fail_node(int node) {
 }
 
 void CacheManager::invalidate(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ObjectId id = object_id(name);
   auto it = directory_.find(id);
   if (it == directory_.end()) return;
@@ -407,7 +407,7 @@ void CacheManager::invalidate(std::string_view name) {
 
 void CacheManager::relocate(sim::VirtualClock& clock, std::string_view name,
                             int target_node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ObjectId id = object_id(name);
   auto it = directory_.find(id);
   if (it == directory_.end()) return;
@@ -427,17 +427,17 @@ void CacheManager::relocate(sim::VirtualClock& clock, std::string_view name,
 }
 
 std::uint64_t CacheManager::dram_used(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return nodes_[static_cast<std::size_t>(node)].dram_used;
 }
 
 std::uint64_t CacheManager::ssd_used(int node) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return nodes_[static_cast<std::size_t>(node)].ssd_used;
 }
 
 std::size_t CacheManager::num_objects() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return directory_.size();
 }
 

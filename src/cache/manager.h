@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +28,7 @@
 
 #include "cache/object_id.h"
 #include "cache/stats.h"
+#include "common/thread_annotations.h"
 #include "fam/fam.h"
 #include "sim/fabric.h"
 #include "sim/virtual_clock.h"
@@ -79,50 +79,61 @@ class CacheManager {
   /// caller's node) and written through to backing storage. Charges
   /// `clock` for every modeled transfer. Overwrites any existing object.
   void put(sim::VirtualClock& clock, int node, std::string_view name,
-           std::string payload, PlacementHint hint = {});
+           std::string payload, PlacementHint hint = {}) IDS_EXCLUDES(mutex_);
 
   /// Fetches the object, charging `clock` for the cheapest available path.
   /// nullopt = total miss (not cached anywhere and not in backing store);
   /// the caller is expected to recompute and put().
   std::optional<std::string> get(sim::VirtualClock& clock, int node,
-                                 std::string_view name);
+                                 std::string_view name) IDS_EXCLUDES(mutex_);
 
   /// True if a get() would succeed (any tier or backing store).
-  bool contains(std::string_view name) const;
+  bool contains(std::string_view name) const IDS_EXCLUDES(mutex_);
 
   /// Locality query: where are copies of this object right now? Used by
   /// schedulers to co-locate computation with data (§3.2).
-  std::vector<Location> locations(std::string_view name) const;
+  std::vector<Location> locations(std::string_view name) const
+      IDS_EXCLUDES(mutex_);
 
   /// The cheapest node to read the object from `from_node`'s perspective,
   /// or -1 if the object is only in the backing store / absent.
-  int nearest_node_with(std::string_view name, int from_node) const;
+  int nearest_node_with(std::string_view name, int from_node) const
+      IDS_EXCLUDES(mutex_);
 
   /// Modeled cost of a get() issued from `node` right now, without
   /// performing it (no stats, no LRU effect). Schedulers use this to
   /// co-locate computation with data (§3.2 / §8). Returns the recompute
   /// sentinel sim::Nanos max for objects that are absent everywhere.
-  sim::Nanos estimated_get_cost(int node, std::string_view name) const;
+  sim::Nanos estimated_get_cost(int node, std::string_view name) const
+      IDS_EXCLUDES(mutex_);
 
   /// Drops every cached copy held by `node` (its DRAM region on the FAM
   /// server and its SSD). Backing-store contents are unaffected; the next
   /// get() re-populates from backing, which is the paper's recovery story.
-  void fail_node(int node);
+  void fail_node(int node) IDS_EXCLUDES(mutex_);
 
   /// Removes the object from all tiers and the backing store.
-  void invalidate(std::string_view name);
+  void invalidate(std::string_view name) IDS_EXCLUDES(mutex_);
 
   /// Explicitly relocates an object's DRAM copy to `target_node`
   /// (operator-policy data movement, §3.2). No-op if not DRAM-resident.
   void relocate(sim::VirtualClock& clock, std::string_view name,
-                int target_node);
+                int target_node) IDS_EXCLUDES(mutex_);
 
-  const CacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CacheStats{}; }
+  /// Snapshot of the counters (a copy: concurrent operations keep
+  /// mutating the live struct).
+  CacheStats stats() const IDS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() IDS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    stats_ = CacheStats{};
+  }
 
-  std::uint64_t dram_used(int node) const;
-  std::uint64_t ssd_used(int node) const;
-  std::size_t num_objects() const;
+  std::uint64_t dram_used(int node) const IDS_EXCLUDES(mutex_);
+  std::uint64_t ssd_used(int node) const IDS_EXCLUDES(mutex_);
+  std::size_t num_objects() const IDS_EXCLUDES(mutex_);
 
  private:
   struct Meta {
@@ -150,32 +161,41 @@ class CacheManager {
     return static_cast<int>(id.value % static_cast<std::uint64_t>(config_.num_nodes));
   }
   /// Charges the metadata round trip when the directory shard is remote.
+  /// Reads only immutable config, so it needs no lock of its own.
   void charge_directory_lookup(sim::VirtualClock& clock, int node,
                                ObjectId id) const;
 
-  /// Charges the per-artifact (de)serialization latency (mutex_ held).
+  /// Charges the per-artifact (de)serialization latency.
   /// No-op when serialization_service_seconds is 0.
   void charge_serialization(sim::VirtualClock& clock);
 
-  // All helpers below require mutex_ held.
-  void touch_dram(int node, ObjectId id);
-  void touch_ssd(int node, ObjectId id);
+  // All helpers below require mutex_ held (machine-checked under Clang).
+  void touch_dram(int node, ObjectId id) IDS_REQUIRES(mutex_);
+  void touch_ssd(int node, ObjectId id) IDS_REQUIRES(mutex_);
   bool read_dram_copy(sim::VirtualClock& clock, int reader_node, int owner_node,
-                      const Meta& meta, std::string* out) const;
+                      const Meta& meta, std::string* out) const
+      IDS_REQUIRES(mutex_);
   void insert_dram(sim::VirtualClock& clock, int node, ObjectId id, Meta& meta,
-                   const std::string& payload);
-  void evict_dram_lru(sim::VirtualClock& clock, int node);
-  void insert_ssd(int node, ObjectId id, Meta& meta, std::string payload);
-  void drop_copy(ObjectId id, Meta& meta, const Location& loc);
-  void remove_copy_record(Meta& meta, const Location& loc);
+                   const std::string& payload) IDS_REQUIRES(mutex_);
+  void evict_dram_lru(sim::VirtualClock& clock, int node) IDS_REQUIRES(mutex_);
+  void insert_ssd(int node, ObjectId id, Meta& meta, std::string payload)
+      IDS_REQUIRES(mutex_);
+  void drop_copy(ObjectId id, Meta& meta, const Location& loc)
+      IDS_REQUIRES(mutex_);
+  void remove_copy_record(Meta& meta, const Location& loc)
+      IDS_REQUIRES(mutex_);
 
   CacheConfig config_;
+  // Internally synchronized; acquired strictly *after* mutex_ (the FAM
+  // layer never calls back into the cache, so the order cannot invert).
   std::unique_ptr<fam::FamService> fam_;
-  mutable std::mutex mutex_;
-  std::unordered_map<ObjectId, Meta, ObjectIdHash> directory_;
-  std::unordered_map<ObjectId, std::string, ObjectIdHash> backing_;
-  std::vector<NodeState> nodes_;
-  CacheStats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<ObjectId, Meta, ObjectIdHash> directory_
+      IDS_GUARDED_BY(mutex_);
+  std::unordered_map<ObjectId, std::string, ObjectIdHash> backing_
+      IDS_GUARDED_BY(mutex_);
+  std::vector<NodeState> nodes_ IDS_GUARDED_BY(mutex_);
+  CacheStats stats_ IDS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ids::cache

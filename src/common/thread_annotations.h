@@ -1,0 +1,142 @@
+#pragma once
+
+// Clang thread-safety annotations and an annotated mutex wrapper.
+//
+// Every mutex-protected subsystem in this repository declares its locking
+// contract with these macros so that Clang's -Wthread-safety analysis can
+// machine-check it at compile time: which members a mutex guards
+// (IDS_GUARDED_BY), which private helpers assume the lock is already held
+// (IDS_REQUIRES), and which public entry points must never be called with
+// it held (IDS_EXCLUDES). On GCC (and any compiler without the capability
+// attributes) every macro expands to nothing, so the annotations are
+// zero-cost documentation there and enforced contract under Clang.
+//
+// Use ids::Mutex + ids::MutexLock instead of naked std::mutex +
+// std::lock_guard everywhere outside this directory — tools/lint.sh
+// enforces that ban so new code cannot silently opt out of the analysis.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IDS_THREAD_SAFETY_ANALYSIS_ENABLED 1
+#endif
+#endif
+
+#ifdef IDS_THREAD_SAFETY_ANALYSIS_ENABLED
+#define IDS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IDS_THREAD_SAFETY_ANALYSIS_ENABLED 0
+#define IDS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define IDS_CAPABILITY(x) IDS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires in its constructor, releases in its
+/// destructor.
+#define IDS_SCOPED_CAPABILITY IDS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given mutex.
+#define IDS_GUARDED_BY(x) IDS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define IDS_PT_GUARDED_BY(x) IDS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called with the listed mutexes held (exclusive).
+#define IDS_REQUIRES(...) \
+  IDS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function may only be called with the listed mutexes held (shared).
+#define IDS_REQUIRES_SHARED(...) \
+  IDS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the mutex and does not release it before returning.
+#define IDS_ACQUIRE(...) \
+  IDS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a mutex the caller held.
+#define IDS_RELEASE(...) \
+  IDS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the mutex; first argument is the success
+/// return value.
+#define IDS_TRY_ACQUIRE(...) \
+  IDS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed mutexes held (deadlock
+/// prevention for non-reentrant locks).
+#define IDS_EXCLUDES(...) IDS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex.
+#define IDS_RETURN_CAPABILITY(x) IDS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts at runtime that the calling thread holds the mutex, informing
+/// the static analysis.
+#define IDS_ASSERT_CAPABILITY(x) IDS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use sparingly and
+/// leave a comment explaining why the contract cannot be expressed.
+#define IDS_NO_THREAD_SAFETY_ANALYSIS \
+  IDS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ids {
+
+/// std::mutex with the capability annotation. Satisfies BasicLockable /
+/// Lockable, but prefer MutexLock so the scope of the critical section is
+/// visible to the analysis.
+class IDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IDS_ACQUIRE() { mu_.lock(); }
+  void unlock() IDS_RELEASE() { mu_.unlock(); }
+  bool try_lock() IDS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard over ids::Mutex (the annotated std::lock_guard analogue).
+class IDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IDS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() IDS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with ids::Mutex. Internally drives the
+/// wrapped std::mutex directly, so the analysis never sees an
+/// unlock-without-hold inside library code.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits for `pred`, reacquires `mu`. Caller
+  /// must hold `mu`, and holds it again on return.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) IDS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk, std::move(pred));
+    lk.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ids

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <memory>
+#include <utility>
 
 namespace ids {
 
@@ -17,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -28,8 +30,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() IDS_REQUIRES(mutex_) {
+        return stopping_ || !tasks_.empty();
+      });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -49,8 +53,8 @@ void ThreadPool::parallel_for(std::size_t n,
   // Atomic work-stealing counter: each participant grabs the next index.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   auto done = std::make_shared<std::atomic<std::size_t>>(0);
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   auto run_chunk = [next, done, n, &fn, &done_mutex, &done_cv] {
     std::size_t processed = 0;
@@ -63,7 +67,7 @@ void ThreadPool::parallel_for(std::size_t n,
     if (processed > 0) {
       std::size_t total = done->fetch_add(processed) + processed;
       if (total >= n) {
-        std::lock_guard<std::mutex> lock(done_mutex);
+        MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     }
@@ -71,7 +75,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
   std::size_t helpers = std::min(workers_.size(), n - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       tasks_.push(run_chunk);
     }
@@ -80,8 +84,8 @@ void ThreadPool::parallel_for(std::size_t n,
 
   run_chunk();  // caller participates
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done->load() >= n; });
+  MutexLock lock(done_mutex);
+  done_cv.wait(done_mutex, [&] { return done->load() >= n; });
 }
 
 ThreadPool& ThreadPool::global() {

@@ -6,14 +6,20 @@
 // clock handles *modeled* time; see src/sim). On a single-core container
 // the pool degrades gracefully to near-serial execution without changing
 // any result: work items are deterministic functions of their index.
+//
+// Locking contract: mutex_ guards the task queue and the stopping flag;
+// cv_ signals queue-not-empty / shutdown. parallel_for uses a private
+// per-call mutex for its completion latch, nested strictly inside no other
+// lock, so pool-wide and per-call locks can never deadlock against each
+// other.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ids {
 
@@ -31,19 +37,20 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n), distributing indices over the workers and
   /// the calling thread. Blocks until every index has completed. fn must be
   /// safe to call concurrently for distinct indices.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn)
+      IDS_EXCLUDES(mutex_);
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  void worker_loop() IDS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ IDS_GUARDED_BY(mutex_);
+  bool stopping_ IDS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ids

@@ -26,7 +26,7 @@ Result<SessionId> DatastoreLauncher::launch(core::EngineOptions options) {
   }
   auto session = std::make_unique<IdsSession>(options,
                                               options.topology.num_ranks());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SessionId id = next_id_++;
   session->agent(0).log("launcher",
                         "session " + std::to_string(id) +
@@ -36,7 +36,7 @@ Result<SessionId> DatastoreLauncher::launch(core::EngineOptions options) {
 }
 
 Status DatastoreLauncher::teardown(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound("no such session: " + std::to_string(id));
@@ -46,13 +46,13 @@ Status DatastoreLauncher::teardown(SessionId id) {
 }
 
 IdsSession* DatastoreLauncher::session(SessionId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
 std::size_t DatastoreLauncher::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sessions_.size();
 }
 

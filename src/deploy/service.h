@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "core/parser.h"
 
@@ -39,15 +39,16 @@ class DatastoreAgent {
 
   int node() const { return node_; }
 
-  void log(std::string_view component, std::string message) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void log(std::string_view component, std::string message)
+      IDS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     entries_.push_back(LogEntry{node_, std::string(component),
                                 std::move(message)});
   }
 
   /// Returns and clears the buffered log entries.
-  std::vector<LogEntry> drain() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<LogEntry> drain() IDS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     std::vector<LogEntry> out = std::move(entries_);
     entries_.clear();
     return out;
@@ -55,8 +56,8 @@ class DatastoreAgent {
 
  private:
   int node_;
-  std::mutex mutex_;
-  std::vector<LogEntry> entries_;
+  Mutex mutex_;
+  std::vector<LogEntry> entries_ IDS_GUARDED_BY(mutex_);
 };
 
 /// A running IDS instance: stores + engine + per-node agents.
@@ -89,19 +90,22 @@ class DatastoreLauncher {
  public:
   /// Launches a session across the options' topology (one agent per
   /// node; one store shard per rank) and opens its query/update endpoint.
-  Result<SessionId> launch(core::EngineOptions options);
+  Result<SessionId> launch(core::EngineOptions options) IDS_EXCLUDES(mutex_);
 
-  Status teardown(SessionId id);
+  Status teardown(SessionId id) IDS_EXCLUDES(mutex_);
 
-  /// nullptr if the session does not exist (e.g. torn down).
-  IdsSession* session(SessionId id);
+  /// nullptr if the session does not exist (e.g. torn down). The pointee
+  /// stays valid until teardown(id) — callers must not race a query
+  /// against teardown of the same session.
+  IdsSession* session(SessionId id) IDS_EXCLUDES(mutex_);
 
-  std::size_t active_sessions() const;
+  std::size_t active_sessions() const IDS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<SessionId, std::unique_ptr<IdsSession>> sessions_;
+  mutable Mutex mutex_;
+  std::uint64_t next_id_ IDS_GUARDED_BY(mutex_) = 1;
+  std::unordered_map<SessionId, std::unique_ptr<IdsSession>> sessions_
+      IDS_GUARDED_BY(mutex_);
 };
 
 /// One fact for the update endpoint.

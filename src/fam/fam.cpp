@@ -18,7 +18,9 @@ FamService::FamService(FamOptions options) : options_(std::move(options)) {
 
 sim::Nanos FamService::transfer_cost(int caller_node, int server,
                                      std::uint64_t bytes) const {
-  const auto& link = (caller_node == servers_[static_cast<std::size_t>(server)].node)
+  // Reads only the immutable node mapping, so it is safe both under
+  // mutex_ (from put/get/atomics) and without it (public cost queries).
+  const auto& link = (caller_node == server_node(server))
                          ? options_.fabric.intra_node
                          : options_.fabric.inter_node;
   return link.transfer_cost(bytes);
@@ -27,7 +29,7 @@ sim::Nanos FamService::transfer_cost(int caller_node, int server,
 Result<Descriptor> FamService::allocate(std::string_view name,
                                         std::uint64_t size,
                                         int preferred_server) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string key(name);
   if (names_.contains(key)) {
     return Status::AlreadyExists("fam allocation exists: " + key);
@@ -74,7 +76,7 @@ Result<Descriptor> FamService::allocate(std::string_view name,
 }
 
 Status FamService::deallocate(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = names_.find(std::string(name));
   if (it == names_.end()) {
     return Status::NotFound("fam allocation not found");
@@ -91,7 +93,7 @@ Status FamService::deallocate(std::string_view name) {
 }
 
 Result<Descriptor> FamService::lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = names_.find(std::string(name));
   if (it == names_.end()) {
     return Status::NotFound("fam allocation not found: " + std::string(name));
@@ -125,7 +127,7 @@ const FamService::Region* FamService::find_region(const Descriptor& d) const {
 Status FamService::put(sim::VirtualClock& clock, int caller_node,
                        const Descriptor& d, std::uint64_t offset,
                        std::span<const std::byte> data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Status st = check(d, offset, data.size()); !st.ok()) return st;
   auto& region =
       servers_[static_cast<std::size_t>(d.server)].regions.at(d.region);
@@ -137,7 +139,7 @@ Status FamService::put(sim::VirtualClock& clock, int caller_node,
 Status FamService::get(sim::VirtualClock& clock, int caller_node,
                        const Descriptor& d, std::uint64_t offset,
                        std::span<std::byte> out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Status st = check(d, offset, out.size()); !st.ok()) return st;
   const Region* region = find_region(d);
   std::memcpy(out.data(), region->data.data() + offset, out.size());
@@ -150,7 +152,7 @@ Result<std::uint64_t> FamService::fetch_add(sim::VirtualClock& clock,
                                             const Descriptor& d,
                                             std::uint64_t offset,
                                             std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (offset % 8 != 0) return Status::InvalidArgument("unaligned fam atomic");
   if (Status st = check(d, offset, 8); !st.ok()) return st;
   auto& region =
@@ -169,7 +171,7 @@ Result<std::uint64_t> FamService::compare_swap(sim::VirtualClock& clock,
                                                std::uint64_t offset,
                                                std::uint64_t expected,
                                                std::uint64_t desired) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (offset % 8 != 0) return Status::InvalidArgument("unaligned fam atomic");
   if (Status st = check(d, offset, 8); !st.ok()) return st;
   auto& region =
@@ -184,12 +186,12 @@ Result<std::uint64_t> FamService::compare_swap(sim::VirtualClock& clock,
 }
 
 std::uint64_t FamService::used_bytes(int server) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return servers_[static_cast<std::size_t>(server)].used;
 }
 
 void FamService::fail_server(int server) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& s = servers_[static_cast<std::size_t>(server)];
   s.alive = false;
   s.regions.clear();
@@ -207,12 +209,12 @@ void FamService::fail_server(int server) {
 }
 
 void FamService::recover_server(int server) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   servers_[static_cast<std::size_t>(server)].alive = true;
 }
 
 bool FamService::server_alive(int server) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return servers_[static_cast<std::size_t>(server)].alive;
 }
 

@@ -17,7 +17,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -26,6 +25,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "sim/fabric.h"
 #include "sim/virtual_clock.h"
 
@@ -52,51 +52,60 @@ class FamService {
  public:
   explicit FamService(FamOptions options);
 
-  int num_servers() const { return static_cast<int>(servers_.size()); }
-  int server_node(int server) const { return servers_[static_cast<std::size_t>(server)].node; }
+  // Server count and node mapping are fixed at construction, so these read
+  // the immutable options rather than the guarded server table.
+  int num_servers() const {
+    return static_cast<int>(options_.server_nodes.size());
+  }
+  int server_node(int server) const {
+    return options_.server_nodes[static_cast<std::size_t>(server)];
+  }
 
   /// Allocates `size` bytes under `name` on `preferred_server` (or the
   /// least-loaded live server when -1). Fails with kResourceExhausted when
   /// no live server has room, kAlreadyExists on a name collision.
   Result<Descriptor> allocate(std::string_view name, std::uint64_t size,
-                              int preferred_server = -1);
+                              int preferred_server = -1) IDS_EXCLUDES(mutex_);
 
   /// Frees the named allocation (no-op cost; metadata only).
-  Status deallocate(std::string_view name);
+  Status deallocate(std::string_view name) IDS_EXCLUDES(mutex_);
 
   /// Finds an existing allocation by name.
-  Result<Descriptor> lookup(std::string_view name) const;
+  Result<Descriptor> lookup(std::string_view name) const IDS_EXCLUDES(mutex_);
 
   /// Writes `data` at `offset` within the allocation, charging `clock`
   /// with the transfer cost from `caller_node` to the owning server.
   Status put(sim::VirtualClock& clock, int caller_node, const Descriptor& d,
-             std::uint64_t offset, std::span<const std::byte> data);
+             std::uint64_t offset, std::span<const std::byte> data)
+      IDS_EXCLUDES(mutex_);
 
   /// Reads `out.size()` bytes at `offset`, charging `clock` likewise.
   Status get(sim::VirtualClock& clock, int caller_node, const Descriptor& d,
-             std::uint64_t offset, std::span<std::byte> out) const;
+             std::uint64_t offset, std::span<std::byte> out) const
+      IDS_EXCLUDES(mutex_);
 
   /// Atomic fetch-and-add on a 64-bit word at `offset` (must be 8-aligned).
   /// Charges one small-message round trip.
   Result<std::uint64_t> fetch_add(sim::VirtualClock& clock, int caller_node,
                                   const Descriptor& d, std::uint64_t offset,
-                                  std::uint64_t delta);
+                                  std::uint64_t delta) IDS_EXCLUDES(mutex_);
 
   /// Atomic compare-and-swap; returns the previous value.
   Result<std::uint64_t> compare_swap(sim::VirtualClock& clock, int caller_node,
                                      const Descriptor& d, std::uint64_t offset,
                                      std::uint64_t expected,
-                                     std::uint64_t desired);
+                                     std::uint64_t desired)
+      IDS_EXCLUDES(mutex_);
 
-  std::uint64_t used_bytes(int server) const;
+  std::uint64_t used_bytes(int server) const IDS_EXCLUDES(mutex_);
   std::uint64_t capacity_bytes() const { return options_.server_capacity_bytes; }
 
   /// Crashes a server: all its allocations disappear, capacity returns
   /// when it is recovered.
-  void fail_server(int server);
+  void fail_server(int server) IDS_EXCLUDES(mutex_);
   /// Brings a failed server back empty.
-  void recover_server(int server);
-  bool server_alive(int server) const;
+  void recover_server(int server) IDS_EXCLUDES(mutex_);
+  bool server_alive(int server) const IDS_EXCLUDES(mutex_);
 
   /// Transfer cost between a caller node and a server, exposed so the
   /// cache layer prices placements consistently.
@@ -117,14 +126,14 @@ class FamService {
   };
 
   Status check(const Descriptor& d, std::uint64_t offset,
-               std::uint64_t len) const;
-  const Region* find_region(const Descriptor& d) const;
+               std::uint64_t len) const IDS_REQUIRES(mutex_);
+  const Region* find_region(const Descriptor& d) const IDS_REQUIRES(mutex_);
 
-  FamOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<Server> servers_;
-  std::unordered_map<std::string, Descriptor> names_;
-  std::uint64_t next_region_ = 1;
+  const FamOptions options_;  // immutable after construction
+  mutable Mutex mutex_;
+  std::vector<Server> servers_ IDS_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Descriptor> names_ IDS_GUARDED_BY(mutex_);
+  std::uint64_t next_region_ IDS_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace ids::fam

@@ -5,7 +5,7 @@
 namespace ids::graph {
 
 TermId Dictionary::intern(std::string_view term) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = ids_.find(std::string(term));
   if (it != ids_.end()) return it->second;
   TermId id = static_cast<TermId>(names_.size());
@@ -15,20 +15,20 @@ TermId Dictionary::intern(std::string_view term) {
 }
 
 std::optional<TermId> Dictionary::lookup(std::string_view term) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = ids_.find(std::string(term));
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& Dictionary::name(TermId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   assert(id < names_.size() && id != kInvalidTerm);
   return names_[id];
 }
 
 std::size_t Dictionary::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return names_.size() - 1;
 }
 

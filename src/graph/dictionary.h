@@ -6,14 +6,20 @@
 // ids and keeps a two-way dictionary from IRIs/literals to ids. Id 0 is
 // reserved as "invalid"; ids are assigned densely in interning order, so a
 // graph built in a fixed order gets identical ids on every run.
+//
+// Locking contract: mutex_ guards both maps. names_ is a deque so that the
+// references name() hands out stay valid while concurrent intern() calls
+// grow it — only the container structure is guarded, settled entries are
+// immutable for the dictionary's lifetime.
 
 #include <cstdint>
-#include <mutex>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ids::graph {
 
@@ -25,21 +31,24 @@ class Dictionary {
   Dictionary() { names_.emplace_back(); }  // slot 0 = invalid
 
   /// Returns the id for `term`, creating one if needed. Thread-safe.
-  TermId intern(std::string_view term);
+  TermId intern(std::string_view term) IDS_EXCLUDES(mutex_);
 
   /// Returns the id for `term` if already interned. Thread-safe.
-  std::optional<TermId> lookup(std::string_view term) const;
+  std::optional<TermId> lookup(std::string_view term) const
+      IDS_EXCLUDES(mutex_);
 
-  /// Returns the string for an id. The id must be valid.
-  const std::string& name(TermId id) const;
+  /// Returns the string for an id. The id must be valid. The reference
+  /// stays valid for the dictionary's lifetime (entries are never removed
+  /// or reallocated).
+  const std::string& name(TermId id) const IDS_EXCLUDES(mutex_);
 
   /// Number of interned terms (excluding the invalid slot).
-  std::size_t size() const;
+  std::size_t size() const IDS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> names_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, TermId> ids_ IDS_GUARDED_BY(mutex_);
+  std::deque<std::string> names_ IDS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ids::graph

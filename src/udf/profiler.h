@@ -8,6 +8,12 @@
 // mean cost for chain reordering (§2.4.3) and per-rank throughput for
 // solution re-balancing (§2.4.2). The store is continually updated over
 // the lifetime of an IDS instance — stats persist across queries.
+//
+// Locking contract: the store is sharded by rank, one mutex per shard.
+// A rank's record_* calls only touch its own shard (uncontended on the
+// hot path), while cross-rank readers (aggregate, estimated cost) lock
+// each shard in turn — so the planner may read concurrently with ranks
+// still recording, which is exactly what solution re-balancing does.
 
 #include <algorithm>
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "sim/time.h"
 
 namespace ids::udf {
@@ -53,31 +60,40 @@ class UdfProfiler {
   int num_ranks() const { return static_cast<int>(per_rank_.size()); }
 
   /// Records one execution on `rank`. Safe to call concurrently from
-  /// different ranks (each rank owns its own map).
+  /// different ranks, and concurrently with cross-rank readers.
   void record_exec(int rank, std::string_view name, sim::Nanos cost) {
-    auto& s = per_rank_[static_cast<std::size_t>(rank)][std::string(name)];
+    Shard& shard = per_rank_[static_cast<std::size_t>(rank)];
+    MutexLock lock(shard.mutex);
+    auto& s = shard.stats[std::string(name)];
     ++s.execs;
     s.total_time += cost;
   }
 
   /// Records that `name`'s evaluation rejected an expression on `rank`.
   void record_reject(int rank, std::string_view name) {
-    ++per_rank_[static_cast<std::size_t>(rank)][std::string(name)].rejects;
+    Shard& shard = per_rank_[static_cast<std::size_t>(rank)];
+    MutexLock lock(shard.mutex);
+    ++shard.stats[std::string(name)].rejects;
   }
 
-  /// Stats of one UDF on one rank; nullptr if never seen there.
-  const UdfStats* get(int rank, std::string_view name) const {
-    const auto& m = per_rank_[static_cast<std::size_t>(rank)];
-    auto it = m.find(std::string(name));
-    return it == m.end() ? nullptr : &it->second;
+  /// Snapshot of one UDF's stats on one rank; zeroed stats if never seen
+  /// there. (A snapshot, not a pointer: the entry may be updated
+  /// concurrently by the owning rank.)
+  UdfStats get(int rank, std::string_view name) const {
+    Shard& shard = per_rank_[static_cast<std::size_t>(rank)];
+    MutexLock lock(shard.mutex);
+    auto it = shard.stats.find(std::string(name));
+    return it == shard.stats.end() ? UdfStats{} : it->second;
   }
 
   /// Stats aggregated over all ranks.
   UdfStats aggregate(std::string_view name) const {
+    const std::string key(name);
     UdfStats out;
-    for (const auto& m : per_rank_) {
-      auto it = m.find(std::string(name));
-      if (it != m.end()) out.merge(it->second);
+    for (Shard& shard : per_rank_) {
+      MutexLock lock(shard.mutex);
+      auto it = shard.stats.find(key);
+      if (it != shard.stats.end()) out.merge(it->second);
     }
     return out;
   }
@@ -96,19 +112,28 @@ class UdfProfiler {
   double estimated_cost_seconds(int rank, std::string_view name) const {
     UdfStats agg = aggregate(name);
     double agg_mean = agg.mean_cost_seconds();
-    const UdfStats* s = get(rank, name);
-    if (!s || s->execs == 0) return agg_mean;
-    double w = std::min(1.0, static_cast<double>(s->execs) /
+    UdfStats s = get(rank, name);
+    if (s.execs == 0) return agg_mean;
+    double w = std::min(1.0, static_cast<double>(s.execs) /
                                  static_cast<double>(kFullConfidenceExecs));
-    return (1.0 - w) * agg_mean + w * s->mean_cost_seconds();
+    return (1.0 - w) * agg_mean + w * s.mean_cost_seconds();
   }
 
   void clear() {
-    for (auto& m : per_rank_) m.clear();
+    for (Shard& shard : per_rank_) {
+      MutexLock lock(shard.mutex);
+      shard.stats.clear();
+    }
   }
 
  private:
-  std::vector<std::unordered_map<std::string, UdfStats>> per_rank_;
+  struct Shard {
+    mutable Mutex mutex;
+    std::unordered_map<std::string, UdfStats> stats IDS_GUARDED_BY(mutex);
+  };
+
+  // mutable: const readers (get/aggregate) still lock the shard mutexes.
+  mutable std::vector<Shard> per_rank_;
 };
 
 }  // namespace ids::udf

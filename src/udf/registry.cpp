@@ -5,7 +5,7 @@
 namespace ids::udf {
 
 bool UdfRegistry::register_static(std::string name, UdfFn fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (udfs_.contains(name)) return false;
   UdfInfo info;
   info.name = name;
@@ -17,7 +17,7 @@ bool UdfRegistry::register_static(std::string name, UdfFn fn) {
 
 void UdfRegistry::register_dynamic(std::string module, std::string method,
                                    UdfFn fn, sim::Nanos load_cost) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string name = module + "." + method;
   UdfInfo info;
   info.name = name;
@@ -29,7 +29,7 @@ void UdfRegistry::register_dynamic(std::string module, std::string method,
 }
 
 const UdfInfo* UdfRegistry::find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = udfs_.find(std::string(name));
   if (it == udfs_.end()) return nullptr;
   return &it->second;
@@ -37,14 +37,14 @@ const UdfInfo* UdfRegistry::find(std::string_view name) const {
 
 sim::Nanos UdfRegistry::charge_module_load(int rank, const UdfInfo& info) {
   if (!info.dynamic || info.module_load_cost == 0) return 0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = loaded_.emplace(rank, info.module);
   (void)it;
   return inserted ? info.module_load_cost : 0;
 }
 
 void UdfRegistry::force_reload(std::string_view module) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = loaded_.begin(); it != loaded_.end();) {
     if (it->second == module) {
       it = loaded_.erase(it);
@@ -55,7 +55,7 @@ void UdfRegistry::force_reload(std::string_view module) {
 }
 
 std::vector<std::string> UdfRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(udfs_.size());
   for (const auto& [name, info] : udfs_) out.push_back(name);

@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -22,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "expr/value.h"
 #include "sim/time.h"
 
@@ -66,31 +66,35 @@ class UdfRegistry {
   /// replaced once registered (the paper notes the shared-object path "was
   /// static because they cannot be modified once IDS launched").
   /// Returns false if the name exists.
-  bool register_static(std::string name, UdfFn fn);
+  bool register_static(std::string name, UdfFn fn) IDS_EXCLUDES(mutex_);
 
   /// Registers (or replaces) a dynamically loaded UDF as `module.method`.
   /// `load_cost` models the module import time charged once per rank.
   void register_dynamic(std::string module, std::string method, UdfFn fn,
-                        sim::Nanos load_cost);
+                        sim::Nanos load_cost) IDS_EXCLUDES(mutex_);
 
-  /// Looks up a UDF by its qualified name. nullptr if absent.
-  const UdfInfo* find(std::string_view name) const;
+  /// Looks up a UDF by its qualified name. nullptr if absent. The pointer
+  /// stays valid until the same dynamic name is re-registered (static UDFs
+  /// are immutable once registered; map nodes are stable across rehash).
+  const UdfInfo* find(std::string_view name) const IDS_EXCLUDES(mutex_);
 
   /// Returns the modeled cost this rank must pay before calling `info`
   /// (the module import on first touch), and marks the module loaded.
-  sim::Nanos charge_module_load(int rank, const UdfInfo& info);
+  sim::Nanos charge_module_load(int rank, const UdfInfo& info)
+      IDS_EXCLUDES(mutex_);
 
   /// Drops the module from every rank's cache; next call per rank pays the
   /// load cost again. Models the paper's "special function that forces IDS
   /// to reload the module".
-  void force_reload(std::string_view module);
+  void force_reload(std::string_view module) IDS_EXCLUDES(mutex_);
 
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const IDS_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, UdfInfo> udfs_;
-  std::set<std::pair<int, std::string>> loaded_;  // (rank, module)
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, UdfInfo> udfs_ IDS_GUARDED_BY(mutex_);
+  // (rank, module) pairs whose import cost has been charged.
+  std::set<std::pair<int, std::string>> loaded_ IDS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ids::udf

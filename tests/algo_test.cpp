@@ -58,7 +58,9 @@ TEST_P(AlgoShards, PageRankStarCenterWins) {
   TermId center = *store.dict().lookup("center");
   double center_rank = r.rank.at(center);
   for (const auto& [v, pr] : r.rank) {
-    if (v != center) EXPECT_GT(center_rank, pr * 3);
+    if (v != center) {
+      EXPECT_GT(center_rank, pr * 3);
+    }
   }
 }
 

@@ -152,7 +152,7 @@ TEST(Expr, UdfCostScaledBySpeedFactor) {
   EXPECT_NEAR(sim::to_seconds(slow.cost), 3.0, 0.01);
 
   // The profiler sees each rank's effective cost.
-  EXPECT_LT(prof.get(0, "work")->total_time, prof.get(1, "work")->total_time);
+  EXPECT_LT(prof.get(0, "work").total_time, prof.get(1, "work").total_time);
 }
 
 TEST(Expr, ToStringRendersReadably) {
@@ -264,13 +264,12 @@ TEST(Profiler, TracksTheThreePaperStatistics) {
   prof.record_exec(0, "f", sim::from_seconds(3.0));
   prof.record_reject(0, "f");
 
-  const udf::UdfStats* s = prof.get(0, "f");
-  ASSERT_NE(s, nullptr);
-  EXPECT_EQ(s->execs, 2u);                         // (i) execution count
-  EXPECT_EQ(s->total_time, sim::from_seconds(4.0));  // (ii) total time
-  EXPECT_EQ(s->rejects, 1u);                       // (iii) rejections
-  EXPECT_DOUBLE_EQ(s->mean_cost_seconds(), 2.0);
-  EXPECT_DOUBLE_EQ(s->rejection_rate(), 0.5);
+  const udf::UdfStats s = prof.get(0, "f");
+  EXPECT_EQ(s.execs, 2u);                         // (i) execution count
+  EXPECT_EQ(s.total_time, sim::from_seconds(4.0));  // (ii) total time
+  EXPECT_EQ(s.rejects, 1u);                       // (iii) rejections
+  EXPECT_DOUBLE_EQ(s.mean_cost_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(s.rejection_rate(), 0.5);
 }
 
 TEST(Profiler, AggregateMergesRanks) {

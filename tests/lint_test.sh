@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Unit tests for tools/lint.sh: the live tree must pass, and every
+# negative fixture under tools/lint_fixtures/ must fail with the message
+# for exactly the pattern it plants. Registered with ctest as `lint_test`.
+
+set -u
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+lint="$repo/tools/lint.sh"
+failed=0
+
+check() {  # $1 = label, $2 = expected exit, $3 = expected stderr regex, rest = args
+  local label="$1" want_exit="$2" want_msg="$3"
+  shift 3
+  local out
+  out=$("$lint" "$@" 2>&1)
+  local got=$?
+  if [ "$got" -ne "$want_exit" ]; then
+    echo "FAIL [$label]: exit $got, wanted $want_exit" >&2
+    failed=1
+  elif [ -n "$want_msg" ] && ! echo "$out" | grep -qE "$want_msg"; then
+    echo "FAIL [$label]: output missing /$want_msg/:" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failed=1
+  else
+    echo "ok   [$label]"
+  fi
+}
+
+check "live tree clean" 0 'lint: OK'
+check "naked mutex flagged" 1 'naked std synchronization primitive' \
+      --root "$repo/tools/lint_fixtures/naked_mutex"
+check "include cycle flagged" 1 '#include cycle' \
+      --root "$repo/tools/lint_fixtures/include_cycle"
+check "missing pragma flagged" 1 "missing '#pragma once'" \
+      --root "$repo/tools/lint_fixtures/missing_pragma"
+check "raw rng flagged" 1 'raw RNG use' \
+      --root "$repo/tools/lint_fixtures/raw_rng"
+
+exit $failed

@@ -124,8 +124,12 @@ TEST_P(MutationSweep, SimilarityDecreasesWithDivergence) {
   double sim_more = normalized_similarity(base, more_mutated);
 
   EXPECT_GT(sim, sim_more) << "rate " << rate;
-  if (rate <= 0.01) EXPECT_GT(sim, 0.95);
-  if (rate >= 0.6) EXPECT_LT(sim, 0.35);
+  if (rate <= 0.01) {
+    EXPECT_GT(sim, 0.95);
+  }
+  if (rate >= 0.6) {
+    EXPECT_LT(sim, 0.35);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, MutationSweep,

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full correctness gate: custom lint, then the test suite under TSan and
+# under ASan+UBSan. This is what CI runs on every PR (tools/ci.sh) and
+# what a developer should run before pushing concurrency-touching changes.
+#
+# Usage: tools/check.sh [--jobs N]
+
+set -eu
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs) jobs="$2"; shift 2 ;;
+    *) echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "==> lint"
+tools/lint.sh
+
+build_and_test() {  # $1 = build dir, $2 = IDS_SANITIZE value
+  echo "==> $2 build ($1)"
+  mkdir -p "$1"
+  cmake -B "$1" -S . -DIDS_SANITIZE="$2" -DIDS_WERROR=ON > "$1/configure.log"
+  cmake --build "$1" -j "$jobs"
+  echo "==> $2 ctest"
+  (cd "$1" && ctest --output-on-failure -j "$jobs")
+}
+
+build_and_test build-tsan thread
+build_and_test build-asan address
+
+echo "==> all checks passed"

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: the {Release, ASan+UBSan, TSan} × {build, ctest} matrix
+# plus the custom lint pass. Mirrors .github/workflows/ci.yml for
+# environments where GitHub Actions is unavailable.
+
+set -eu
+
+jobs=$(nproc 2>/dev/null || echo 2)
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "==> lint"
+tools/lint.sh
+
+run_config() {  # $1 = build dir, $2... = extra cmake args
+  local dir="$1"
+  shift
+  echo "==> configure $dir ($*)"
+  cmake -B "$dir" -S . -DIDS_WERROR=ON "$@"
+  echo "==> build $dir"
+  cmake --build "$dir" -j "$jobs"
+  echo "==> ctest $dir"
+  (cd "$dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_config build-ci-asan -DIDS_SANITIZE=address
+run_config build-ci-tsan -DIDS_SANITIZE=thread
+
+echo "==> CI matrix green"

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Custom lint pass for the IDS tree. Fails (exit 1) on banned patterns:
+#
+#   1. Naked std::mutex / std::lock_guard / std::condition_variable &co.
+#      outside src/common/ — everything else must use the annotated
+#      ids::Mutex / ids::MutexLock / ids::CondVar wrappers so Clang's
+#      -Wthread-safety analysis covers it.
+#   2. #include cycles among repo headers.
+#   3. Headers missing #pragma once.
+#   4. std::rand / srand / std::random_device / std::mt19937 outside
+#      src/common/rng.h — all randomness flows through the deterministic
+#      common RNG for reproducibility.
+#
+# Usage: tools/lint.sh [--root DIR]
+#   --root DIR   lint DIR instead of the repository (used by the negative
+#                fixture tests under tools/lint_fixtures/).
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --root) root="$2"; shift 2 ;;
+    *) echo "usage: $0 [--root DIR]" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -d "$root" ]; then
+  echo "lint: no such directory: $root" >&2
+  exit 2
+fi
+cd "$root" || exit 2
+
+dirs=()
+for d in src tests bench examples; do
+  [ -d "$d" ] && dirs+=("$d")
+done
+if [ ${#dirs[@]} -eq 0 ]; then
+  echo "lint: no source directories under $root" >&2
+  exit 2
+fi
+
+list_files() {  # $1 = glob suffix
+  find "${dirs[@]}" -type f -name "$1" | LC_ALL=C sort
+}
+
+failures=0
+fail() {
+  echo "lint: $1" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. naked standard synchronization primitives outside src/common/ ----
+while IFS= read -r f; do
+  case "$f" in
+    src/common/*) continue ;;
+  esac
+  hits=$(grep -nE 'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)' "$f")
+  if [ -n "$hits" ]; then
+    fail "naked std synchronization primitive in $f (use ids::Mutex/MutexLock/CondVar from common/thread_annotations.h):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 2. include cycles among repo headers -------------------------------
+# Build the quoted-include edge list (repo-relative resolution: includes
+# are rooted at src/, matching the -I layout) and feed it to tsort, which
+# reports "input contains a loop" on a cycle.
+edges=$(mktemp)
+while IFS= read -r f; do
+  while IFS= read -r inc; do
+    target=""
+    if [ -f "src/$inc" ]; then
+      target="src/$inc"
+    elif [ -f "$(dirname "$f")/$inc" ]; then
+      target="$(dirname "$f")/$inc"
+    fi
+    # Skip system/library includes and self-includes.
+    [ -n "$target" ] && [ "$target" != "$f" ] && echo "$f $target"
+  done < <(sed -n 's/^[[:space:]]*#[[:space:]]*include[[:space:]]*"\([^"]*\)".*/\1/p' "$f")
+done < <(list_files '*.h') > "$edges"
+cycle_report=$(tsort "$edges" 2>&1 >/dev/null)
+if echo "$cycle_report" | grep -q 'loop'; then
+  fail "#include cycle detected among headers:
+$(echo "$cycle_report" | sed 's/^tsort: //')"
+fi
+rm -f "$edges"
+
+# --- 3. headers missing #pragma once ------------------------------------
+while IFS= read -r f; do
+  if ! head -5 "$f" | grep -q '^#pragma once'; then
+    fail "missing '#pragma once' in $f"
+  fi
+done < <(list_files '*.h')
+
+# --- 4. raw C/unseeded randomness outside src/common/rng.h --------------
+while IFS= read -r f; do
+  [ "$f" = "src/common/rng.h" ] && continue
+  hits=$(grep -nE 'std::rand\b|[^_[:alnum:]]s?rand\(|std::random_device|std::mt19937|std::default_random_engine' "$f")
+  if [ -n "$hits" ]; then
+    fail "raw RNG use in $f (use ids::Rng from common/rng.h):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint: $failures finding(s)" >&2
+  exit 1
+fi
+echo "lint: OK (${#dirs[@]} directories clean)"
+exit 0

@@ -1,0 +1,4 @@
+#pragma once
+
+// Fixture: a.h -> b.h -> a.h is an include cycle.
+#include "b.h"

@@ -1,0 +1,2 @@
+// Fixture: header with no #pragma once.
+inline int answer() { return 42; }

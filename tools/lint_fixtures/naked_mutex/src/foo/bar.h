@@ -1,0 +1,9 @@
+#pragma once
+
+#include <mutex>
+
+// Fixture: a naked std::mutex member outside src/common/ must be flagged.
+class Bad {
+ private:
+  std::mutex mutex_;
+};

@@ -1,0 +1,4 @@
+#include <cstdlib>
+
+// Fixture: raw C RNG outside common/rng.h must be flagged.
+int roll() { return std::rand() % 6; }
