@@ -7,10 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "algo/graph_algorithms.h"
 #include "cache/manager.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
+#include "common/vector_ops.h"
 #include "datagen/lifesci.h"
+#include "graph/solution.h"
 #include "graph/triple_store.h"
 #include "models/docking.h"
 #include "models/dtba.h"
@@ -193,6 +198,187 @@ void BM_MutateSequence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MutateSequence);
+
+// ---- Old-vs-new kernel comparisons ---------------------------------------
+// Each pair benchmarks the pre-batch-kernel implementation (reconstructed
+// here as a baseline) against the engine's current kernel on identical
+// inputs, so BENCH_kernels.json records the speedup directly.
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// Single-accumulator loops, as vector_store.cpp/ivf_index.cpp wrote them
+// before the shared 4-way kernels. The serial dependence chain is the
+// baseline being measured; DoNotOptimize on the accumulator is not needed
+// because the result feeds the benchmark sink.
+float dot_scalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float l2sq_scalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void BM_DotScalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto a = random_floats(dim, 21);
+  auto b = random_floats(dim, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot_scalar(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DotScalar)->Arg(128)->Arg(512);
+
+void BM_DotKernel(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto a = random_floats(dim, 21);
+  auto b = random_floats(dim, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot_kernel(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DotKernel)->Arg(128)->Arg(512);
+
+void BM_L2Scalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto a = random_floats(dim, 23);
+  auto b = random_floats(dim, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2sq_scalar(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_L2Scalar)->Arg(128)->Arg(512);
+
+void BM_L2Kernel(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto a = random_floats(dim, 23);
+  auto b = random_floats(dim, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2sq_kernel(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_L2Kernel)->Arg(128)->Arg(512);
+
+/// A solution table shaped like the engine's mid-query state: three id
+/// columns, one numeric column.
+graph::SolutionTable make_shuffle_table(std::size_t rows) {
+  graph::SolutionTable t{{"a", "b", "c"}, {"score"}};
+  Rng rng(31);
+  t.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    graph::TermId ids[3] = {rng.next_u64(), rng.next_u64(), rng.next_u64()};
+    double num = rng.uniform(0.0, 1.0);
+    t.append_row(ids, {&num, 1});
+  }
+  return t;
+}
+
+// Sizes model per-rank table parts: workloads here shard 1e4-1e5 rows over
+// 8-256 ranks, so a part is thousands of rows and its columns sit in L2,
+// where the per-destination gathers stream. (Far beyond L2 the gather's
+// repeated sparse passes over the source column converge with the per-row
+// walk; per-part sizes never reach that regime.)
+void BM_ShufflePerRow(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  constexpr int kParts = 16;
+  graph::SolutionTable table = make_shuffle_table(rows);
+  for (auto _ : state) {
+    std::vector<graph::SolutionTable> out(kParts, table.empty_like());
+    for (std::size_t row = 0; row < rows; ++row) {
+      auto dst = static_cast<std::size_t>(mix64(table.id_at(row, 0)) % kParts);
+      out[dst].append_row_from(table, row);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ShufflePerRow)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_ShuffleBatch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  constexpr int kParts = 16;
+  graph::SolutionTable table = make_shuffle_table(rows);
+  std::vector<int> dsts(rows);
+  for (auto _ : state) {
+    std::vector<graph::SolutionTable> out(kParts, table.empty_like());
+    const auto& keys = table.id_col(0);
+    for (std::size_t row = 0; row < rows; ++row) {
+      dsts[row] = static_cast<int>(mix64(keys[row]) % kParts);
+    }
+    auto lists = graph::SolutionTable::partition_rows(dsts, kParts);
+    for (int d = 0; d < kParts; ++d) {
+      if (!lists[static_cast<std::size_t>(d)].empty()) {
+        out[static_cast<std::size_t>(d)].append_rows_from(
+            table, lists[static_cast<std::size_t>(d)]);
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ShuffleBatch)->Arg(1 << 12)->Arg(1 << 14);
+
+/// Build keys with ~4 rows per key (the engine's typical join fan-in) and
+/// probe keys drawn from the same domain.
+void make_join_keys(std::size_t n, std::vector<std::uint64_t>* build,
+                    std::vector<std::uint64_t>* probe) {
+  Rng rng(41);
+  build->resize(n);
+  probe->resize(n);
+  const std::uint64_t domain = n / 4 + 1;
+  for (auto& k : *build) k = rng.next_below(domain);
+  for (auto& k : *probe) k = rng.next_below(domain);
+}
+
+void BM_JoinIndexMultimap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> build, probe;
+  make_join_keys(n, &build, &probe);
+  for (auto _ : state) {
+    std::unordered_multimap<std::uint64_t, std::size_t> index;
+    index.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) index.emplace(build[i], i);
+    std::size_t produced = 0;
+    for (std::uint64_t key : probe) {
+      auto [lo, hi] = index.equal_range(key);
+      for (auto it = lo; it != hi; ++it) produced += it->second;
+    }
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JoinIndexMultimap)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_JoinIndexFlat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> build, probe;
+  make_join_keys(n, &build, &probe);
+  for (auto _ : state) {
+    FlatGroupIndex index(build);
+    std::size_t produced = 0;
+    for (std::uint64_t key : probe) {
+      for (std::uint32_t row : index.probe(key)) produced += row;
+    }
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JoinIndexFlat)->Arg(1 << 14)->Arg(1 << 17);
 
 }  // namespace
 

@@ -1,0 +1,161 @@
+#pragma once
+
+// Flat open-addressing hash containers for engine hot paths.
+//
+// The hash-join build side and DISTINCT previously used node-based std::
+// containers (std::unordered_multimap / std::unordered_map) whose
+// per-element allocations and pointer chasing dominated the operator inner
+// loops. These replacements are contiguous power-of-two tables probed
+// linearly after a mix64 of the key. Both preserve insertion order where
+// it is observable (group contents, first-wins semantics), so switching
+// the engine onto them cannot change query results.
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace ids {
+
+/// Build-once multimap from 64-bit keys to the positions at which they
+/// occur: `FlatGroupIndex idx(keys); idx.probe(k)` spans the positions i
+/// (in ascending order) with keys[i] == k. The classic radix-join layout:
+/// one probe pass over an open-addressing slot table resolves the group,
+/// and the group's rows sit contiguously in one array (counting sort by
+/// first-occurrence group id).
+class FlatGroupIndex {
+ public:
+  explicit FlatGroupIndex(std::span<const std::uint64_t> keys) {
+    const std::size_t n = keys.size();
+    assert(n < 0xffffffffull && "row index space is 32-bit");
+    if (n == 0) return;
+    std::size_t cap = 8;
+    while (cap < n * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slot_keys_.resize(cap);
+    slot_groups_.assign(cap, kEmpty);
+
+    // Pass 1: assign group ids in first-occurrence order and count sizes.
+    std::vector<std::uint32_t> row_group(n);
+    std::vector<std::uint32_t> counts;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = keys[i];
+      std::size_t s = mix64(key) & mask_;
+      while (slot_groups_[s] != kEmpty && slot_keys_[s] != key) {
+        s = (s + 1) & mask_;
+      }
+      if (slot_groups_[s] == kEmpty) {
+        slot_keys_[s] = key;
+        slot_groups_[s] = static_cast<std::uint32_t>(counts.size());
+        counts.push_back(0);
+      }
+      row_group[i] = slot_groups_[s];
+      ++counts[row_group[i]];
+    }
+
+    // Pass 2: prefix-sum group extents, then scatter rows in input order.
+    starts_.resize(counts.size() + 1);
+    starts_[0] = 0;
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+      starts_[g + 1] = starts_[g] + counts[g];
+    }
+    rows_.resize(n);
+    std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows_[cursor[row_group[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  /// Positions of `key` in the build keys, ascending; empty when absent.
+  std::span<const std::uint32_t> probe(std::uint64_t key) const {
+    if (rows_.empty()) return {};
+    std::size_t s = mix64(key) & mask_;
+    while (slot_groups_[s] != kEmpty) {
+      if (slot_keys_[s] == key) {
+        const std::uint32_t g = slot_groups_[s];
+        return {rows_.data() + starts_[g],
+                static_cast<std::size_t>(starts_[g + 1] - starts_[g])};
+      }
+      s = (s + 1) & mask_;
+    }
+    return {};
+  }
+
+  std::size_t num_keys() const {
+    return starts_.empty() ? 0 : starts_.size() - 1;
+  }
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::size_t mask_ = 0;
+  std::vector<std::uint64_t> slot_keys_;
+  std::vector<std::uint32_t> slot_groups_;  // kEmpty = vacant slot
+  std::vector<std::uint32_t> rows_;         // grouped row positions
+  std::vector<std::uint32_t> starts_;       // group g occupies [g, g+1)
+};
+
+/// Open-addressing set of 64-bit keys. insert() returns true when the key
+/// was new — the only operation DISTINCT needs. Grows by rehashing at 70%
+/// load; any 64-bit value (including 0 and ~0) is a valid key.
+class FlatTermSet {
+ public:
+  explicit FlatTermSet(std::size_t expected = 0) {
+    std::size_t cap = 16;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    keys_.resize(cap);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  bool insert(std::uint64_t key) {
+    if ((size_ + 1) * 10 > keys_.size() * 7) grow();
+    std::size_t s = mix64(key) & mask_;
+    while (used_[s]) {
+      if (keys_[s] == key) return false;
+      s = (s + 1) & mask_;
+    }
+    used_[s] = 1;
+    keys_[s] = key;
+    ++size_;
+    return true;
+  }
+
+  bool contains(std::uint64_t key) const {
+    std::size_t s = mix64(key) & mask_;
+    while (used_[s]) {
+      if (keys_[s] == key) return true;
+      s = (s + 1) & mask_;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<char> old_used = std::move(used_);
+    const std::size_t cap = old_keys.size() * 2;
+    keys_.assign(cap, 0);
+    used_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (!old_used[i]) continue;
+      std::size_t s = mix64(old_keys[i]) & mask_;
+      while (used_[s]) s = (s + 1) & mask_;
+      used_[s] = 1;
+      keys_[s] = old_keys[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<char> used_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace ids

@@ -1,7 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
-#include <memory>
+#include <latch>
 #include <utility>
 
 namespace ids {
@@ -51,29 +51,24 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 
   // Atomic work-stealing counter: each participant grabs the next index.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto done = std::make_shared<std::atomic<std::size_t>>(0);
-  Mutex done_mutex;
-  CondVar done_cv;
+  // All coordination state lives on this stack frame (no shared_ptr
+  // control blocks per call); that is safe because the latch counts chunk
+  // *completions* — every enqueued chunk, including stragglers that
+  // dequeue after the work ran dry, finishes before we return, so no
+  // chunk can outlive the frame it references.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  std::atomic<std::size_t> next{0};
+  std::latch remaining(static_cast<std::ptrdiff_t>(helpers) + 1);
 
-  auto run_chunk = [next, done, n, &fn, &done_mutex, &done_cv] {
-    std::size_t processed = 0;
+  auto run_chunk = [&next, &remaining, n, &fn] {
     for (;;) {
-      std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       fn(i);
-      ++processed;
     }
-    if (processed > 0) {
-      std::size_t total = done->fetch_add(processed) + processed;
-      if (total >= n) {
-        MutexLock lock(done_mutex);
-        done_cv.notify_all();
-      }
-    }
+    remaining.count_down();
   };
 
-  std::size_t helpers = std::min(workers_.size(), n - 1);
   {
     MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
@@ -84,8 +79,7 @@ void ThreadPool::parallel_for(std::size_t n,
 
   run_chunk();  // caller participates
 
-  MutexLock lock(done_mutex);
-  done_cv.wait(done_mutex, [&] { return done->load() >= n; });
+  remaining.wait();
 }
 
 ThreadPool& ThreadPool::global() {

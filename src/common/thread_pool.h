@@ -8,10 +8,10 @@
 // any result: work items are deterministic functions of their index.
 //
 // Locking contract: mutex_ guards the task queue and the stopping flag;
-// cv_ signals queue-not-empty / shutdown. parallel_for uses a private
-// per-call mutex for its completion latch, nested strictly inside no other
-// lock, so pool-wide and per-call locks can never deadlock against each
-// other.
+// cv_ signals queue-not-empty / shutdown. parallel_for synchronizes
+// completion through a stack-allocated std::latch counting chunk exits,
+// acquired under no lock, so pool-wide and per-call synchronization can
+// never deadlock against each other.
 
 #include <cstddef>
 #include <functional>

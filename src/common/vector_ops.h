@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared dense-vector kernels: 4-way unrolled dot product and squared L2
+// distance over float spans.
+//
+// The naive one-accumulator loops in the vector store and the IVF index
+// serialize on the floating-point add latency (one FMA every ~4 cycles).
+// Four independent accumulators break the dependence chain so the compiler
+// can keep the FMA pipes busy, and the fixed association order keeps the
+// result deterministic across builds (no -ffast-math required). Both the
+// exact scan and the IVF path must use these so their scores agree bit for
+// bit (recall tests compare the two directly).
+
+#include <cstddef>
+#include <span>
+
+namespace ids {
+
+inline float dot_kernel(const float* a, const float* b, std::size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3) + tail;
+}
+
+inline float l2sq_kernel(const float* a, const float* b, std::size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = a[i] - b[i];
+    const float d1 = a[i + 1] - b[i + 1];
+    const float d2 = a[i + 2] - b[i + 2];
+    const float d3 = a[i + 3] - b[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  float tail = 0.0f;
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    tail += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3) + tail;
+}
+
+inline float dot_kernel(std::span<const float> a, std::span<const float> b) {
+  return dot_kernel(a.data(), b.data(), a.size());
+}
+
+inline float l2sq_kernel(std::span<const float> a, std::span<const float> b) {
+  return l2sq_kernel(a.data(), b.data(), a.size());
+}
+
+}  // namespace ids

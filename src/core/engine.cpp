@@ -9,6 +9,7 @@
 #include <numeric>
 #include <set>
 
+#include "common/flat_map.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/planner.h"
@@ -33,6 +34,7 @@ double QueryResult::seconds_excluding(std::string_view prefix) const {
 
 namespace {
 
+using graph::RowIndex;
 using graph::SolutionTable;
 using graph::TermId;
 using graph::TriplePattern;
@@ -153,6 +155,9 @@ class QueryExecution {
 
   /// Moves every row to the rank returned by `dst_of`, charging the
   /// alpha-beta fabric model and synchronizing clocks (one alltoallv).
+  /// Batch kernel: destinations are computed into a flat array, partitioned
+  /// into per-destination index lists, and moved with one columnar gather
+  /// per (src, dst) pair instead of one schema-walk per row.
   void shuffle_rows(
       const std::function<int(const SolutionTable&, std::size_t)>& dst_of) {
     if (!has_schema()) return;
@@ -162,29 +167,31 @@ class QueryExecution {
 
     std::vector<runtime::TrafficSummary> traffic(static_cast<std::size_t>(p_));
     const std::size_t row_bytes = parts_[0].row_bytes();
-    std::vector<std::uint64_t> dst_seen((static_cast<std::size_t>(p_) + 63) / 64);
 
+    std::vector<int> dsts;
     for (int src = 0; src < p_; ++src) {
       auto& table = parts_[static_cast<std::size_t>(src)];
-      std::fill(dst_seen.begin(), dst_seen.end(), 0);
-      for (std::size_t row = 0; row < table.num_rows(); ++row) {
-        int dst = dst_of(table, row);
-        out[static_cast<std::size_t>(dst)].append_row_from(table, row);
+      const std::size_t n = table.num_rows();
+      dsts.resize(n);
+      for (std::size_t row = 0; row < n; ++row) dsts[row] = dst_of(table, row);
+      auto lists = SolutionTable::partition_rows(dsts, p_);
+
+      auto& ts = traffic[static_cast<std::size_t>(src)];
+      for (int dst = 0; dst < p_; ++dst) {
+        const auto& rows = lists[static_cast<std::size_t>(dst)];
+        if (rows.empty()) continue;
+        out[static_cast<std::size_t>(dst)].append_rows_from(table, rows);
         if (dst == src) continue;
-        auto& ts = traffic[static_cast<std::size_t>(src)];
+        const std::uint64_t bytes = row_bytes * rows.size();
         auto& td = traffic[static_cast<std::size_t>(dst)];
         if (opts_.topology.same_node(src, dst)) {
-          ts.intra_sent += row_bytes;
-          td.intra_recv += row_bytes;
+          ts.intra_sent += bytes;
+          td.intra_recv += bytes;
         } else {
-          ts.inter_sent += row_bytes;
-          td.inter_recv += row_bytes;
+          ts.inter_sent += bytes;
+          td.inter_recv += bytes;
         }
-        auto du = static_cast<std::size_t>(dst);
-        if (!(dst_seen[du / 64] & (1ull << (du % 64)))) {
-          dst_seen[du / 64] |= 1ull << (du % 64);
-          ++ts.messages;
-        }
+        ++ts.messages;
       }
       table.clear();
     }
@@ -222,12 +229,10 @@ class QueryExecution {
         std::size_t surplus = table.num_rows() - want;
         std::size_t take = std::min(surplus, deficits[d].need);
         int dst = deficits[d].rank;
-        // Move the tail rows [n - take, n).
+        // Move the tail rows [n - take, n) as one bulk column append.
         std::size_t n = table.num_rows();
-        auto& out = parts_[static_cast<std::size_t>(dst)];
-        for (std::size_t row = n - take; row < n; ++row) {
-          out.append_row_from(table, row);
-        }
+        parts_[static_cast<std::size_t>(dst)].append_row_range_from(
+            table, n - take, n);
         table.truncate(n - take);
 
         std::uint64_t bytes = row_bytes * take;
@@ -283,61 +288,50 @@ class QueryExecution {
     mark("join");
   }
 
+  /// Triple position (0 = s, 1 = p, 2 = o) where `var` first occurs in
+  /// `pat`, or -1. Hoisted out of scan callbacks: kernels resolve variable
+  /// positions once and then index triples by integer position.
+  static int position_of(const TriplePattern& pat, const std::string& var) {
+    if (pat.s.is_var && pat.s.var == var) return 0;
+    if (pat.p.is_var && pat.p.var == var) return 1;
+    if (pat.o.is_var && pat.o.var == var) return 2;
+    return -1;
+  }
+
+  /// Scans shard `r` for `pat`, appending each match's variable bindings to
+  /// `out` (schema must be pattern_vars(pat)); returns the match count.
+  /// Column pointers and positions are hoisted so the per-triple work is
+  /// nv integer stores.
+  std::size_t scan_pattern_into(int r, const TriplePattern& pat,
+                                SolutionTable* out) {
+    const auto& vars = out->id_vars();
+    const std::size_t nv = vars.size();
+    assert(nv <= 3 && out->num_vars().empty());
+    int pos[3] = {0, 0, 0};
+    std::vector<TermId>* cols[3] = {nullptr, nullptr, nullptr};
+    for (std::size_t k = 0; k < nv; ++k) {
+      pos[k] = position_of(pat, vars[k]);
+      assert(pos[k] >= 0);
+      cols[k] = &out->id_col_mut(static_cast<int>(k));
+    }
+    std::size_t matches = 0;
+    triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
+      const TermId v[3] = {t.s, t.p, t.o};
+      for (std::size_t k = 0; k < nv; ++k) cols[k]->push_back(v[pos[k]]);
+      ++matches;
+    });
+    return matches;
+  }
+
   void scan_first(const TriplePattern& pat) {
     charge_operator_overhead();
     SolutionTable prototype{pattern_vars(pat)};
     init_parts(prototype);
     runtime::for_each_rank(p_, [&](int r) {
-      auto& out = parts_[static_cast<std::size_t>(r)];
-      std::size_t matches = 0;
-      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
-        append_match(&out, pat, t);
-        ++matches;
-      });
+      std::size_t matches =
+          scan_pattern_into(r, pat, &parts_[static_cast<std::size_t>(r)]);
       charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
     });
-  }
-
-  /// Appends the variable bindings of a matched triple.
-  static void append_match(SolutionTable* out, const TriplePattern& pat,
-                           const graph::Triple& t) {
-    TermId vals[3];
-    std::size_t n = 0;
-    std::vector<std::string> seen;
-    auto add = [&](const graph::PatternTerm& term, TermId v) {
-      if (!term.is_var) return;
-      if (std::find(seen.begin(), seen.end(), term.var) != seen.end()) return;
-      seen.push_back(term.var);
-      vals[n++] = v;
-    };
-    add(pat.s, t.s);
-    add(pat.p, t.p);
-    add(pat.o, t.o);
-    out->append_row({vals, n});
-  }
-
-  /// Binds the pattern's variable positions from a solution row when the
-  /// variable is present in the schema; returns the concretized pattern
-  /// and the list of genuinely new variables.
-  TriplePattern bind_from_row(const TriplePattern& pat,
-                              const SolutionTable& table, std::size_t row,
-                              std::vector<std::string>* new_vars) const {
-    TriplePattern b = pat;
-    auto bind = [&](graph::PatternTerm* term) {
-      if (!term->is_var) return;
-      int idx = table.id_var_index(term->var);
-      if (idx >= 0) {
-        *term = graph::PatternTerm::Const(table.id_at(row, idx));
-      } else if (new_vars &&
-                 std::find(new_vars->begin(), new_vars->end(), term->var) ==
-                     new_vars->end()) {
-        new_vars->push_back(term->var);
-      }
-    };
-    bind(&b.s);
-    bind(&b.p);
-    bind(&b.o);
-    return b;
   }
 
   void extend_subject_bound(const TriplePattern& pat) {
@@ -360,6 +354,18 @@ class QueryExecution {
     std::vector<std::string> schema = parts_[0].id_vars();
     schema.insert(schema.end(), new_vars.begin(), new_vars.end());
     SolutionTable prototype{schema, parts_[0].num_vars()};
+    const std::size_t old_ids = parts_[0].id_vars().size();
+
+    // Hoisted per-row binding plan: the solution column feeding each
+    // pattern position (-1 = stays as written), and the triple position
+    // feeding each new output column.
+    int bind_col[3] = {-1, -1, -1};
+    if (pat.s.is_var) bind_col[0] = parts_[0].id_var_index(pat.s.var);
+    if (pat.p.is_var) bind_col[1] = parts_[0].id_var_index(pat.p.var);
+    if (pat.o.is_var) bind_col[2] = parts_[0].id_var_index(pat.o.var);
+    std::vector<int> new_pos;
+    new_pos.reserve(new_vars.size());
+    for (const auto& v : new_vars) new_pos.push_back(position_of(pat, v));
 
     std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
                                    prototype.empty_like());
@@ -367,42 +373,46 @@ class QueryExecution {
       auto ru = static_cast<std::size_t>(r);
       const auto& in = parts_[ru];
       auto& dst = out[ru];
+
+      // The concretized pattern is built once; per row only the bound
+      // constants are refreshed (no string churn in the loop).
+      TriplePattern bound = pat;
+      graph::PatternTerm* terms[3] = {&bound.s, &bound.p, &bound.o};
+      for (int i = 0; i < 3; ++i) {
+        if (bind_col[i] >= 0) *terms[i] = graph::PatternTerm::Const(0);
+      }
+      const std::size_t nn = new_vars.size();
+      std::vector<TermId>* new_cols[3] = {nullptr, nullptr, nullptr};
+      for (std::size_t k = 0; k < nn; ++k) {
+        new_cols[k] = &dst.id_col_mut(static_cast<int>(old_ids + k));
+      }
+
+      std::vector<RowIndex> src_rows;
       std::size_t scanned = 0;
-      for (std::size_t row = 0; row < in.num_rows(); ++row) {
-        std::vector<std::string> nv;
-        TriplePattern bound = bind_from_row(pat, in, row, &nv);
+      const std::size_t n = in.num_rows();
+      for (std::size_t row = 0; row < n; ++row) {
+        for (int i = 0; i < 3; ++i) {
+          if (bind_col[i] >= 0) {
+            terms[i]->constant = in.id_at(row, bind_col[i]);
+          }
+        }
         triples_->shard(r).scan(bound, [&](const graph::Triple& t) {
-          // Old columns first, then the new bindings in new_vars order.
-          std::vector<TermId> vals;
-          vals.reserve(schema.size());
-          for (std::size_t c = 0; c < in.id_vars().size(); ++c) {
-            vals.push_back(in.id_at(row, static_cast<int>(c)));
+          src_rows.push_back(static_cast<RowIndex>(row));
+          const TermId v[3] = {t.s, t.p, t.o};
+          for (std::size_t k = 0; k < nn; ++k) {
+            new_cols[k]->push_back(v[new_pos[k]]);
           }
-          for (const auto& v : new_vars) {
-            vals.push_back(binding_of(pat, t, v));
-          }
-          std::vector<double> nums;
-          for (std::size_t c = 0; c < in.num_vars().size(); ++c) {
-            nums.push_back(in.num_at(row, static_cast<int>(c)));
-          }
-          dst.append_row(vals, nums);
           ++scanned;
         });
         scanned += 4;  // index probe overhead
       }
+      // New-binding columns were written inline; gather the carried-over
+      // columns in one pass per column.
+      dst.append_prefix_from(in, src_rows);
       charge_graph_op(r, opts_.costs.triple_scan_cost(scanned + 64));
     });
     parts_ = std::move(out);
     clocks_.barrier();
-  }
-
-  /// Value a variable takes in a triple matched against a pattern.
-  static TermId binding_of(const TriplePattern& pat, const graph::Triple& t,
-                           const std::string& var) {
-    if (pat.s.is_var && pat.s.var == var) return t.s;
-    if (pat.p.is_var && pat.p.var == var) return t.p;
-    if (pat.o.is_var && pat.o.var == var) return t.o;
-    return graph::kInvalidTerm;
   }
 
   void hash_join(const TriplePattern& pat) {
@@ -421,12 +431,8 @@ class QueryExecution {
     std::vector<SolutionTable> build(static_cast<std::size_t>(p_),
                                      SolutionTable{pattern_vars(pat)});
     runtime::for_each_rank(p_, [&](int r) {
-      auto& out = build[static_cast<std::size_t>(r)];
-      std::size_t matches = 0;
-      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
-        append_match(&out, pat, t);
-        ++matches;
-      });
+      std::size_t matches =
+          scan_pattern_into(r, pat, &build[static_cast<std::size_t>(r)]);
       charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
     });
 
@@ -437,16 +443,25 @@ class QueryExecution {
                               static_cast<std::uint64_t>(p_));
     });
     {
-      // Shuffle the build side with the same partitioning.
+      // Shuffle the build side with the same partitioning: per-destination
+      // index lists, then one gather per (src, dst) pair.
       int bidx = build[0].id_var_index(join_var);
       std::vector<SolutionTable> shuffled(static_cast<std::size_t>(p_),
                                           build[0].empty_like());
+      std::vector<int> dsts;
       for (int src = 0; src < p_; ++src) {
         auto& t = build[static_cast<std::size_t>(src)];
-        for (std::size_t row = 0; row < t.num_rows(); ++row) {
-          int dst = static_cast<int>(mix64(t.id_at(row, bidx)) %
-                                     static_cast<std::uint64_t>(p_));
-          shuffled[static_cast<std::size_t>(dst)].append_row_from(t, row);
+        const auto& keys = t.id_col(bidx);
+        dsts.resize(keys.size());
+        for (std::size_t row = 0; row < keys.size(); ++row) {
+          dsts[row] = static_cast<int>(mix64(keys[row]) %
+                                       static_cast<std::uint64_t>(p_));
+        }
+        auto lists = SolutionTable::partition_rows(dsts, p_);
+        for (int dst = 0; dst < p_; ++dst) {
+          const auto& rows = lists[static_cast<std::size_t>(dst)];
+          if (rows.empty()) continue;
+          shuffled[static_cast<std::size_t>(dst)].append_rows_from(t, rows);
         }
       }
       build = std::move(shuffled);
@@ -483,42 +498,64 @@ class QueryExecution {
       const auto& probe = parts_[ru];
       auto& dst = out[ru];
       int b_join = bt.id_var_index(join_var);
-      std::unordered_multimap<TermId, std::size_t> index;
-      index.reserve(bt.num_rows());
-      for (std::size_t row = 0; row < bt.num_rows(); ++row) {
-        index.emplace(bt.id_at(row, b_join), row);
+
+      // Flat grouped index over the build keys: one contiguous probe per
+      // key instead of node-chasing an unordered_multimap.
+      FlatGroupIndex index(bt.id_col(b_join));
+
+      // Hoisted column plans: (build col, probe col) pairs for the extra
+      // equality checks and build columns feeding each new output column.
+      struct CheckCols {
+        const std::vector<TermId>* b;
+        const std::vector<TermId>* p;
+      };
+      std::vector<CheckCols> checks;
+      checks.reserve(check_vars.size());
+      for (const auto& cv : check_vars) {
+        checks.push_back({&bt.id_col(bt.id_var_index(cv)),
+                          &probe.id_col(probe.id_var_index(cv))});
       }
+      const std::size_t old_ids = probe.id_vars().size();
+      const std::size_t nn = new_vars.size();
+      std::vector<const std::vector<TermId>*> new_src;
+      std::vector<std::vector<TermId>*> new_dst;
+      new_src.reserve(nn);
+      new_dst.reserve(nn);
+      for (std::size_t k = 0; k < nn; ++k) {
+        new_src.push_back(&bt.id_col(bt.id_var_index(new_vars[k])));
+        new_dst.push_back(&dst.id_col_mut(static_cast<int>(old_ids + k)));
+      }
+
+      const auto& probe_keys = probe.id_col(probe_idx);
+      std::vector<RowIndex> src_rows;
       std::size_t produced = 0;
-      for (std::size_t row = 0; row < probe.num_rows(); ++row) {
-        TermId key = probe.id_at(row, probe_idx);
-        auto [lo, hi] = index.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          std::size_t brow = it->second;
+      for (std::size_t row = 0; row < probe_keys.size(); ++row) {
+        // Reverse group order: the previous build index prepended equal
+        // keys, so its equal_range enumerated build rows newest-first.
+        // Downstream operators that move row *tails* (rebalance) are
+        // placement-sensitive, so the emission order is part of the
+        // modeled-result contract and must not change.
+        auto group = index.probe(probe_keys[row]);
+        for (std::size_t gi = group.size(); gi-- > 0;) {
+          const std::uint32_t brow = group[gi];
           bool ok = true;
-          for (const auto& cv : check_vars) {
-            if (bt.id_at(brow, bt.id_var_index(cv)) !=
-                probe.id_at(row, probe.id_var_index(cv))) {
+          for (const auto& ch : checks) {
+            if ((*ch.b)[brow] != (*ch.p)[row]) {
               ok = false;
               break;
             }
           }
           if (!ok) continue;
-          std::vector<TermId> vals;
-          vals.reserve(schema.size());
-          for (std::size_t c = 0; c < probe.id_vars().size(); ++c) {
-            vals.push_back(probe.id_at(row, static_cast<int>(c)));
+          src_rows.push_back(static_cast<RowIndex>(row));
+          for (std::size_t k = 0; k < nn; ++k) {
+            new_dst[k]->push_back((*new_src[k])[brow]);
           }
-          for (const auto& v : new_vars) {
-            vals.push_back(bt.id_at(brow, bt.id_var_index(v)));
-          }
-          std::vector<double> nums;
-          for (std::size_t c = 0; c < probe.num_vars().size(); ++c) {
-            nums.push_back(probe.num_at(row, static_cast<int>(c)));
-          }
-          dst.append_row(vals, nums);
           ++produced;
         }
       }
+      // New-binding columns were written inline; gather the carried-over
+      // probe columns in one pass per column.
+      dst.append_prefix_from(probe, src_rows);
       charge_graph_op(r, opts_.costs.join_cost(bt.num_rows() +
                                                probe.num_rows() + produced));
     });
@@ -530,11 +567,7 @@ class QueryExecution {
     // Gather all pattern matches everywhere (assumed small), then cross
     // with local rows.
     SolutionTable matches{pattern_vars(pat)};
-    for (int r = 0; r < p_; ++r) {
-      triples_->shard(r).scan(pat, [&](const graph::Triple& t) {
-        append_match(&matches, pat, t);
-      });
-    }
+    for (int r = 0; r < p_; ++r) scan_pattern_into(r, pat, &matches);
     runtime::charge_tree_collective(clocks_, opts_.topology,
                                     matches.num_rows() * matches.row_bytes());
 
@@ -547,24 +580,37 @@ class QueryExecution {
       auto ru = static_cast<std::size_t>(r);
       const auto& in = parts_[ru];
       auto& dst = out[ru];
-      for (std::size_t row = 0; row < in.num_rows(); ++row) {
-        for (std::size_t mrow = 0; mrow < matches.num_rows(); ++mrow) {
-          std::vector<TermId> vals;
-          for (std::size_t c = 0; c < in.id_vars().size(); ++c) {
-            vals.push_back(in.id_at(row, static_cast<int>(c)));
-          }
-          for (std::size_t c = 0; c < matches.id_vars().size(); ++c) {
-            vals.push_back(matches.id_at(mrow, static_cast<int>(c)));
-          }
-          std::vector<double> nums;
-          for (std::size_t c = 0; c < in.num_vars().size(); ++c) {
-            nums.push_back(in.num_at(row, static_cast<int>(c)));
-          }
-          dst.append_row(vals, nums);
+      const std::size_t n = in.num_rows();
+      const std::size_t m = matches.num_rows();
+      // Row-major (row, mrow) cross product, one column at a time: left
+      // columns repeat each value m times, match columns tile whole-column
+      // n times, numeric columns repeat like left columns.
+      const std::size_t old_ids = in.id_vars().size();
+      for (std::size_t c = 0; c < old_ids; ++c) {
+        const auto& src = in.id_col(static_cast<int>(c));
+        auto& col = dst.id_col_mut(static_cast<int>(c));
+        col.reserve(n * m);
+        for (std::size_t row = 0; row < n; ++row) {
+          col.insert(col.end(), m, src[row]);
         }
       }
-      charge_graph_op(
-          r, opts_.costs.join_cost(in.num_rows() * matches.num_rows()));
+      for (std::size_t c = 0; c < matches.id_vars().size(); ++c) {
+        const auto& src = matches.id_col(static_cast<int>(c));
+        auto& col = dst.id_col_mut(static_cast<int>(old_ids + c));
+        col.reserve(n * m);
+        for (std::size_t row = 0; row < n; ++row) {
+          col.insert(col.end(), src.begin(), src.end());
+        }
+      }
+      for (std::size_t c = 0; c < in.num_vars().size(); ++c) {
+        const auto& src = in.num_col(static_cast<int>(c));
+        auto& col = dst.num_col_mut(static_cast<int>(c));
+        col.reserve(n * m);
+        for (std::size_t row = 0; row < n; ++row) {
+          col.insert(col.end(), m, src[row]);
+        }
+      }
+      charge_graph_op(r, opts_.costs.join_cost(n * m));
     });
     parts_ = std::move(out);
     clocks_.barrier();
@@ -654,12 +700,11 @@ class QueryExecution {
     }
     runtime::for_each_rank(p_, [&](int r) {
       auto& t = parts_[static_cast<std::size_t>(r)];
-      std::vector<char> keep(t.num_rows(), 0);
-      for (std::size_t row = 0; row < t.num_rows(); ++row) {
-        keep[row] = std::binary_search(ids.begin(), ids.end(),
-                                       t.id_at(row, idx))
-                        ? 1
-                        : 0;
+      const auto& col = t.id_col(idx);
+      std::vector<char> keep(col.size(), 0);
+      for (std::size_t row = 0; row < col.size(); ++row) {
+        keep[row] =
+            std::binary_search(ids.begin(), ids.end(), col[row]) ? 1 : 0;
       }
       charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
       t.filter_rows(keep);
@@ -738,13 +783,16 @@ class QueryExecution {
       auto& t = parts_[ru];
       std::vector<char> keep(t.num_rows(), 1);
       double rank_cost = 0.0;  // nanoseconds, multiplier-weighted
+      // One context per rank; only the row cursor moves in the loop.
+      expr::EvalContext ctx;
+      ctx.row = {&t, 0};
+      ctx.registry = registry_;
+      ctx.profiler = profiler_;
+      ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
+      ctx.speed_factor = speed(r);
       for (std::size_t row = 0; row < t.num_rows(); ++row) {
-        expr::EvalContext ctx;
-        ctx.row = {&t, row};
-        ctx.registry = registry_;
-        ctx.profiler = profiler_;
-        ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
-        ctx.speed_factor = speed(r);
+        ctx.row.row = row;
+        ctx.cost = 0;
         for (std::size_t ci : orders[ru]) {
           sim::Nanos before = ctx.cost;
           expr::Value v = expr::eval(*conjuncts[ci].expr, ctx);
@@ -782,12 +830,11 @@ class QueryExecution {
     });
     runtime::for_each_rank(p_, [&](int r) {
       auto& t = parts_[static_cast<std::size_t>(r)];
-      std::unordered_map<TermId, bool> seen;
-      std::vector<char> keep(t.num_rows(), 0);
-      for (std::size_t row = 0; row < t.num_rows(); ++row) {
-        auto [it, inserted] = seen.emplace(t.id_at(row, idx), true);
-        (void)it;
-        keep[row] = inserted ? 1 : 0;
+      const auto& col = t.id_col(idx);
+      FlatTermSet seen(col.size());
+      std::vector<char> keep(col.size(), 0);
+      for (std::size_t row = 0; row < col.size(); ++row) {
+        keep[row] = seen.insert(col[row]) ? 1 : 0;
       }
       charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
       t.filter_rows(keep);
@@ -850,16 +897,21 @@ class QueryExecution {
       auto ru = static_cast<std::size_t>(r);
       auto& t = parts_[ru];
       int out_col = t.num_var_index(inv.out_var);
+      // One context and one argument buffer per rank; the row cursor and
+      // per-row cost are reset in the loop.
+      expr::EvalContext ctx;
+      ctx.row = {&t, 0};
+      ctx.registry = registry_;
+      ctx.profiler = profiler_;
+      ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
+      ctx.speed_factor = speed(r);
+      std::vector<expr::Value> args;
+      args.reserve(inv.args.size());
       for (std::size_t row = 0; row < t.num_rows(); ++row) {
-        expr::EvalContext ctx;
-        ctx.row = {&t, row};
-        ctx.registry = registry_;
-        ctx.profiler = profiler_;
-        ctx.udf_ctx = {r, features_, vectors_, &rank_rngs_[ru]};
-        ctx.speed_factor = speed(r);
+        ctx.row.row = row;
+        ctx.cost = 0;
 
-        std::vector<expr::Value> args;
-        args.reserve(inv.args.size());
+        args.clear();
         for (const auto& a : inv.args) args.push_back(expr::eval(*a, ctx));
 
         double value = 0.0;
@@ -956,23 +1008,22 @@ class QueryExecution {
     }
 
     // SELECT projection (id variables; numeric columns always survive).
+    // Columnar: each selected variable is one whole-column copy.
     if (!query.select.empty()) {
       SolutionTable projected{query.select, merged.num_vars()};
-      projected.reserve(merged.num_rows());
-      std::vector<int> src_cols;
-      for (const auto& v : query.select) {
-        src_cols.push_back(merged.id_var_index(v));
+      const std::size_t n = merged.num_rows();
+      for (std::size_t k = 0; k < query.select.size(); ++k) {
+        int c = merged.id_var_index(query.select[k]);
+        auto& col = projected.id_col_mut(static_cast<int>(k));
+        if (c >= 0) {
+          col = merged.id_col(c);
+        } else {
+          col.assign(n, graph::kInvalidTerm);
+        }
       }
-      for (std::size_t row = 0; row < merged.num_rows(); ++row) {
-        std::vector<TermId> vals;
-        for (int c : src_cols) {
-          vals.push_back(c >= 0 ? merged.id_at(row, c) : graph::kInvalidTerm);
-        }
-        std::vector<double> nums;
-        for (std::size_t c = 0; c < merged.num_vars().size(); ++c) {
-          nums.push_back(merged.num_at(row, static_cast<int>(c)));
-        }
-        projected.append_row(vals, nums);
+      for (std::size_t c = 0; c < merged.num_vars().size(); ++c) {
+        projected.num_col_mut(static_cast<int>(c)) =
+            merged.num_col(static_cast<int>(c));
       }
       merged = std::move(projected);
     }

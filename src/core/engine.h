@@ -54,7 +54,8 @@ struct EngineOptions {
   double row_multiplier = 1.0;
   /// Per-UDF logical-call multipliers overriding row_multiplier in FILTER
   /// conjuncts that reference the UDF (e.g. {"ncnpr.dtba", 20}).
-  std::unordered_map<std::string, double> udf_call_multiplier;
+  // Cold path: consulted once per conjunct at plan time, never per row.
+  std::unordered_map<std::string, double> udf_call_multiplier;  // lint:allow-unordered
   /// Optional global distributed cache for INVOKE clauses.
   cache::CacheManager* cache = nullptr;
   std::uint64_t seed = 0x1D5;

@@ -47,7 +47,8 @@ class Dictionary {
 
  private:
   mutable Mutex mutex_;
-  std::unordered_map<std::string, TermId> ids_ IDS_GUARDED_BY(mutex_);
+  // Cold path: string interning happens at ingest, not in query operators.
+  std::unordered_map<std::string, TermId> ids_ IDS_GUARDED_BY(mutex_);  // lint:allow-unordered
   std::deque<std::string> names_ IDS_GUARDED_BY(mutex_);
 };
 

@@ -1,5 +1,6 @@
 #include "graph/solution.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ids::graph {
@@ -63,6 +64,81 @@ void SolutionTable::append_row_from(const SolutionTable& other,
   }
 }
 
+namespace {
+
+template <typename T>
+void gather_append(std::vector<T>* dst, const std::vector<T>& src,
+                   std::span<const RowIndex> rows) {
+  const std::size_t base = dst->size();
+  dst->resize(base + rows.size());
+  T* out = dst->data() + base;
+  const T* in = src.data();
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = in[rows[i]];
+}
+
+}  // namespace
+
+void SolutionTable::append_rows_from(const SolutionTable& other,
+                                     std::span<const RowIndex> rows) {
+  assert(same_schema(other));
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) {
+    gather_append(&id_cols_[i], other.id_cols_[i], rows);
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    gather_append(&num_cols_[i], other.num_cols_[i], rows);
+  }
+}
+
+void SolutionTable::append_row_range_from(const SolutionTable& other,
+                                          std::size_t begin, std::size_t end) {
+  assert(same_schema(other));
+  assert(begin <= end && end <= other.num_rows());
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) {
+    const auto& src = other.id_cols_[i];
+    id_cols_[i].insert(id_cols_[i].end(),
+                       src.begin() + static_cast<std::ptrdiff_t>(begin),
+                       src.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    const auto& src = other.num_cols_[i];
+    num_cols_[i].insert(num_cols_[i].end(),
+                        src.begin() + static_cast<std::ptrdiff_t>(begin),
+                        src.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+}
+
+void SolutionTable::append_prefix_from(const SolutionTable& other,
+                                       std::span<const RowIndex> rows) {
+  assert(other.id_vars_.size() <= id_vars_.size());
+  assert(std::equal(other.id_vars_.begin(), other.id_vars_.end(),
+                    id_vars_.begin()));
+  assert(num_vars_ == other.num_vars_);
+  for (std::size_t i = 0; i < other.id_cols_.size(); ++i) {
+    gather_append(&id_cols_[i], other.id_cols_[i], rows);
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    gather_append(&num_cols_[i], other.num_cols_[i], rows);
+  }
+}
+
+std::vector<std::vector<RowIndex>> SolutionTable::partition_rows(
+    std::span<const int> dst_of_row, int num_dsts) {
+  assert(dst_of_row.size() < 0xffffffffull);
+  // Counting pass first so each destination list is one exact allocation.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_dsts), 0);
+  for (int d : dst_of_row) ++counts[static_cast<std::size_t>(d)];
+  std::vector<std::vector<RowIndex>> lists(static_cast<std::size_t>(num_dsts));
+  for (int d = 0; d < num_dsts; ++d) {
+    lists[static_cast<std::size_t>(d)].reserve(
+        counts[static_cast<std::size_t>(d)]);
+  }
+  for (std::size_t r = 0; r < dst_of_row.size(); ++r) {
+    lists[static_cast<std::size_t>(dst_of_row[r])].push_back(
+        static_cast<RowIndex>(r));
+  }
+  return lists;
+}
+
 int SolutionTable::add_num_var(std::string name) {
   assert(num_var_index(name) < 0 && "duplicate numeric variable");
   num_vars_.push_back(std::move(name));
@@ -91,8 +167,16 @@ void SolutionTable::truncate(std::size_t n) {
 
 SolutionTable SolutionTable::take_rows(std::span<const std::size_t> rows) const {
   SolutionTable out = empty_like();
-  out.reserve(rows.size());
-  for (std::size_t r : rows) out.append_row_from(*this, r);
+  auto gather = [&rows](auto* dst, const auto& src) {
+    dst->resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) (*dst)[i] = src[rows[i]];
+  };
+  for (std::size_t i = 0; i < id_cols_.size(); ++i) {
+    gather(&out.id_cols_[i], id_cols_[i]);
+  }
+  for (std::size_t i = 0; i < num_cols_.size(); ++i) {
+    gather(&out.num_cols_[i], num_cols_[i]);
+  }
   return out;
 }
 

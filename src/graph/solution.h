@@ -18,6 +18,12 @@
 
 namespace ids::graph {
 
+/// Row position within one solution table part. 32-bit on purpose: the
+/// gather/partition kernels stream index lists at memory bandwidth, and
+/// halving the index width halves that traffic. Per-part row counts stay
+/// far below 2^32 (parts are per-rank slices of an in-memory table).
+using RowIndex = std::uint32_t;
+
 class SolutionTable {
  public:
   SolutionTable() = default;
@@ -49,6 +55,47 @@ class SolutionTable {
 
   /// Appends row `row` of `other` (same schema required).
   void append_row_from(const SolutionTable& other, std::size_t row);
+
+  // ---- Batch kernels ------------------------------------------------------
+  // Column-at-a-time row movement: one pass per column instead of one
+  // schema-length pass per row, so appends run as contiguous gathers /
+  // memcpys instead of pointer-chasing push_backs.
+
+  /// Gather-appends `other`'s rows at the given positions, in order (same
+  /// schema required). Equivalent to append_row_from in a loop.
+  void append_rows_from(const SolutionTable& other,
+                        std::span<const RowIndex> rows);
+
+  /// Bulk-appends the contiguous row range [begin, end) of `other` (same
+  /// schema required); each column is one range insert.
+  void append_row_range_from(const SolutionTable& other, std::size_t begin,
+                             std::size_t end);
+
+  /// Gather-appends only the columns `other` shares with this table:
+  /// other's id variables must be a *prefix* of this table's id variables
+  /// and the numeric schemas must match. The trailing id columns are left
+  /// untouched — the caller (a join/extend kernel producing new bindings)
+  /// must append to them via id_col_mut() until all columns are equal
+  /// length again.
+  void append_prefix_from(const SolutionTable& other,
+                          std::span<const RowIndex> rows);
+
+  /// Splits row positions by destination: partition_rows(dst, p)[d] lists
+  /// the rows r (ascending) with dst[r] == d. The index lists feed
+  /// append_rows_from, turning a row-at-a-time shuffle into one gather per
+  /// (source, destination) pair.
+  static std::vector<std::vector<RowIndex>> partition_rows(
+      std::span<const int> dst_of_row, int num_dsts);
+
+  /// Mutable column access for batch kernels that write new bindings
+  /// directly (see append_prefix_from). Callers must leave every column at
+  /// the same length.
+  std::vector<TermId>& id_col_mut(int var_idx) {
+    return id_cols_[static_cast<std::size_t>(var_idx)];
+  }
+  std::vector<double>& num_col_mut(int var_idx) {
+    return num_cols_[static_cast<std::size_t>(var_idx)];
+  }
 
   TermId id_at(std::size_t row, int var_idx) const {
     return id_cols_[static_cast<std::size_t>(var_idx)][row];

@@ -46,6 +46,26 @@ constexpr std::array<int, 256> build_residue_table() {
 
 constexpr std::array<int, 256> kResidueTable = build_residue_table();
 
+/// BLOSUM62 padded with a 21st "unknown residue" row/column scoring -4
+/// against everything. Mapping non-residue characters to index 20 makes
+/// the DP inner loop a single unconditional table load — no null-row or
+/// negative-index branches — while producing the exact same integer
+/// scores as the branching form.
+constexpr int kUnknown = 20;
+
+constexpr std::array<std::array<int, 21>, 21> build_padded_matrix() {
+  std::array<std::array<int, 21>, 21> m{};
+  for (int i = 0; i < 21; ++i) {
+    for (int j = 0; j < 21; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          (i < kUnknown && j < kUnknown) ? kB62[i][j] : -4;
+    }
+  }
+  return m;
+}
+
+constexpr std::array<std::array<int, 21>, 21> kB62Padded = build_padded_matrix();
+
 }  // namespace
 
 int residue_index(char c) { return kResidueTable[static_cast<unsigned char>(c)]; }
@@ -76,21 +96,25 @@ SwResult smith_waterman(std::string_view a, std::string_view b,
   std::vector<int> h(static_cast<std::size_t>(n) + 1, 0);
   std::vector<int> e(static_cast<std::size_t>(n) + 1, 0);
 
-  // Precompute the residue row of the substitution matrix for a[i].
+  // Precompute b's residue indices, with unknowns mapped into the padded
+  // matrix so the inner loop never branches on residue validity.
   std::vector<int> b_idx(static_cast<std::size_t>(n));
-  for (int j = 0; j < n; ++j) b_idx[static_cast<std::size_t>(j)] = residue_index(b[static_cast<std::size_t>(j)]);
+  for (int j = 0; j < n; ++j) {
+    int ib = residue_index(b[static_cast<std::size_t>(j)]);
+    b_idx[static_cast<std::size_t>(j)] = ib >= 0 ? ib : kUnknown;
+  }
 
   int best = 0;
   int best_i = 0;
   int best_j = 0;
   for (int i = 0; i < m; ++i) {
     int ia = residue_index(a[static_cast<std::size_t>(i)]);
-    const int* row = (ia >= 0) ? kB62[ia] : nullptr;
+    const int* row = kB62Padded[static_cast<std::size_t>(ia >= 0 ? ia : kUnknown)].data();
     int f = 0;
     int h_diag = 0;  // H[i-1][j-1]
     for (int j = 1; j <= n; ++j) {
       auto ju = static_cast<std::size_t>(j);
-      int sub = (row && b_idx[ju - 1] >= 0) ? row[b_idx[ju - 1]] : -4;
+      int sub = row[b_idx[ju - 1]];
       int score = h_diag + sub;
       h_diag = h[ju];
 

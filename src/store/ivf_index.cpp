@@ -5,21 +5,9 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/vector_ops.h"
 
 namespace ids::store {
-
-namespace {
-
-float l2sq(std::span<const float> a, std::span<const float> b) {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
-}
-
-}  // namespace
 
 IvfIndex::IvfIndex(const VectorStore& store, int shard, Params params)
     : store_(store), shard_(shard), dim_(store.dim()) {
@@ -49,7 +37,7 @@ IvfIndex::IvfIndex(const VectorStore& store, int shard, Params params)
       float best = std::numeric_limits<float>::max();
       int best_c = 0;
       for (int c = 0; c < kc; ++c) {
-        float d = l2sq(v, centroids_[static_cast<std::size_t>(c)]);
+        float d = l2sq_kernel(v, centroids_[static_cast<std::size_t>(c)]);
         if (d < best) {
           best = d;
           best_c = c;
@@ -101,7 +89,7 @@ std::vector<VectorHit> IvfIndex::topk(std::span<const float> query,
   std::vector<std::pair<float, int>> order;
   order.reserve(static_cast<std::size_t>(kc));
   for (int c = 0; c < kc; ++c) {
-    order.emplace_back(l2sq(query, centroids_[static_cast<std::size_t>(c)]), c);
+    order.emplace_back(l2sq_kernel(query, centroids_[static_cast<std::size_t>(c)]), c);
   }
   std::sort(order.begin(), order.end());
 

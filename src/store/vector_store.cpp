@@ -5,18 +5,14 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/vector_ops.h"
+
 namespace ids::store {
 
 namespace {
 
-float dot(std::span<const float> a, std::span<const float> b) {
-  float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
-}
-
 float norm(std::span<const float> a) {
-  return std::sqrt(dot(a, a));
+  return std::sqrt(dot_kernel(a, a));
 }
 
 }  // namespace
@@ -25,21 +21,15 @@ float VectorStore::similarity(std::span<const float> a,
                               std::span<const float> b, Metric metric) {
   switch (metric) {
     case Metric::kDot:
-      return dot(a, b);
+      return dot_kernel(a, b);
     case Metric::kCosine: {
       float na = norm(a);
       float nb = norm(b);
       if (na == 0.0f || nb == 0.0f) return 0.0f;
-      return dot(a, b) / (na * nb);
+      return dot_kernel(a, b) / (na * nb);
     }
-    case Metric::kL2: {
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        float d = a[i] - b[i];
-        acc += d * d;
-      }
-      return -std::sqrt(acc);
-    }
+    case Metric::kL2:
+      return -std::sqrt(l2sq_kernel(a, b));
   }
   return 0.0f;
 }
@@ -125,7 +115,7 @@ std::vector<VectorHit> VectorStore::topk(std::span<const float> query,
 float VectorStore::score(std::span<const float> query, graph::TermId id,
                          Metric metric) const {
   auto v = get(id);
-  if (v.empty()) return metric == Metric::kL2 ? -1e30f : -1e30f;
+  if (v.empty()) return kMissingScore;
   return similarity(query, v, metric);
 }
 

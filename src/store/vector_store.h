@@ -26,6 +26,11 @@ struct VectorHit {
   float score = 0.0f;
 };
 
+/// Score reported for an id with no stored embedding: worse than any real
+/// similarity under every metric ("higher is better"), so a missing vector
+/// can never outrank a stored one.
+inline constexpr float kMissingScore = -1e30f;
+
 class VectorStore {
  public:
   VectorStore(int num_shards, int dim);

@@ -12,11 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
+#include "common/vector_ops.h"
 #include "core/engine.h"
 
 namespace ids::core {
@@ -250,6 +255,424 @@ INSTANTIATE_TEST_SUITE_P(
         Config{6, 32, true, RebalancePolicy::kCount, false},
         Config{7, 3, true, RebalancePolicy::kThroughput, true},
         Config{8, 64, false, RebalancePolicy::kThroughput, false}));
+
+// ---------------------------------------------------------------------------
+// Kernel-equivalence suite: the batch columnar kernels (gather appends, flat
+// join index, bulk shuffles) are pure wall-clock optimizations. The modeled
+// virtual-clock outputs — stage seconds, row counts, cache hit/miss counts,
+// profiler exec counts — are pinned here to the exact values the seed
+// (row-at-a-time) implementation produced, so any kernel change that shifts
+// modeled semantics fails loudly.
+// ---------------------------------------------------------------------------
+
+struct GoldenScenario {
+  std::unique_ptr<graph::TripleStore> store;
+  std::unique_ptr<store::FeatureStore> features;
+  std::vector<TermId> entities;
+  std::vector<TermId> preds;
+};
+
+GoldenScenario make_golden_scenario(int shards) {
+  GoldenScenario s;
+  Rng rng(123);
+  s.store = std::make_unique<graph::TripleStore>(shards);
+  s.features = std::make_unique<store::FeatureStore>(shards);
+  auto& dict = s.store->dict();
+  for (int i = 0; i < 30; ++i) {
+    TermId id = dict.intern("e" + std::to_string(i));
+    s.entities.push_back(id);
+    s.features->set(id, "score", rng.uniform(0.0, 10.0));
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.preds.push_back(dict.intern("p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 150; ++i) {
+    s.store->add_ids({s.entities[rng.next_below(s.entities.size())],
+                      s.preds[rng.next_below(s.preds.size())],
+                      s.entities[rng.next_below(s.entities.size())]});
+  }
+  s.store->finalize();
+  return s;
+}
+
+EngineOptions golden_options(int shards) {
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(shards);
+  opts.hetero = runtime::HeteroProfile::random(shards, 0.5, 3.0, 99);
+  opts.reorder_filters = true;
+  opts.rebalance = RebalancePolicy::kThroughput;
+  return opts;
+}
+
+void register_golden_udfs(IdsEngine* engine) {
+  engine->registry().register_static(
+      "score_over",
+      [](const udf::UdfContext& ctx, std::span<const expr::Value> args) {
+        const auto* e = std::get_if<expr::Entity>(&args[0]);
+        double threshold = 0;
+        expr::as_double(args[1], &threshold);
+        auto s = ctx.features->get_double(e->id, "score");
+        return udf::UdfResult{s && *s > threshold, sim::from_micros(3)};
+      });
+  engine->registry().register_static(
+      "sq", [](const udf::UdfContext&, std::span<const expr::Value> args) {
+        double x = 0;
+        expr::as_double(args[0], &x);
+        return udf::UdfResult{x * x, sim::from_micros(250)};
+      });
+}
+
+void print_golden(const char* label, const QueryResult& r) {
+  std::printf("golden[%s]: total=%.17g rows_p=%zu rows_f=%zu hits=%zu "
+              "misses=%zu invoked=%zu\n",
+              label, r.total_seconds, r.rows_after_patterns,
+              r.rows_after_filters, r.cache_hits, r.cache_misses,
+              r.rows_invoked);
+  for (const auto& st : r.stages) {
+    std::printf("golden[%s]:   stage %-12s %.17g\n", label, st.stage.c_str(),
+                st.seconds);
+  }
+}
+
+// Join-heavy query (scan + subject-bound extend + hash join + rebalance +
+// filter): pins the shuffle / join / redistribute kernels.
+TEST(KernelEquivalence, GoldenJoinFilterModeledResults) {
+  auto s = make_golden_scenario(8);
+  IdsEngine engine(golden_options(8), s.store.get(), s.features.get());
+  register_golden_udfs(&engine);
+
+  Query q;
+  q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(s.preds[0]),
+                        PatternTerm::Var("b")});
+  q.patterns.push_back({PatternTerm::Var("b"), PatternTerm::Const(s.preds[1]),
+                        PatternTerm::Var("c")});
+  // Subject is a fresh variable and the shared variable ?c sits in object
+  // position, so this pattern exercises the hash-join kernel (the previous
+  // one exercises the subject-bound extend kernel).
+  q.patterns.push_back({PatternTerm::Var("d"), PatternTerm::Const(s.preds[2]),
+                        PatternTerm::Var("c")});
+  q.filters.push_back(expr::Expr::Udf(
+      "score_over", {expr::Expr::Var("a"), expr::Expr::Constant(4.0)}));
+  q.filters.push_back(expr::Expr::Compare(
+      expr::CmpOp::kLe, expr::Expr::Feature(expr::Expr::Var("b"), "score"),
+      expr::Expr::Constant(9.0)));
+
+  QueryResult r = engine.execute(q);
+
+  EXPECT_EQ(r.rows_after_patterns, std::size_t{129});
+  EXPECT_EQ(r.rows_after_filters, std::size_t{61});
+  EXPECT_EQ(r.total_seconds, 0.000101178);
+  ASSERT_EQ(r.stages.size(), std::size_t{6});
+  EXPECT_EQ(r.stages[0].stage, "scan");
+  EXPECT_EQ(r.stages[0].seconds, 5.0999999999999999e-07);
+  EXPECT_EQ(r.stages[1].stage, "join");
+  EXPECT_EQ(r.stages[1].seconds, 7.8820000000000001e-06);
+  EXPECT_EQ(r.stages[2].stage, "join");
+  EXPECT_EQ(r.stages[2].seconds, 1.1188e-05);
+  EXPECT_EQ(r.stages[3].stage, "rebalance");
+  EXPECT_EQ(r.stages[3].seconds, 4.5020000000000003e-06);
+  EXPECT_EQ(r.stages[4].stage, "filter");
+  EXPECT_EQ(r.stages[4].seconds, 7.6124000000000005e-05);
+  EXPECT_EQ(r.stages[5].stage, "gather");
+  EXPECT_EQ(r.stages[5].seconds, 9.7199999999999997e-07);
+  if (::testing::Test::HasFailure()) print_golden("join", r);
+}
+
+// Cartesian-product query (no shared variable): pins the cross-join kernel.
+TEST(KernelEquivalence, GoldenCartesianModeledResults) {
+  auto s = make_golden_scenario(4);
+  IdsEngine engine(golden_options(4), s.store.get(), s.features.get());
+  register_golden_udfs(&engine);
+
+  Query q;
+  q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(s.preds[0]),
+                        PatternTerm::Const(s.entities[3])});
+  q.patterns.push_back({PatternTerm::Var("c"), PatternTerm::Const(s.preds[1]),
+                        PatternTerm::Const(s.entities[5])});
+
+  QueryResult r = engine.execute(q);
+
+  EXPECT_EQ(r.rows_after_patterns, std::size_t{2});
+  EXPECT_EQ(r.total_seconds, 1.4649999999999999e-06);
+  ASSERT_EQ(r.stages.size(), std::size_t{3});
+  EXPECT_EQ(r.stages[0].stage, "scan");
+  EXPECT_EQ(r.stages[0].seconds, 2.36e-07);
+  EXPECT_EQ(r.stages[1].stage, "join");
+  EXPECT_EQ(r.stages[1].seconds, 6.2900000000000003e-07);
+  EXPECT_EQ(r.stages[2].stage, "gather");
+  EXPECT_EQ(r.stages[2].seconds, 5.9999999999999997e-07);
+  if (::testing::Test::HasFailure()) print_golden("cartesian", r);
+}
+
+// DISTINCT + cached INVOKE + ORDER BY + projection, executed twice so the
+// second run exercises the warm-cache path: pins the distinct kernel, the
+// invoke batch loop, the cache hit/miss accounting, and the projection.
+TEST(KernelEquivalence, GoldenDistinctInvokeModeledResults) {
+  auto s = make_golden_scenario(8);
+  cache::CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.serialization_service_seconds = 1e-4;
+  cache::CacheManager cache(cc);
+  EngineOptions opts = golden_options(8);
+  opts.cache = &cache;
+  IdsEngine engine(opts, s.store.get(), s.features.get());
+  register_golden_udfs(&engine);
+
+  Query q;
+  q.patterns.push_back({PatternTerm::Var("a"), PatternTerm::Const(s.preds[0]),
+                        PatternTerm::Var("b")});
+  q.distinct_var = "b";
+  InvokeClause inv;
+  inv.udf = "sq";
+  inv.out_var = "v";
+  inv.args.push_back(expr::Expr::Feature(expr::Expr::Var("b"), "score"));
+  inv.use_cache = true;
+  inv.cache_prefix = "golden/sq";
+  inv.cached_payload_bytes = 64;
+  q.invokes.push_back(inv);
+  q.order_by = "v";
+  q.order_descending = true;
+  q.limit = 5;
+  q.select = {"b"};
+
+  QueryResult cold = engine.execute(q);
+  QueryResult warm = engine.execute(q);
+
+  EXPECT_EQ(cold.rows_after_patterns, std::size_t{45});
+  EXPECT_EQ(cold.rows_invoked, std::size_t{23});
+  EXPECT_EQ(cold.cache_hits, std::size_t{0});
+  EXPECT_EQ(cold.cache_misses, std::size_t{23});
+  EXPECT_EQ(cold.total_seconds, 0.013058367);
+  ASSERT_EQ(cold.stages.size(), std::size_t{4});
+  EXPECT_EQ(cold.stages[0].stage, "scan");
+  EXPECT_EQ(cold.stages[0].seconds, 5.0999999999999999e-07);
+  EXPECT_EQ(cold.stages[1].stage, "distinct");
+  EXPECT_EQ(cold.stages[1].seconds, 9.2380000000000003e-06);
+  EXPECT_EQ(cold.stages[2].stage, "invoke:sq");
+  EXPECT_EQ(cold.stages[2].seconds, 0.013047701);
+  EXPECT_EQ(cold.stages[3].stage, "gather");
+  EXPECT_EQ(cold.stages[3].seconds, 9.1800000000000004e-07);
+
+  EXPECT_EQ(warm.rows_invoked, std::size_t{0});
+  EXPECT_EQ(warm.cache_hits, std::size_t{23});
+  EXPECT_EQ(warm.cache_misses, std::size_t{0});
+  EXPECT_EQ(warm.total_seconds, 0.0023106659999999998);
+  ASSERT_EQ(warm.stages.size(), std::size_t{4});
+  EXPECT_EQ(warm.stages[2].stage, "invoke:sq");
+  EXPECT_EQ(warm.stages[2].seconds, 0.0023);
+
+  EXPECT_EQ(engine.profiler().aggregate("sq").execs, std::uint64_t{23});
+
+  // The projected result: 5 distinct ?b ordered by v desc, single id column.
+  EXPECT_EQ(warm.solutions.num_rows(), std::size_t{5});
+  ASSERT_EQ(warm.solutions.id_vars().size(), std::size_t{1});
+  EXPECT_EQ(warm.solutions.id_vars()[0], "b");
+
+  if (::testing::Test::HasFailure()) {
+    print_golden("cold", cold);
+    print_golden("warm", warm);
+    std::printf("golden[profiler]: sq execs=%llu\n",
+                static_cast<unsigned long long>(
+                    engine.profiler().aggregate("sq").execs));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-primitive equivalence: each columnar kernel must be observably
+// identical to the row-at-a-time loop it replaced. The goldens above pin the
+// engine's end-to-end modeled outputs; these pin the primitives directly so
+// a kernel bug is localized to one operation instead of a changed stage time.
+// ---------------------------------------------------------------------------
+
+using graph::RowIndex;
+using graph::SolutionTable;
+
+SolutionTable random_table(Rng* rng, std::size_t rows) {
+  SolutionTable t{{"a", "b", "c"}, {"x", "y"}};
+  for (std::size_t i = 0; i < rows; ++i) {
+    TermId ids[3] = {rng->next_u64() % 97, rng->next_u64() % 97,
+                     rng->next_u64() % 97};
+    double nums[2] = {rng->uniform(-1.0, 1.0), rng->uniform(-1.0, 1.0)};
+    t.append_row(ids, nums);
+  }
+  return t;
+}
+
+std::vector<std::vector<TermId>> rows_of(const SolutionTable& t) {
+  std::vector<std::vector<TermId>> out(t.num_rows());
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    for (std::size_t c = 0; c < t.id_vars().size(); ++c) {
+      out[r].push_back(t.id_at(r, static_cast<int>(c)));
+    }
+    for (std::size_t c = 0; c < t.num_vars().size(); ++c) {
+      // Exact bit pattern: batch moves may not perturb doubles.
+      TermId bits;
+      double v = t.num_at(r, static_cast<int>(c));
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      out[r].push_back(bits);
+    }
+  }
+  return out;
+}
+
+TEST(BatchPrimitives, AppendRowsFromMatchesPerRowLoop) {
+  Rng rng(31);
+  SolutionTable src = random_table(&rng, 200);
+  std::vector<RowIndex> picks;
+  for (int i = 0; i < 500; ++i) {
+    picks.push_back(static_cast<RowIndex>(rng.next_below(src.num_rows())));
+  }
+
+  SolutionTable batch = src.empty_like();
+  batch.append_rows_from(src, picks);
+  SolutionTable loop = src.empty_like();
+  for (RowIndex r : picks) loop.append_row_from(src, r);
+
+  EXPECT_EQ(rows_of(batch), rows_of(loop));
+}
+
+TEST(BatchPrimitives, AppendRowRangeFromMatchesPerRowLoop) {
+  Rng rng(32);
+  SolutionTable src = random_table(&rng, 120);
+  SolutionTable batch = src.empty_like();
+  batch.append_row_range_from(src, 17, 93);
+  SolutionTable loop = src.empty_like();
+  for (std::size_t r = 17; r < 93; ++r) loop.append_row_from(src, r);
+  EXPECT_EQ(rows_of(batch), rows_of(loop));
+
+  // Empty range is a no-op.
+  batch.append_row_range_from(src, 50, 50);
+  EXPECT_EQ(batch.num_rows(), std::size_t{76});
+}
+
+TEST(BatchPrimitives, PartitionRowsIsAStablePartition) {
+  Rng rng(33);
+  const int parts = 7;
+  std::vector<int> dst;
+  for (int i = 0; i < 1000; ++i) {
+    dst.push_back(static_cast<int>(rng.next_below(parts)));
+  }
+  auto lists = SolutionTable::partition_rows(dst, parts);
+  ASSERT_EQ(lists.size(), static_cast<std::size_t>(parts));
+
+  std::size_t total = 0;
+  for (int d = 0; d < parts; ++d) {
+    const auto& rows = lists[static_cast<std::size_t>(d)];
+    total += rows.size();
+    // Every listed row maps to d, in ascending (stable) order.
+    EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+    for (RowIndex r : rows) EXPECT_EQ(dst[r], d);
+  }
+  EXPECT_EQ(total, dst.size());  // a partition: each row exactly once
+}
+
+TEST(BatchPrimitives, AppendPrefixFromMatchesWidenedPerRowBuild) {
+  Rng rng(34);
+  SolutionTable src = random_table(&rng, 80);
+  std::vector<RowIndex> picks;
+  std::vector<TermId> new_binding;
+  for (int i = 0; i < 150; ++i) {
+    picks.push_back(static_cast<RowIndex>(rng.next_below(src.num_rows())));
+    new_binding.push_back(rng.next_u64() % 97);
+  }
+
+  // Batch path, as the join/extend kernels use it: gather the shared prefix,
+  // then write the new trailing column directly.
+  SolutionTable batch{{"a", "b", "c", "d"}, {"x", "y"}};
+  batch.append_prefix_from(src, picks);
+  auto& d_col = batch.id_col_mut(3);
+  d_col.insert(d_col.end(), new_binding.begin(), new_binding.end());
+
+  // Row-at-a-time reference.
+  SolutionTable loop{{"a", "b", "c", "d"}, {"x", "y"}};
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    TermId ids[4] = {src.id_at(picks[i], 0), src.id_at(picks[i], 1),
+                     src.id_at(picks[i], 2), new_binding[i]};
+    double nums[2] = {src.num_at(picks[i], 0), src.num_at(picks[i], 1)};
+    loop.append_row(ids, nums);
+  }
+
+  EXPECT_EQ(rows_of(batch), rows_of(loop));
+}
+
+TEST(BatchPrimitives, FlatGroupIndexMatchesUnorderedMultimap) {
+  Rng rng(35);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(rng.next_u64() % 400);
+  keys.push_back(0);            // edge keys must be probeable too
+  keys.push_back(~0ull);
+
+  FlatGroupIndex index(keys);
+  std::unordered_multimap<std::uint64_t, std::uint32_t> mm;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    mm.emplace(keys[i], static_cast<std::uint32_t>(i));
+  }
+
+  EXPECT_EQ(index.num_rows(), keys.size());
+  for (std::uint64_t probe = 0; probe < 420; ++probe) {
+    auto group = index.probe(probe);
+    // Ascending insertion order within the group; the hash-join kernel
+    // iterates this span *in reverse* to reproduce the seed multimap's
+    // newest-first enumeration (see engine.cpp).
+    EXPECT_TRUE(std::is_sorted(group.begin(), group.end()));
+    auto [lo, hi] = mm.equal_range(probe);
+    std::multiset<std::uint32_t> want;
+    for (auto it = lo; it != hi; ++it) want.insert(it->second);
+    std::multiset<std::uint32_t> got(group.begin(), group.end());
+    EXPECT_EQ(got, want) << "key " << probe;
+    for (std::uint32_t r : group) EXPECT_EQ(keys[r], probe);
+  }
+  EXPECT_TRUE(index.probe(12345678).empty());
+  EXPECT_EQ(index.probe(~0ull).size(), std::size_t{1});
+}
+
+TEST(BatchPrimitives, FlatTermSetMatchesStdSet) {
+  Rng rng(36);
+  FlatTermSet flat(4);  // tiny initial capacity: exercise grow()
+  std::set<std::uint64_t> ref;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t k = rng.next_u64() % 1500;
+    if (i == 100) k = 0;       // the all-zero and all-ones keys are valid
+    if (i == 200) k = ~0ull;
+    EXPECT_EQ(flat.insert(k), ref.insert(k).second);
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (std::uint64_t k = 0; k < 1600; ++k) {
+    EXPECT_EQ(flat.contains(k), ref.count(k) != 0) << "key " << k;
+  }
+}
+
+TEST(BatchPrimitives, VectorKernelsMatchScalarReference) {
+  Rng rng(37);
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                        std::size_t{127}, std::size_t{128}, std::size_t{513}}) {
+    std::vector<float> a(n), b(n);
+    for (auto& x : a) x = static_cast<float>(rng.normal());
+    for (auto& x : b) x = static_cast<float>(rng.normal());
+
+    double dot_ref = 0.0, l2_ref = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot_ref += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      l2_ref += d * d;
+    }
+
+    // The 4-accumulator kernels associate differently than a serial loop,
+    // so compare against the double-precision reference with a float-level
+    // tolerance instead of demanding bit equality with a scalar float loop.
+    const double tol = 1e-4 * (1.0 + static_cast<double>(n));
+    EXPECT_NEAR(dot_kernel(a.data(), b.data(), n), dot_ref, tol) << "n=" << n;
+    EXPECT_NEAR(l2sq_kernel(a.data(), b.data(), n), l2_ref, tol) << "n=" << n;
+
+    // Span overloads are the same kernel.
+    EXPECT_EQ(dot_kernel(std::span<const float>(a), std::span<const float>(b)),
+              dot_kernel(a.data(), b.data(), n));
+    EXPECT_EQ(
+        l2sq_kernel(std::span<const float>(a), std::span<const float>(b)),
+        l2sq_kernel(a.data(), b.data(), n));
+  }
+}
 
 }  // namespace
 }  // namespace ids::core

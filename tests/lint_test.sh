@@ -35,5 +35,7 @@ check "missing pragma flagged" 1 "missing '#pragma once'" \
       --root "$repo/tools/lint_fixtures/missing_pragma"
 check "raw rng flagged" 1 'raw RNG use' \
       --root "$repo/tools/lint_fixtures/raw_rng"
+check "unordered container in hot path flagged" 1 'node-based hash container' \
+      --root "$repo/tools/lint_fixtures/unordered_hot"
 
 exit $failed

@@ -115,6 +115,18 @@ TEST_F(VectorStoreTest, OverwriteReplacesVector) {
   EXPECT_EQ(store_.size(), 200u);  // no growth
 }
 
+TEST_F(VectorStoreTest, MissingIdScoresAsSentinel) {
+  std::vector<float> q(8, 1.0f);
+  for (Metric m : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
+    EXPECT_EQ(store_.score(q, 9999, m), kMissingScore)
+        << "metric " << static_cast<int>(m);
+  }
+  // The sentinel ranks below any stored vector's score under every metric.
+  for (Metric m : {Metric::kCosine, Metric::kDot, Metric::kL2}) {
+    EXPECT_GT(store_.score(q, 17, m), kMissingScore);
+  }
+}
+
 TEST_F(VectorStoreTest, L2ScoreIsNegatedDistance) {
   std::vector<float> a(8, 0.0f);
   std::vector<float> b(8, 0.0f);

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmarks (google-benchmark) and writes the JSON
+# report to BENCH_kernels.json at the repository root — the perf trajectory
+# data referenced by ROADMAP.md. Numbers are only meaningful from a Release
+# build; the script configures/builds one itself if needed.
+#
+# Usage: tools/bench.sh [--smoke] [--build-dir DIR] [--out FILE] [--filter RE]
+#   --smoke       cap per-benchmark min time at 0.01s (CI smoke signal: the
+#                 harness runs end to end and emits valid JSON; timings are
+#                 noisy and must not be checked in)
+#   --build-dir   Release build directory (default: build-release)
+#   --out         output path (default: <repo>/BENCH_kernels.json)
+#   --filter      benchmark regex (default: all)
+
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo/build-release"
+out="$repo/BENCH_kernels.json"
+min_time=0.1
+filter='.*'
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) min_time=0.01; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    --filter) filter="$2"; shift 2 ;;
+    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--filter RE]" >&2
+       exit 2 ;;
+  esac
+done
+
+if [ ! -x "$build_dir/bench/bench_kernels" ]; then
+  echo "==> configuring Release build in $build_dir"
+  cmake -S "$repo" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+fi
+echo "==> building bench_kernels"
+cmake --build "$build_dir" --target bench_kernels -j "$(nproc 2>/dev/null || echo 2)"
+
+echo "==> running benchmarks (min_time=${min_time}s, filter=$filter)"
+"$build_dir/bench/bench_kernels" \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "==> wrote $out"

@@ -103,6 +103,24 @@ $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')
 
+# --- 5. node-based hash containers in engine hot paths ------------------
+# src/core/ and src/graph/ hold the query-operator inner loops; per-node
+# allocating std::unordered_{map,multimap} were deliberately evicted in
+# favor of the flat containers in common/flat_map.h. Cold-path uses
+# (per-query config tables, build-time interning) opt out with a trailing
+# `// lint:allow-unordered` comment on the offending line.
+while IFS= read -r f; do
+  case "$f" in
+    src/core/*|src/graph/*) ;;
+    *) continue ;;
+  esac
+  hits=$(grep -nE 'std::unordered_(multi)?map' "$f" | grep -v 'lint:allow-unordered')
+  if [ -n "$hits" ]; then
+    fail "node-based hash container in hot path $f (use FlatGroupIndex/FlatTermSet from common/flat_map.h, or mark a cold-path use with // lint:allow-unordered):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
 if [ "$failures" -gt 0 ]; then
   echo "lint: $failures finding(s)" >&2
   exit 1

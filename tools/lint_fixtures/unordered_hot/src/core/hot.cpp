@@ -1,0 +1,15 @@
+// Negative fixture: a node-based hash container on an engine hot path.
+// The allowlisted line below must NOT be flagged; the bare one must.
+#include <unordered_map>
+
+namespace fixture {
+
+std::unordered_map<int, int> allowed_config_table;  // lint:allow-unordered
+
+int lookup(int key) {
+  std::unordered_map<int, int> index;
+  index.emplace(key, 1);
+  return index.count(key) ? index[key] : 0;
+}
+
+}  // namespace fixture
