@@ -1,8 +1,8 @@
 #include "cache/manager.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/logging.h"
 
 namespace ids::cache {
@@ -21,7 +21,7 @@ std::span<std::byte> as_writable_bytes(std::string& s) {
 
 CacheManager::CacheManager(CacheConfig config)
     : config_(config), nodes_(static_cast<std::size_t>(config.num_nodes)) {
-  assert(config.num_nodes > 0);
+  IDS_CHECK(config.num_nodes > 0);
   fam::FamOptions fam_opts;
   fam_opts.server_nodes.resize(static_cast<std::size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
@@ -97,7 +97,9 @@ void CacheManager::drop_copy(ObjectId id, Meta& meta, const Location& loc) {
       ns.dram_pos.erase(it);
       ns.dram_used -= meta.size;
     }
-    (void)fam_->deallocate(fam_name(id, loc.node));
+    // The FAM region may already be gone after fail_node(); either way
+    // the copy record is dropped below.
+    IDS_IGNORE_ERROR(fam_->deallocate(fam_name(id, loc.node)));
   } else {
     auto it = ns.ssd_pos.find(id);
     if (it != ns.ssd_pos.end()) {
@@ -110,12 +112,19 @@ void CacheManager::drop_copy(ObjectId id, Meta& meta, const Location& loc) {
   remove_copy_record(meta, loc);
 }
 
-void CacheManager::evict_dram_lru(sim::VirtualClock& clock, int node) {
+Status CacheManager::evict_dram_lru(sim::VirtualClock& clock, int node) {
   auto& ns = nodes_[static_cast<std::size_t>(node)];
-  if (ns.dram_lru.empty()) return;
+  if (ns.dram_lru.empty()) return Status::Ok();
   ObjectId victim = ns.dram_lru.back();
   auto dit = directory_.find(victim);
-  assert(dit != directory_.end());
+  if (dit == directory_.end()) {
+    // The directory lost track of the LRU victim. Recover by dropping the
+    // orphaned LRU entry (its bytes are unaccounted anyway) so the caller
+    // can keep evicting instead of looping on the same victim.
+    ns.dram_pos.erase(victim);
+    ns.dram_lru.pop_back();
+    return Status::Internal("DRAM LRU victim missing from cache directory");
+  }
   Meta& meta = dit->second;
 
   // Demote to the same node's SSD (spill), or drop if SSD is disabled.
@@ -125,60 +134,71 @@ void CacheManager::evict_dram_lru(sim::VirtualClock& clock, int node) {
   drop_copy(victim, meta, Location{node, TierKind::kDram});
   if (have && config_.enable_ssd && meta.size <= config_.ssd_capacity_bytes) {
     clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
-    insert_ssd(node, victim, meta, std::move(payload));
+    RETURN_IF_ERROR(insert_ssd(node, victim, meta, std::move(payload)));
     ++stats_.spills_to_ssd;
   }
+  return Status::Ok();
 }
 
-void CacheManager::insert_ssd(int node, ObjectId id, Meta& meta,
-                              std::string payload) {
-  if (!config_.enable_ssd || meta.size > config_.ssd_capacity_bytes) return;
+Status CacheManager::insert_ssd(int node, ObjectId id, Meta& meta,
+                                std::string payload) {
+  // Policy skips (tier disabled, object larger than the tier) are not
+  // errors: the object simply stays wherever it already is.
+  if (!config_.enable_ssd || meta.size > config_.ssd_capacity_bytes) {
+    return Status::Ok();
+  }
   auto& ns = nodes_[static_cast<std::size_t>(node)];
   Location loc{node, TierKind::kSsd};
-  if (ns.ssd_pos.contains(id)) return;  // already there
+  if (ns.ssd_pos.contains(id)) return Status::Ok();  // already there
   while (ns.ssd_used + meta.size > config_.ssd_capacity_bytes &&
          !ns.ssd_lru.empty()) {
     ObjectId victim = ns.ssd_lru.back();
     auto dit = directory_.find(victim);
-    assert(dit != directory_.end());
+    if (dit == directory_.end()) {
+      ns.ssd_pos.erase(victim);
+      ns.ssd_data.erase(victim);
+      ns.ssd_lru.pop_back();
+      return Status::Internal("SSD LRU victim missing from cache directory");
+    }
     drop_copy(victim, dit->second, Location{node, TierKind::kSsd});
     ++stats_.ssd_drops;
   }
-  if (ns.ssd_used + meta.size > config_.ssd_capacity_bytes) return;
+  if (ns.ssd_used + meta.size > config_.ssd_capacity_bytes) {
+    return Status::Ok();
+  }
   ns.ssd_lru.push_front(id);
   ns.ssd_pos[id] = ns.ssd_lru.begin();
   ns.ssd_data[id] = std::move(payload);
   ns.ssd_used += meta.size;
   meta.copies.push_back(loc);
+  return Status::Ok();
 }
 
-void CacheManager::insert_dram(sim::VirtualClock& clock, int node, ObjectId id,
-                               Meta& meta, const std::string& payload) {
+Status CacheManager::insert_dram(sim::VirtualClock& clock, int node,
+                                 ObjectId id, Meta& meta,
+                                 const std::string& payload) {
   if (meta.size > config_.dram_capacity_bytes) {
     // Too big for the DRAM tier entirely; go straight to SSD.
-    insert_ssd(node, id, meta, payload);
-    return;
+    return insert_ssd(node, id, meta, payload);
   }
   auto& ns = nodes_[static_cast<std::size_t>(node)];
-  if (ns.dram_pos.contains(id)) return;  // already resident
+  if (ns.dram_pos.contains(id)) return Status::Ok();  // already resident
   while (ns.dram_used + meta.size > config_.dram_capacity_bytes &&
          !ns.dram_lru.empty()) {
-    evict_dram_lru(clock, node);
+    RETURN_IF_ERROR(evict_dram_lru(clock, node));
   }
   auto desc = fam_->allocate(fam_name(id, node), meta.size, node);
-  if (!desc.ok()) {
-    IDS_WARN << "cache DRAM allocation failed: " << desc.status().to_string();
-    return;
-  }
+  if (!desc.ok()) return desc.status();
   Status st = fam_->put(clock, node, desc.value(), 0, as_bytes(payload));
   if (!st.ok()) {
-    (void)fam_->deallocate(fam_name(id, node));
-    return;
+    IDS_IGNORE_ERROR(fam_->deallocate(fam_name(id, node)));
+    return st;
   }
   ns.dram_lru.push_front(id);
   ns.dram_pos[id] = ns.dram_lru.begin();
   ns.dram_used += meta.size;
   meta.copies.push_back(Location{node, TierKind::kDram});
+  return Status::Ok();
 }
 
 void CacheManager::put(sim::VirtualClock& clock, int node,
@@ -207,7 +227,13 @@ void CacheManager::put(sim::VirtualClock& clock, int node,
 
   int target = hint.target_node >= 0 ? hint.target_node : node;
   target = std::min(std::max(target, 0), config_.num_nodes - 1);
-  insert_dram(clock, target, id, meta, payload);
+  Status placed = insert_dram(clock, target, id, meta, payload);
+  if (!placed.ok()) {
+    // Degraded but recoverable: the object is still authoritative in the
+    // backing store (write_through) and will re-cache on a later get().
+    IDS_WARN << "cache put of " << meta.name
+             << " left uncached: " << placed.to_string();
+  }
 
   ++stats_.puts;
   stats_.bytes_written += payload.size();
@@ -246,13 +272,19 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
   // 2. Local SSD.
   if (has_copy(node, TierKind::kSsd)) {
     auto& ns = nodes_[static_cast<std::size_t>(node)];
-    payload = ns.ssd_data.at(id);
-    clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
-    touch_ssd(node, id);
-    ++stats_.hits_local_ssd;
-    stats_.bytes_read += meta.size;
-    charge_serialization(clock);
-    return payload;
+    auto sit = ns.ssd_data.find(id);
+    if (sit != ns.ssd_data.end()) {
+      payload = sit->second;
+      clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
+      touch_ssd(node, id);
+      ++stats_.hits_local_ssd;
+      stats_.bytes_read += meta.size;
+      charge_serialization(clock);
+      return payload;
+    }
+    // Stale copy record (bytes vanished): drop it and fall through to the
+    // remaining tiers instead of failing the read.
+    drop_copy(id, meta, Location{node, TierKind::kSsd});
   }
 
   // 3. Remote DRAM (deterministically the lowest-numbered owner).
@@ -272,7 +304,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     ++stats_.hits_remote_dram;
     stats_.bytes_read += meta.size;
     if (config_.promote_on_remote_hit) {
-      insert_dram(clock, node, id, meta, payload);
+      // Best-effort: a failed promotion still served the read.
+      IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       ++stats_.promotions;
     }
     charge_serialization(clock);
@@ -280,7 +313,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
   }
 
   // 4. Remote SSD: SSD read on the owner, then a fabric transfer.
-  if (remote_ssd >= 0) {
+  if (remote_ssd >= 0 &&
+      nodes_[static_cast<std::size_t>(remote_ssd)].ssd_data.contains(id)) {
     auto& ns = nodes_[static_cast<std::size_t>(remote_ssd)];
     payload = ns.ssd_data.at(id);
     clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size) +
@@ -289,7 +323,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     ++stats_.hits_remote_ssd;
     stats_.bytes_read += meta.size;
     if (config_.promote_on_remote_hit) {
-      insert_dram(clock, node, id, meta, payload);
+      // Best-effort: a failed promotion still served the read.
+      IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       ++stats_.promotions;
     }
     charge_serialization(clock);
@@ -299,13 +334,19 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
   // 5. Backing store (authoritative). Re-populate the reader's DRAM so a
   // failed node's working set rebuilds as it is touched.
   if (meta.in_backing) {
-    payload = backing_.at(id);
-    clock.advance(config_.fabric.backing_store.transfer_cost(meta.size));
-    ++stats_.hits_backing;
-    stats_.bytes_read += meta.size;
-    insert_dram(clock, node, id, meta, payload);
-    charge_serialization(clock);
-    return payload;
+    auto bit = backing_.find(id);
+    if (bit != backing_.end()) {
+      payload = bit->second;
+      clock.advance(config_.fabric.backing_store.transfer_cost(meta.size));
+      ++stats_.hits_backing;
+      stats_.bytes_read += meta.size;
+      // Best-effort re-population of the reader's DRAM.
+      IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
+      charge_serialization(clock);
+      return payload;
+    }
+    // in_backing flag with no backing bytes: treat as the miss it is.
+    meta.in_backing = false;
   }
 
   ++stats_.misses;
@@ -423,7 +464,11 @@ void CacheManager::relocate(sim::VirtualClock& clock, std::string_view name,
   std::string payload;
   if (!read_dram_copy(clock, target_node, owner, meta, &payload)) return;
   drop_copy(id, meta, Location{owner, TierKind::kDram});
-  insert_dram(clock, target_node, id, meta, payload);
+  Status moved = insert_dram(clock, target_node, id, meta, payload);
+  if (!moved.ok()) {
+    IDS_WARN << "cache relocate of " << meta.name
+             << " dropped the DRAM copy: " << moved.to_string();
+  }
 }
 
 std::uint64_t CacheManager::dram_used(int node) const {

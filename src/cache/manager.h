@@ -28,6 +28,7 @@
 
 #include "cache/object_id.h"
 #include "cache/stats.h"
+#include "common/result.h"
 #include "common/thread_annotations.h"
 #include "fam/fam.h"
 #include "sim/fabric.h"
@@ -170,15 +171,21 @@ class CacheManager {
   void charge_serialization(sim::VirtualClock& clock);
 
   // All helpers below require mutex_ held (machine-checked under Clang).
+  // The placement helpers return Status instead of asserting: a directory
+  // entry that went missing or a FAM-side failure is *recoverable* (the
+  // authoritative copy lives in the backing store), so the public
+  // operations degrade to an uncached read/write instead of aborting.
   void touch_dram(int node, ObjectId id) IDS_REQUIRES(mutex_);
   void touch_ssd(int node, ObjectId id) IDS_REQUIRES(mutex_);
   bool read_dram_copy(sim::VirtualClock& clock, int reader_node, int owner_node,
                       const Meta& meta, std::string* out) const
       IDS_REQUIRES(mutex_);
-  void insert_dram(sim::VirtualClock& clock, int node, ObjectId id, Meta& meta,
-                   const std::string& payload) IDS_REQUIRES(mutex_);
-  void evict_dram_lru(sim::VirtualClock& clock, int node) IDS_REQUIRES(mutex_);
-  void insert_ssd(int node, ObjectId id, Meta& meta, std::string payload)
+  Status insert_dram(sim::VirtualClock& clock, int node, ObjectId id,
+                     Meta& meta, const std::string& payload)
+      IDS_REQUIRES(mutex_);
+  Status evict_dram_lru(sim::VirtualClock& clock, int node)
+      IDS_REQUIRES(mutex_);
+  Status insert_ssd(int node, ObjectId id, Meta& meta, std::string payload)
       IDS_REQUIRES(mutex_);
   void drop_copy(ObjectId id, Meta& meta, const Location& loc)
       IDS_REQUIRES(mutex_);

@@ -1,0 +1,82 @@
+#pragma once
+
+// Invariant checking that survives Release builds.
+//
+// The IDS engine runs long multi-stage workflows where a silently violated
+// invariant in one operator corrupts every downstream stage; `assert()`
+// compiles out under NDEBUG and turns those violations into undefined
+// behavior. These macros never compile out the failure path:
+//
+//   IDS_CHECK(cond)  — checked in every build type. On failure prints
+//                      file:line, the failed expression, and any streamed
+//                      message to stderr, then aborts.
+//   IDS_DCHECK(cond) — debug-only cost: the condition is not evaluated
+//                      under NDEBUG (it must still compile). Reserve for
+//                      per-row hot-path checks where the predicate itself
+//                      is too expensive to run in Release.
+//
+// Both accept a streamed message: IDS_CHECK(rank >= 0) << "rank " << rank;
+// For *recoverable* conditions (malformed input, missing cache entries)
+// return a Status from common/result.h instead of aborting — see the
+// "Static analysis & error discipline" section of DESIGN.md.
+//
+// tools/lint.sh and tools/analyzer ban bare assert() in src/ in favor of
+// these macros.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ids::internal {
+
+/// Accumulates the streamed failure message; prints and aborts in its
+/// destructor. Constructed only on the failure path, so the macros cost one
+/// branch when the condition holds.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << file << ":" << line << ": IDS_CHECK(" << expr << ") failed";
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    const std::string msg = stream_.str();
+    std::fprintf(stderr, "%s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    if (!streamed_) {
+      stream_ << ": ";
+      streamed_ = true;
+    }
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool streamed_ = false;
+};
+
+}  // namespace ids::internal
+
+/// Aborts (in every build type) with file:line + message when `cond` is
+/// false. The while-loop form makes the trailing `<< ...` message stream
+/// part of the (never-looping) body, evaluated only on failure.
+#define IDS_CHECK(cond) \
+  while (!(cond)) ::ids::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+/// Compiled but never evaluated in Release: `false &&` short-circuits, so
+/// the predicate costs nothing yet still type-checks and odr-uses its
+/// operands (no -Wunused fallout for debug-only locals).
+#define IDS_DCHECK(cond) \
+  while (false && !(cond)) \
+  ::ids::internal::CheckFailure(__FILE__, __LINE__, #cond)
+#else
+#define IDS_DCHECK(cond) IDS_CHECK(cond)
+#endif

@@ -10,11 +10,11 @@
 // it is observable (group contents, first-wins semantics), so switching
 // the engine onto them cannot change query results.
 
-#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/hash.h"
 
 namespace ids {
@@ -29,7 +29,7 @@ class FlatGroupIndex {
  public:
   explicit FlatGroupIndex(std::span<const std::uint64_t> keys) {
     const std::size_t n = keys.size();
-    assert(n < 0xffffffffull && "row index space is 32-bit");
+    IDS_CHECK(n < 0xffffffffull) << "row index space is 32-bit";
     if (n == 0) return;
     std::size_t cap = 8;
     while (cap < n * 2) cap <<= 1;

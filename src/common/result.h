@@ -5,12 +5,22 @@
 // We deliberately avoid exceptions on hot paths (query execution, cache
 // lookups); fallible operations return Result<T> and callers decide how to
 // react. Construction failures of whole subsystems may still throw.
+//
+// Error discipline (machine-checked by tools/analyzer and the compiler's
+// [[nodiscard]] diagnostics):
+//   - every returned Status / Result must be consumed; an intentional
+//     discard is spelled IDS_IGNORE_ERROR(expr) so reviewers and the
+//     analyzer can find it,
+//   - value() may only be reached after an ok() check — on an error it
+//     hard-aborts with the carried Status in every build type (never UB),
+//   - propagation is RETURN_IF_ERROR(expr) for Status expressions and
+//     ASSIGN_OR_RETURN(lhs, expr) for Result expressions.
 
-#include <cassert>
-#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "common/check.h"
 
 namespace ids {
 
@@ -45,7 +55,9 @@ constexpr const char* to_string(StatusCode code) {
 }
 
 /// A cheap, copyable success/error value. OK statuses carry no allocation.
-class Status {
+/// [[nodiscard]]: dropping a Status on the floor silently swallows the
+/// error; wrap genuinely-ignorable calls in IDS_IGNORE_ERROR.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -71,9 +83,16 @@ class Status {
     return std::string(ids::to_string(code_)) + ": " + message_;
   }
 
+  /// Full equality: code AND message. Two failures of the same kind but
+  /// with different contexts are different statuses; callers that only
+  /// care about the category compare code() directly (or use code_equals).
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_;
+    return a.code_ == b.code_ && a.message_ == b.message_;
   }
+
+  /// Category-only comparison (the pre-equality-fix semantics, kept for
+  /// callers that explicitly want to ignore the message).
+  bool code_equals(const Status& other) const { return code_ == other.code_; }
 
  private:
   StatusCode code_ = StatusCode::kOk;
@@ -81,27 +100,30 @@ class Status {
 };
 
 /// Result<T>: either a value or a Status explaining why there is none.
-/// Accessing value() on an error aborts in debug builds; check ok() first.
+/// Accessing value() on an error aborts — in every build type — with the
+/// carried Status message; check ok() first (tools/analyzer enforces a
+/// dominating ok() check on every value() access).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
   Result(Status status) : data_(std::move(status)) {      // NOLINT(google-explicit-constructor)
-    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+    IDS_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status";
   }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const T& value() const& {
-    assert(ok());
+    check_ok();
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    check_ok();
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    check_ok();
     return std::get<T>(std::move(data_));
   }
 
@@ -116,7 +138,47 @@ class Result {
   }
 
  private:
+  /// Hard failure path shared by the value() overloads: a value() access
+  /// on an error is a caller bug, and must not become UB when NDEBUG
+  /// compiles assertions out (it used to).
+  void check_ok() const {
+    IDS_CHECK(ok()) << "Result::value() on error: "
+                    << std::get<Status>(data_).to_string();
+  }
+
   std::variant<T, Status> data_;
 };
+
+namespace internal {
+/// Sink for IDS_IGNORE_ERROR: consumes the [[nodiscard]] value by
+/// receiving it as an argument.
+template <typename T>
+inline void ignore_error(T&&) {}
+}  // namespace internal
+
+/// The one sanctioned way to discard a Status/Result return value.
+/// Greppable, and recognized as consumption by tools/analyzer — a bare
+/// discard (even `(void)`) is a build/analyzer error.
+#define IDS_IGNORE_ERROR(expr) ::ids::internal::ignore_error((expr))
+
+#define IDS_STATUS_CONCAT_INNER(a, b) a##b
+#define IDS_STATUS_CONCAT(a, b) IDS_STATUS_CONCAT_INNER(a, b)
+
+/// Evaluates a Status expression; returns it from the enclosing function
+/// if it is an error.
+#define RETURN_IF_ERROR(expr)                              \
+  do {                                                     \
+    ::ids::Status ids_status_tmp_ = (expr);                \
+    if (!ids_status_tmp_.ok()) return ids_status_tmp_;     \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs` (which may be
+/// a declaration: ASSIGN_OR_RETURN(auto v, Compute())).
+#define ASSIGN_OR_RETURN(lhs, expr)                                        \
+  auto IDS_STATUS_CONCAT(ids_result_, __LINE__) = (expr);                  \
+  if (!IDS_STATUS_CONCAT(ids_result_, __LINE__).ok())                      \
+    return IDS_STATUS_CONCAT(ids_result_, __LINE__).status();              \
+  lhs = std::move(IDS_STATUS_CONCAT(ids_result_, __LINE__)).value()
 
 }  // namespace ids

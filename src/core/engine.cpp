@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <numeric>
 #include <set>
 
+#include "common/check.h"
 #include "common/flat_map.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -306,12 +306,12 @@ class QueryExecution {
                                 SolutionTable* out) {
     const auto& vars = out->id_vars();
     const std::size_t nv = vars.size();
-    assert(nv <= 3 && out->num_vars().empty());
+    IDS_CHECK(nv <= 3 && out->num_vars().empty());
     int pos[3] = {0, 0, 0};
     std::vector<TermId>* cols[3] = {nullptr, nullptr, nullptr};
     for (std::size_t k = 0; k < nv; ++k) {
       pos[k] = position_of(pat, vars[k]);
-      assert(pos[k] >= 0);
+      IDS_CHECK(pos[k] >= 0) << "pattern lacks variable " << vars[k];
       cols[k] = &out->id_col_mut(static_cast<int>(k));
     }
     std::size_t matches = 0;
@@ -337,7 +337,7 @@ class QueryExecution {
   void extend_subject_bound(const TriplePattern& pat) {
     charge_operator_overhead();
     int svar = parts_[0].id_var_index(pat.s.var);
-    assert(svar >= 0);
+    IDS_CHECK(svar >= 0);
     // Rows travel to the shard owning their subject value.
     shuffle_rows([this, svar](const SolutionTable& t, std::size_t row) {
       return triples_->shard_of_subject(t.id_at(row, svar));
@@ -425,7 +425,7 @@ class QueryExecution {
         break;
       }
     }
-    assert(!join_var.empty());
+    IDS_CHECK(!join_var.empty());
 
     // Build side: local pattern matches on every rank.
     std::vector<SolutionTable> build(static_cast<std::size_t>(p_),
@@ -875,7 +875,7 @@ class QueryExecution {
   }
 
   int cache_node_of_rank(int r) const {
-    assert(opts_.cache);
+    IDS_CHECK(opts_.cache != nullptr);
     return opts_.topology.node_of_rank(r) % opts_.cache->config().num_nodes;
   }
 
@@ -1060,8 +1060,8 @@ IdsEngine::IdsEngine(EngineOptions options, graph::TripleStore* triples,
       keywords_(keywords),
       vectors_(vectors),
       profiler_(options_.topology.num_ranks()) {
-  assert(triples_->num_shards() == options_.topology.num_ranks() &&
-         "store sharding must match the rank count");
+  IDS_CHECK(triples_->num_shards() == options_.topology.num_ranks())
+      << "store sharding must match the rank count";
 }
 
 QueryResult IdsEngine::execute(const Query& query) {

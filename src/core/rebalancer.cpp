@@ -1,13 +1,13 @@
 #include "core/rebalancer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 
+#include "common/check.h"
 namespace ids::core {
 
 std::vector<std::size_t> count_based_targets(std::size_t total, int ranks) {
-  assert(ranks > 0);
+  IDS_CHECK(ranks > 0);
   auto p = static_cast<std::size_t>(ranks);
   std::vector<std::size_t> t(p, total / p);
   for (std::size_t r = 0; r < total % p; ++r) ++t[r];
@@ -17,7 +17,7 @@ std::vector<std::size_t> count_based_targets(std::size_t total, int ranks) {
 std::vector<std::size_t> throughput_targets(
     std::size_t total, const std::vector<double>& throughput) {
   const std::size_t p = throughput.size();
-  assert(p > 0);
+  IDS_CHECK(p > 0);
   double sum = 0.0;
   for (double t : throughput) sum += std::max(0.0, t);
   if (sum <= 0.0) return count_based_targets(total, static_cast<int>(p));
@@ -91,7 +91,7 @@ RebalanceDecision decide_rebalance(RebalancePolicy policy,
 
 double completion_seconds(const std::vector<std::size_t>& counts,
                           const std::vector<double>& throughput) {
-  assert(counts.size() == throughput.size());
+  IDS_CHECK(counts.size() == throughput.size());
   double worst = 0.0;
   for (std::size_t r = 0; r < counts.size(); ++r) {
     if (counts[r] == 0) continue;

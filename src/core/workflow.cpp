@@ -1,7 +1,6 @@
 #include "core/workflow.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "common/hash.h"
 #include "models/dtba.h"
 #include "models/pic50.h"
@@ -48,7 +47,7 @@ NcnprData build_ncnpr_data(const datagen::LifeSciConfig& config,
   data.triples->finalize();
   auto seq = data.features->get_string(data.dataset.target_protein,
                                        Feat::kSequence);
-  assert(seq.has_value());
+  IDS_CHECK(seq.has_value()) << "target protein has no sequence feature";
   data.target_sequence = std::string(*seq);
   return data;
 }
@@ -138,7 +137,8 @@ Query make_ncnpr_query(const NcnprData& data, const NcnprThresholds& t,
   const auto& dict = data.triples->dict();
   auto term = [&dict](const char* iri) {
     auto id = dict.lookup(iri);
-    assert(id.has_value() && "vocabulary term missing from the graph");
+    IDS_CHECK(id.has_value())
+        << "vocabulary term missing from the graph: " << iri;
     return graph::PatternTerm::Const(*id);
   };
   auto var = [](const char* name) { return graph::PatternTerm::Var(name); };

@@ -61,10 +61,10 @@ bool DatastoreClient::connected() const { return session() != nullptr; }
 Result<core::QueryResult> DatastoreClient::query(std::string_view text) {
   IdsSession* s = session();
   if (!s) return Status::Unavailable("session torn down");
-  Result<core::Query> parsed = core::parse_query(text, &s->triples().dict());
-  if (!parsed.ok()) return parsed.status();
+  ASSIGN_OR_RETURN(core::Query parsed,
+                   core::parse_query(text, &s->triples().dict()));
   s->agent(0).log("client", "query accepted");
-  core::QueryResult r = s->engine().execute(parsed.value());
+  core::QueryResult r = s->engine().execute(parsed);
   s->agent(0).log("backend",
                   "query done: " + std::to_string(r.solutions.num_rows()) +
                       " rows in " + format_seconds(r.total_seconds) + " s");

@@ -1,7 +1,6 @@
 #include "expr/chain.h"
 
-#include <cassert>
-
+#include "common/check.h"
 namespace ids::expr {
 
 namespace {
@@ -27,7 +26,7 @@ std::vector<Conjunct> flatten_conjuncts(const ExprPtr& root) {
 }
 
 ExprPtr rebuild_chain(const std::vector<Conjunct>& conjuncts) {
-  assert(!conjuncts.empty());
+  IDS_CHECK(!conjuncts.empty());
   ExprPtr acc = conjuncts[0].expr;
   for (std::size_t i = 1; i < conjuncts.size(); ++i) {
     acc = Expr::And(acc, conjuncts[i].expr);

@@ -1,7 +1,5 @@
 #include "expr/expr.h"
 
-#include <cassert>
-
 #include "store/feature_store.h"
 
 namespace ids::expr {

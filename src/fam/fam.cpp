@@ -1,13 +1,14 @@
 #include "fam/fam.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "common/check.h"
 
 namespace ids::fam {
 
 FamService::FamService(FamOptions options) : options_(std::move(options)) {
-  assert(!options_.server_nodes.empty());
+  IDS_CHECK(!options_.server_nodes.empty());
   servers_.reserve(options_.server_nodes.size());
   for (int node : options_.server_nodes) {
     Server s;

@@ -1,6 +1,6 @@
 #include "graph/dictionary.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace ids::graph {
 
@@ -23,7 +23,8 @@ std::optional<TermId> Dictionary::lookup(std::string_view term) const {
 
 const std::string& Dictionary::name(TermId id) const {
   MutexLock lock(mutex_);
-  assert(id < names_.size() && id != kInvalidTerm);
+  IDS_CHECK(id < names_.size() && id != kInvalidTerm)
+      << "unknown TermId " << id;
   return names_[id];
 }
 

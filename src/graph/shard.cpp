@@ -1,8 +1,9 @@
 #include "graph/shard.h"
 
 #include <algorithm>
-#include <cassert>
 #include <tuple>
+
+#include "common/check.h"
 
 namespace ids::graph {
 
@@ -90,7 +91,7 @@ IndexOrder GraphShard::choose_index(const TriplePattern& q) {
 
 template <typename Fn>
 void GraphShard::scan_impl(const TriplePattern& q, Fn&& fn) const {
-  assert(!dirty_ && "scan before finalize");
+  IDS_CHECK(!dirty_) << "scan before finalize";
   const bool bs = !q.s.is_var;
   const bool bp = !q.p.is_var;
   const bool bo = !q.o.is_var;

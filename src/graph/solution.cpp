@@ -1,7 +1,8 @@
 #include "graph/solution.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace ids::graph {
 
@@ -33,8 +34,9 @@ void SolutionTable::reserve(std::size_t rows) {
 
 void SolutionTable::append_row(std::span<const TermId> ids,
                                std::span<const double> nums) {
-  assert(ids.size() == id_cols_.size());
-  assert(nums.size() == num_cols_.size() || (nums.empty() && num_cols_.empty()));
+  IDS_DCHECK(ids.size() == id_cols_.size());
+  IDS_DCHECK(nums.size() == num_cols_.size() ||
+             (nums.empty() && num_cols_.empty()));
   for (std::size_t i = 0; i < id_cols_.size(); ++i) id_cols_[i].push_back(ids[i]);
   for (std::size_t i = 0; i < num_cols_.size(); ++i) {
     num_cols_[i].push_back(i < nums.size() ? nums[i] : 0.0);
@@ -42,7 +44,7 @@ void SolutionTable::append_row(std::span<const TermId> ids,
 }
 
 void SolutionTable::append_table(const SolutionTable& other) {
-  assert(same_schema(other));
+  IDS_CHECK(same_schema(other));
   for (std::size_t i = 0; i < id_cols_.size(); ++i) {
     id_cols_[i].insert(id_cols_[i].end(), other.id_cols_[i].begin(),
                        other.id_cols_[i].end());
@@ -55,7 +57,7 @@ void SolutionTable::append_table(const SolutionTable& other) {
 
 void SolutionTable::append_row_from(const SolutionTable& other,
                                     std::size_t row) {
-  assert(same_schema(other));
+  IDS_DCHECK(same_schema(other));
   for (std::size_t i = 0; i < id_cols_.size(); ++i) {
     id_cols_[i].push_back(other.id_cols_[i][row]);
   }
@@ -80,7 +82,7 @@ void gather_append(std::vector<T>* dst, const std::vector<T>& src,
 
 void SolutionTable::append_rows_from(const SolutionTable& other,
                                      std::span<const RowIndex> rows) {
-  assert(same_schema(other));
+  IDS_CHECK(same_schema(other));
   for (std::size_t i = 0; i < id_cols_.size(); ++i) {
     gather_append(&id_cols_[i], other.id_cols_[i], rows);
   }
@@ -91,8 +93,8 @@ void SolutionTable::append_rows_from(const SolutionTable& other,
 
 void SolutionTable::append_row_range_from(const SolutionTable& other,
                                           std::size_t begin, std::size_t end) {
-  assert(same_schema(other));
-  assert(begin <= end && end <= other.num_rows());
+  IDS_CHECK(same_schema(other));
+  IDS_CHECK(begin <= end && end <= other.num_rows());
   for (std::size_t i = 0; i < id_cols_.size(); ++i) {
     const auto& src = other.id_cols_[i];
     id_cols_[i].insert(id_cols_[i].end(),
@@ -109,10 +111,10 @@ void SolutionTable::append_row_range_from(const SolutionTable& other,
 
 void SolutionTable::append_prefix_from(const SolutionTable& other,
                                        std::span<const RowIndex> rows) {
-  assert(other.id_vars_.size() <= id_vars_.size());
-  assert(std::equal(other.id_vars_.begin(), other.id_vars_.end(),
-                    id_vars_.begin()));
-  assert(num_vars_ == other.num_vars_);
+  IDS_CHECK(other.id_vars_.size() <= id_vars_.size());
+  IDS_CHECK(std::equal(other.id_vars_.begin(), other.id_vars_.end(),
+                       id_vars_.begin()));
+  IDS_CHECK(num_vars_ == other.num_vars_);
   for (std::size_t i = 0; i < other.id_cols_.size(); ++i) {
     gather_append(&id_cols_[i], other.id_cols_[i], rows);
   }
@@ -123,7 +125,8 @@ void SolutionTable::append_prefix_from(const SolutionTable& other,
 
 std::vector<std::vector<RowIndex>> SolutionTable::partition_rows(
     std::span<const int> dst_of_row, int num_dsts) {
-  assert(dst_of_row.size() < 0xffffffffull);
+  IDS_CHECK(dst_of_row.size() < 0xffffffffull)
+      << "row index space is 32-bit";
   // Counting pass first so each destination list is one exact allocation.
   std::vector<std::size_t> counts(static_cast<std::size_t>(num_dsts), 0);
   for (int d : dst_of_row) ++counts[static_cast<std::size_t>(d)];
@@ -140,14 +143,14 @@ std::vector<std::vector<RowIndex>> SolutionTable::partition_rows(
 }
 
 int SolutionTable::add_num_var(std::string name) {
-  assert(num_var_index(name) < 0 && "duplicate numeric variable");
+  IDS_CHECK(num_var_index(name) < 0) << "duplicate numeric variable " << name;
   num_vars_.push_back(std::move(name));
   num_cols_.emplace_back(num_rows(), 0.0);
   return static_cast<int>(num_vars_.size() - 1);
 }
 
 void SolutionTable::filter_rows(const std::vector<char>& keep) {
-  assert(keep.size() == num_rows());
+  IDS_CHECK(keep.size() == num_rows());
   auto compact = [&keep](auto& col) {
     std::size_t w = 0;
     for (std::size_t r = 0; r < col.size(); ++r) {

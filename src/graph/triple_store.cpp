@@ -1,12 +1,12 @@
 #include "graph/triple_store.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace ids::graph {
 
 TripleStore::TripleStore(int num_shards)
     : shards_(static_cast<std::size_t>(num_shards)) {
-  assert(num_shards > 0);
+  IDS_CHECK(num_shards > 0);
 }
 
 void TripleStore::add(std::string_view s, std::string_view p,

@@ -1,7 +1,6 @@
 #include "models/docking.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

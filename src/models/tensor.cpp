@@ -1,7 +1,6 @@
 #include "models/tensor.h"
 
-#include <cassert>
-
+#include "common/check.h"
 namespace ids::models {
 
 Matrix Matrix::xavier(std::size_t rows, std::size_t cols, std::uint64_t seed) {
@@ -15,7 +14,7 @@ Matrix Matrix::xavier(std::size_t rows, std::size_t cols, std::uint64_t seed) {
 }
 
 std::vector<float> Matrix::matvec(std::span<const float> x) const {
-  assert(x.size() == cols_);
+  IDS_CHECK(x.size() == cols_);
   std::vector<float> y(rows_, 0.0f);
   for (std::size_t r = 0; r < rows_; ++r) {
     const float* w = data_.data() + r * cols_;

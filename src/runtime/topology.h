@@ -9,8 +9,7 @@
 // captures exactly those parameters and nothing more — actual placement of
 // data and work is decided by the layers above.
 
-#include <cassert>
-
+#include "common/check.h"
 #include "sim/fabric.h"
 
 namespace ids::runtime {
@@ -24,7 +23,7 @@ struct Topology {
   int num_ranks() const { return num_nodes * ranks_per_node; }
 
   int node_of_rank(int rank) const {
-    assert(rank >= 0 && rank < num_ranks());
+    IDS_CHECK(rank >= 0 && rank < num_ranks()) << "rank " << rank;
     return rank / ranks_per_node;
   }
 

@@ -10,9 +10,9 @@
 // (max-over-ranks) time the paper measures.
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
+#include "common/check.h"
 #include "sim/time.h"
 
 namespace ids::sim {
@@ -54,7 +54,7 @@ class ClockSet {
   }
 
   Nanos min() const {
-    assert(!clocks_.empty());
+    IDS_CHECK(!clocks_.empty());
     Nanos m = clocks_[0].now();
     for (const auto& c : clocks_) m = std::min(m, c.now());
     return m;

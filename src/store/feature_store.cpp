@@ -1,12 +1,11 @@
 #include "store/feature_store.h"
 
-#include <cassert>
-
+#include "common/check.h"
 namespace ids::store {
 
 FeatureStore::FeatureStore(int num_shards)
     : shards_(static_cast<std::size_t>(num_shards)) {
-  assert(num_shards > 0);
+  IDS_CHECK(num_shards > 0);
 }
 
 FeatureStore::FeatureId FeatureStore::intern_feature(std::string_view name) {

@@ -1,7 +1,6 @@
 #include "store/ivf_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
 #include "common/rng.h"

@@ -1,12 +1,12 @@
 #include "store/vector_store.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstring>
 
 #include "common/vector_ops.h"
 
+#include "common/check.h"
 namespace ids::store {
 
 namespace {
@@ -36,7 +36,7 @@ float VectorStore::similarity(std::span<const float> a,
 
 VectorStore::VectorStore(int num_shards, int dim)
     : dim_(dim), shards_(static_cast<std::size_t>(num_shards)) {
-  assert(num_shards > 0 && dim > 0);
+  IDS_CHECK(num_shards > 0 && dim > 0);
 }
 
 std::size_t VectorStore::size() const {
@@ -46,7 +46,8 @@ std::size_t VectorStore::size() const {
 }
 
 void VectorStore::add(graph::TermId id, std::span<const float> vec) {
-  assert(vec.size() == static_cast<std::size_t>(dim_));
+  IDS_CHECK(vec.size() == static_cast<std::size_t>(dim_))
+      << "vector dimensionality mismatch";
   auto& s = shards_[static_cast<std::size_t>(shard_of(id))];
   auto it = s.index.find(id);
   if (it != s.index.end()) {

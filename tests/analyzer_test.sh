@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Unit tests for tools/analyzer (ids-analyzer): the live src/ tree must be
+# clean, every bad.cpp fixture under tools/analyzer_fixtures/ must fail
+# with its rule's tag, and every good.cpp must pass. Registered with ctest
+# as `analyzer_test`; the binary path arrives as $1 (falls back to the
+# default build location so the script also runs standalone).
+
+set -u
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+analyzer="${1:-$repo/build/tools/analyzer/ids-analyzer}"
+fixtures="$repo/tools/analyzer_fixtures"
+failed=0
+
+if [ ! -x "$analyzer" ]; then
+  echo "FAIL: ids-analyzer binary not found at $analyzer" >&2
+  exit 1
+fi
+
+check() {  # $1 = label, $2 = expected exit, $3 = expected output regex, rest = args
+  local label="$1" want_exit="$2" want_msg="$3"
+  shift 3
+  local out
+  out=$("$analyzer" "$@" 2>&1)
+  local got=$?
+  if [ "$got" -ne "$want_exit" ]; then
+    echo "FAIL [$label]: exit $got, wanted $want_exit" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failed=1
+  elif [ -n "$want_msg" ] && ! echo "$out" | grep -qE "$want_msg"; then
+    echo "FAIL [$label]: output missing /$want_msg/:" >&2
+    echo "$out" | sed 's/^/    /' >&2
+    failed=1
+  else
+    echo "ok   [$label]"
+  fi
+}
+
+check "live tree clean" 0 'ids-analyzer: OK' "$repo/src"
+
+check "discarded status flagged" 1 'discarded-status' \
+      "$fixtures/discarded_status/bad.cpp"
+check "explicit discard accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/discarded_status/good.cpp"
+# The (void) cast is specifically called out, not merely tolerated.
+check "(void) discard flagged" 1 'not an approved discard' \
+      "$fixtures/discarded_status/bad.cpp"
+
+check "unchecked value flagged" 1 'unchecked-value' \
+      "$fixtures/unchecked_value/bad.cpp"
+check "dominated value accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/unchecked_value/good.cpp"
+check "unguarded status message flagged" 1 'status\(\)\.message\(\)' \
+      "$fixtures/unchecked_value/bad.cpp"
+
+check "lock order cycle flagged" 1 'inconsistent lock acquisition order' \
+      "$fixtures/lock_order_cycle/bad.cpp"
+check "acyclic lock order accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/lock_order_cycle/good.cpp"
+
+check "bare assert flagged" 1 'bare-assert' \
+      "$fixtures/bare_assert/bad.cpp"
+check "IDS_CHECK and static_assert accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/bare_assert/good.cpp"
+
+check "no input paths is a usage error" 2 'no input paths'
+check "missing path is an IO error" 2 'cannot read' /no/such/path
+
+exit $failed

@@ -202,6 +202,49 @@ TEST(Result, StatusToString) {
             "INVALID_ARGUMENT: bad");
 }
 
+TEST(Result, StatusEqualityComparesCodeAndMessage) {
+  // Regression: operator== used to compare only the code, so two failures
+  // of the same kind with different contexts compared equal.
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+
+  // Category-only comparison is still available, but opt-in.
+  EXPECT_TRUE(Status::NotFound("a").code_equals(Status::NotFound("b")));
+  EXPECT_FALSE(Status::NotFound("a").code_equals(Status::Internal("a")));
+}
+
+TEST(ResultDeathTest, ValueOnErrorAbortsWithCarriedStatus) {
+  // value() on an error must hard-abort in every build type (this test
+  // runs under RelWithDebInfo/Release with NDEBUG defined, so it also
+  // proves the check survives NDEBUG) and print the carried Status.
+  Result<int> err(Status::NotFound("missing row 7"));
+  EXPECT_DEATH((void)err.value(),
+               "Result::value\\(\\) on error: NOT_FOUND: missing row 7");
+}
+
+TEST(CheckDeathTest, IdsCheckAbortsWithLocationAndMessage) {
+  int x = -3;
+  EXPECT_DEATH(IDS_CHECK(x > 0) << "x was " << x,
+               "common_test\\.cpp:[0-9]+: IDS_CHECK\\(x > 0\\) failed: "
+               "x was -3");
+}
+
+TEST(CheckDeathTest, IdsDcheckMatchesBuildType) {
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+#ifdef NDEBUG
+  IDS_DCHECK(touch());  // must neither abort nor even evaluate
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(IDS_DCHECK(touch()), "IDS_CHECK\\(touch\\(\\)\\) failed");
+#endif
+}
+
 TEST(ThreadPool, ParallelForCoversAllIndices) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(1000);

@@ -1,0 +1,144 @@
+#pragma once
+
+// Token stream for ids-analyzer: a minimal C++ lexer with exactly the
+// fidelity the analysis rules need — identifiers, multi-character
+// operators, and line numbers survive; comments, string/char literal
+// *contents*, and preprocessor directives do not. No libclang: the
+// analyzer reasons over this stream with file-local dataflow only.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace ids::analyzer {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind;
+  std::string text;  // punctuation keeps its spelling ("::", "->", "<=", ...)
+  int line;
+};
+
+inline bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Lexes `src`. Preprocessor lines (including backslash continuations) are
+/// dropped entirely, so macro *definitions* never reach the rules — only
+/// macro *uses* in normal code do, which is what the annotation- and
+/// escape-hatch-aware rules key on.
+inline std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto skip_to_eol = [&](bool honor_continuation) {
+    while (i < n) {
+      if (src[i] == '\\' && honor_continuation && i + 1 < n &&
+          (src[i + 1] == '\n' ||
+           (src[i + 1] == '\r' && i + 2 < n && src[i + 2] == '\n'))) {
+        i += src[i + 1] == '\n' ? 2 : 3;
+        ++line;
+        continue;
+      }
+      if (src[i] == '\n') return;  // caller consumes the newline
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {  // preprocessor directive
+      skip_to_eol(/*honor_continuation=*/true);
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      skip_to_eol(/*honor_continuation=*/false);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // Raw strings R"(...)" are handled by the caller-side convention
+      // that the repo does not use them in analyzed sources; classic
+      // escapes are honored.
+      char quote = c;
+      int start_line = line;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({Token::Kind::kString, quote == '"' ? "\"\"" : "''",
+                     start_line});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t b = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      out.push_back({Token::Kind::kIdent, src.substr(b, i - b), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t b = i;
+      while (i < n && (is_ident_char(src[i]) || src[i] == '.' ||
+                       ((src[i] == '+' || src[i] == '-') && i > b &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        ++i;
+      }
+      out.push_back({Token::Kind::kNumber, src.substr(b, i - b), line});
+      continue;
+    }
+    // Multi-character operators first (longest match), so "->" and "::"
+    // are single tokens the rules can pattern-match on.
+    static const char* kOps3[] = {"<<=", ">>=", "...", "->*"};
+    static const char* kOps2[] = {"::", "->", "==", "!=", "<=", ">=", "&&",
+                                  "||", "<<", ">>", "++", "--", "+=", "-=",
+                                  "*=", "/=", "%=", "&=", "|=", "^=", ".*"};
+    std::string op(1, c);
+    for (const char* o : kOps3) {
+      if (src.compare(i, 3, o) == 0) {
+        op = o;
+        break;
+      }
+    }
+    if (op.size() == 1) {
+      for (const char* o : kOps2) {
+        if (src.compare(i, 2, o) == 0) {
+          op = o;
+          break;
+        }
+      }
+    }
+    out.push_back({Token::Kind::kPunct, op, line});
+    i += op.size();
+  }
+  return out;
+}
+
+}  // namespace ids::analyzer

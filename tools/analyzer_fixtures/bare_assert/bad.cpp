@@ -1,0 +1,13 @@
+// Fixture (negative): a bare assert(). Compiled out under NDEBUG, so the
+// invariant silently stops being checked in release builds — the repo
+// bans it in favor of IDS_CHECK / IDS_DCHECK (or a returned Status for
+// recoverable conditions).
+
+namespace fixture {
+
+int clamp_rank(int rank, int num_ranks) {
+  assert(rank >= 0 && rank < num_ranks);  // BAD: vanishes under NDEBUG
+  return rank;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture (positive): invariants stated with IDS_CHECK / IDS_DCHECK
+// (checked in every build type / debug-only by design, never silently).
+// static_assert is a different beast and stays allowed.
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+int clamp_rank(int rank, int num_ranks) {
+  IDS_CHECK(rank >= 0 && rank < num_ranks) << "rank " << rank;
+  IDS_DCHECK(num_ranks > 0);
+  return rank;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture (negative): Status/Result return values dropped on the floor.
+// ids-analyzer must flag both the bare call statement and the `(void)`
+// cast — only IDS_IGNORE_ERROR is an approved discard. Fixtures are
+// analyzed, never compiled, so the types are minimal stand-ins.
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+};
+
+Status flush_segment(int fd);
+Result<int> append_record(int fd, int payload);
+
+void checkpoint(int fd) {
+  flush_segment(fd);           // BAD: Status silently discarded
+  (void)flush_segment(fd);     // BAD: (void) is not an approved discard
+  append_record(fd, 42);       // BAD: Result silently discarded
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture (positive): every Status/Result return value is consumed — by
+// assignment, by a control-flow test, or via the explicit
+// IDS_IGNORE_ERROR escape hatch. ids-analyzer must accept this file.
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+};
+
+Status flush_segment(int fd);
+Result<int> append_record(int fd, int payload);
+
+int checkpoint(int fd) {
+  Status st = flush_segment(fd);          // consumed: assignment
+  if (!st.ok()) return -1;
+  if (!flush_segment(fd).ok()) return -1; // consumed: condition
+  IDS_IGNORE_ERROR(flush_segment(fd));    // consumed: sanctioned discard
+  auto rec = append_record(fd, 42);       // consumed: assignment
+  return rec.ok() ? 0 : -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Fixture (negative): inconsistent lock acquisition order. Ping holds
+// A::mu_ and calls B::pong (which IDS_EXCLUDES its own mu_, i.e. acquires
+// it), while pong holds B::mu_ and calls back into A::ping — the lock
+// graph A::mu_ -> B::mu_ -> A::mu_ has a cycle, so two threads can
+// deadlock. ids-analyzer must reject this file.
+
+namespace fixture {
+
+class Mutex {};
+class B;
+
+class A {
+ public:
+  void ping() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  B* peer_;
+};
+
+class B {
+ public:
+  void pong() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  A* peer_;
+};
+
+void A::ping() {
+  MutexLock lock(mu_);
+  peer_->pong();  // acquires B::mu_ while holding A::mu_
+}
+
+void B::pong() {
+  MutexLock lock(mu_);
+  peer_->ping();  // acquires A::mu_ while holding B::mu_ — cycle
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture (positive): a consistent lock hierarchy. A::ping acquires
+// A::mu_ then calls into B (edge A::mu_ -> B::mu_); B never calls back
+// into A while holding its lock, so the lock graph is acyclic.
+
+namespace fixture {
+
+class Mutex {};
+class B;
+
+class A {
+ public:
+  void ping() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  B* peer_;
+};
+
+class B {
+ public:
+  void pong() IDS_EXCLUDES(mu_);
+  int depth() const;
+
+ private:
+  Mutex mu_;
+};
+
+void A::ping() {
+  MutexLock lock(mu_);
+  peer_->pong();  // A::mu_ -> B::mu_, the only ordering in this corpus
+}
+
+void B::pong() {
+  MutexLock lock(mu_);
+  // Leaf critical section: no calls that acquire other locks.
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture (negative): Result::value() and .status().message() reached
+// without a dominating ok() check. On an error, value() aborts — the
+// caller must branch on ok() first.
+
+namespace fixture {
+
+class Status {
+ public:
+  const char* message() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  T value() const;
+  Status status() const;
+};
+
+Result<int> find_row(int key);
+
+int blind_lookup(int key) {
+  auto row = find_row(key);
+  return row.value();  // BAD: no ok() check dominates this access
+}
+
+const char* blind_error(int key) {
+  auto row = find_row(key);
+  return row.status().message();  // BAD: reads error details unguarded
+}
+
+}  // namespace fixture

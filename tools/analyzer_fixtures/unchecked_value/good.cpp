@@ -1,0 +1,40 @@
+// Fixture (positive): every value()/status().message() access is
+// dominated by an ok() check on the same variable — both the early-return
+// shape and the IDS_CHECK(v.ok()) shape count.
+
+namespace fixture {
+
+class Status {
+ public:
+  const char* message() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const;
+  T value() const;
+  Status status() const;
+};
+
+Result<int> find_row(int key);
+
+int guarded_lookup(int key) {
+  auto row = find_row(key);
+  if (!row.ok()) return -1;
+  return row.value();
+}
+
+const char* guarded_error(int key) {
+  auto row = find_row(key);
+  if (row.ok()) return "no error";
+  return row.status().message();
+}
+
+int checked_lookup(int key) {
+  auto row = find_row(key);
+  IDS_CHECK(row.ok()) << "row must exist";
+  return row.value();
+}
+
+}  // namespace fixture

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full correctness gate: custom lint, then the test suite under TSan and
-# under ASan+UBSan. This is what CI runs on every PR (tools/ci.sh) and
-# what a developer should run before pushing concurrency-touching changes.
+# Full correctness gate: custom lint, the ids-analyzer static checks, then
+# the test suite under TSan and under ASan+UBSan. This is what CI runs on
+# every PR (tools/ci.sh) and what a developer should run before pushing
+# concurrency-touching changes.
 #
 # Usage: tools/check.sh [--jobs N]
 
@@ -20,6 +21,14 @@ cd "$repo"
 
 echo "==> lint"
 tools/lint.sh
+
+echo "==> ids-analyzer (src/)"
+cmake -B build-analyze -S . > build-analyze-configure.log 2>&1 || {
+  cat build-analyze-configure.log >&2; exit 1
+}
+rm -f build-analyze-configure.log
+cmake --build build-analyze --target ids-analyzer -j "$jobs"
+build-analyze/tools/analyzer/ids-analyzer src
 
 build_and_test() {  # $1 = build dir, $2 = IDS_SANITIZE value
   echo "==> $2 build ($1)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: the {Release, ASan+UBSan, TSan} × {build, ctest} matrix
-# plus the custom lint pass. Mirrors .github/workflows/ci.yml for
-# environments where GitHub Actions is unavailable.
+# plus the custom lint pass and the ids-analyzer static checks. Mirrors
+# .github/workflows/ci.yml for environments where GitHub Actions is
+# unavailable.
 
 set -eu
 
@@ -11,6 +12,11 @@ cd "$repo"
 
 echo "==> lint"
 tools/lint.sh
+
+echo "==> ids-analyzer (src/)"
+cmake -B build-ci-analyze -S . > /dev/null
+cmake --build build-ci-analyze --target ids-analyzer -j "$jobs"
+build-ci-analyze/tools/analyzer/ids-analyzer src
 
 run_config() {  # $1 = build dir, $2... = extra cmake args
   local dir="$1"

@@ -10,6 +10,12 @@
 #   4. std::rand / srand / std::random_device / std::mt19937 outside
 #      src/common/rng.h — all randomness flows through the deterministic
 #      common RNG for reproducibility.
+#   5. Node-based hash containers in the engine hot paths (src/core,
+#      src/graph).
+#   6. Bare assert( in src/ — compiled out under NDEBUG; invariants use
+#      IDS_CHECK / IDS_DCHECK (common/check.h), recoverable conditions
+#      return a Status. tools/analyzer enforces the same ban with full
+#      token fidelity; this regex rule keeps the signal in plain `lint`.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -117,6 +123,21 @@ while IFS= read -r f; do
   hits=$(grep -nE 'std::unordered_(multi)?map' "$f" | grep -v 'lint:allow-unordered')
   if [ -n "$hits" ]; then
     fail "node-based hash container in hot path $f (use FlatGroupIndex/FlatTermSet from common/flat_map.h, or mark a cold-path use with // lint:allow-unordered):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 6. bare assert( in src/ --------------------------------------------
+# Comment-stripped so prose mentioning assert() (e.g. in common/check.h)
+# does not trip the rule; static_assert survives the word boundary.
+while IFS= read -r f; do
+  case "$f" in
+    src/*) ;;
+    *) continue ;;
+  esac
+  hits=$(sed 's|//.*||' "$f" | grep -nE '(^|[^_[:alnum:]])assert[[:space:]]*\(')
+  if [ -n "$hits" ]; then
+    fail "bare assert in $f (use IDS_CHECK/IDS_DCHECK from common/check.h, or return a Status for recoverable conditions):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

@@ -1,0 +1,9 @@
+// Negative fixture for lint rule 6: a bare assert() in src/. It vanishes
+// under NDEBUG, so the invariant goes unchecked exactly in the builds
+// that ship — IDS_CHECK keeps it armed everywhere.
+#include <cassert>
+
+int clamp_rank(int rank, int num_ranks) {
+  assert(rank >= 0 && rank < num_ranks);
+  return rank;
+}
