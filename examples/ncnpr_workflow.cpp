@@ -11,15 +11,52 @@
 // over an overlapping candidate set) reuses cached docking outputs.
 //
 //   $ ./examples/ncnpr_workflow
+//
+// Telemetry: `--trace out.json` records both executions as a Chrome
+// trace_event file (load it at https://ui.perfetto.dev or in
+// chrome://tracing); `--metrics out.prom` dumps the process-global
+// metrics registry in Prometheus text exposition format.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/workflow.h"
 #include "models/structure.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace ids;
 
-int main() {
+namespace {
+
+void dump_to(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror(path);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* metrics_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ncnpr_workflow [--trace out.json] "
+                   "[--metrics out.prom]\n");
+      return 2;
+    }
+  }
   // A laptop-scale slice of the life-sciences graph: 30 protein families
   // (5 related to the target clade), with inhibitor compounds and assays.
   datagen::LifeSciConfig cfg;
@@ -50,9 +87,12 @@ int main() {
   cc.dram_capacity_bytes = 64ull << 20;
   cache::CacheManager cache(cc);
 
+  telemetry::Tracer tracer;
+
   core::EngineOptions opts;
   opts.topology = runtime::Topology::laptop(kRanks);
   opts.cache = &cache;
+  if (trace_path != nullptr) opts.tracer = &tracer;
   core::IdsEngine engine(opts, data.triples.get(), data.features.get(),
                          data.keywords.get(), data.vectors.get());
   core::register_ncnpr_udfs(&engine, data);
@@ -93,5 +133,15 @@ int main() {
   std::printf("\niteration speedup from the global cache: %.1fx\n",
               cold / warm);
   std::printf("cache state: %s\n", cache.stats().to_string().c_str());
+
+  if (trace_path != nullptr) {
+    dump_to(trace_path, tracer.to_chrome_json());
+    std::printf("trace: %zu spans -> %s (open in Perfetto)\n", tracer.size(),
+                trace_path);
+  }
+  if (metrics_path != nullptr) {
+    dump_to(metrics_path, telemetry::MetricsRegistry::global().to_prometheus());
+    std::printf("metrics -> %s\n", metrics_path);
+  }
   return 0;
 }

@@ -1,16 +1,51 @@
 #include "cache/cross_cluster.h"
 
+#include <atomic>
+
 namespace ids::cache {
+
+namespace {
+
+std::string next_bridge_name() {
+  static std::atomic<int> seq{0};
+  return "bridge" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+CrossClusterBridge::CrossClusterBridge(CacheManager* local, CacheManager* peer,
+                                       sim::LinkModel wan,
+                                       telemetry::MetricsRegistry* metrics,
+                                       std::string name)
+    : local_(local), peer_(peer), wan_(wan) {
+  auto& registry =
+      metrics != nullptr ? *metrics : telemetry::MetricsRegistry::global();
+  if (name.empty()) name = next_bridge_name();
+  auto bridge_counter = [&](const char* metric) {
+    return registry.counter(metric, {{"bridge", name}});
+  };
+  local_hits_ = bridge_counter("ids_bridge_local_hits_total");
+  peer_fetches_ = bridge_counter("ids_bridge_peer_fetches_total");
+  misses_ = bridge_counter("ids_bridge_misses_total");
+  bytes_over_wan_ = bridge_counter("ids_bridge_wan_bytes_total");
+}
+
+BridgeStats CrossClusterBridge::stats() const {
+  BridgeStats s;
+  s.local_hits = local_hits_->value();
+  s.peer_fetches = peer_fetches_->value();
+  s.misses = misses_->value();
+  s.bytes_over_wan = bytes_over_wan_->value();
+  return s;
+}
 
 std::optional<std::string> CrossClusterBridge::get(sim::VirtualClock& clock,
                                                    int node,
                                                    std::string_view name) {
-  // The underlying caches synchronize themselves; mutex_ only guards the
-  // bridge counters, so it is taken briefly around each update rather than
-  // across the (potentially slow, peer-blocking) cache calls.
+  // The underlying caches synchronize themselves; the bridge counters are
+  // lock-free registry instruments, so the bridge itself needs no mutex.
   if (auto payload = local_->get(clock, node, name)) {
-    MutexLock lock(mutex_);
-    ++stats_.local_hits;
+    local_hits_->inc();
     return payload;
   }
 
@@ -19,16 +54,12 @@ std::optional<std::string> CrossClusterBridge::get(sim::VirtualClock& clock,
   // entering the peer at its gateway node 0.
   auto payload = peer_->get(clock, /*node=*/0, name);
   if (!payload) {
-    MutexLock lock(mutex_);
-    ++stats_.misses;
+    misses_->inc();
     return std::nullopt;
   }
   clock.advance(wan_.transfer_cost(payload->size()));
-  {
-    MutexLock lock(mutex_);
-    ++stats_.peer_fetches;
-    stats_.bytes_over_wan += payload->size();
-  }
+  peer_fetches_->inc();
+  bytes_over_wan_->inc(payload->size());
 
   // Populate the local cluster so the next read is cluster-local.
   local_->put(clock, node, name, *payload);

@@ -19,7 +19,7 @@
 #include <string_view>
 
 #include "cache/manager.h"
-#include "common/thread_annotations.h"
+#include "telemetry/metrics.h"
 
 namespace ids::cache {
 
@@ -34,15 +34,18 @@ class CrossClusterBridge {
  public:
   /// `local` is this cluster's cache, `peer` the remote cluster's. The
   /// default WAN link models a metro-distance connection (30 ms RTT-ish
-  /// latency, 1 GB/s).
+  /// latency, 1 GB/s). Counters go to `metrics` (nullptr = the global
+  /// registry) as ids_bridge_*{bridge=<name>}; an empty name auto-assigns
+  /// a distinct "bridge<N>" so instances never merge their series.
   CrossClusterBridge(CacheManager* local, CacheManager* peer,
-                     sim::LinkModel wan = {sim::from_millis(30), 1.0e9})
-      : local_(local), peer_(peer), wan_(wan) {}
+                     sim::LinkModel wan = {sim::from_millis(30), 1.0e9},
+                     telemetry::MetricsRegistry* metrics = nullptr,
+                     std::string name = {});
 
   /// Read-through get: local cluster first, then the peer (+ WAN cost,
   /// + local population so the artifact becomes cluster-local).
   std::optional<std::string> get(sim::VirtualClock& clock, int node,
-                                 std::string_view name) IDS_EXCLUDES(mutex_);
+                                 std::string_view name);
 
   /// Writes are always local-cluster.
   void put(sim::VirtualClock& clock, int node, std::string_view name,
@@ -50,19 +53,18 @@ class CrossClusterBridge {
     local_->put(clock, node, name, std::move(payload), hint);
   }
 
-  /// Snapshot of the bridge counters (a copy: concurrent get()s keep
-  /// mutating the live struct).
-  BridgeStats stats() const IDS_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    return stats_;
-  }
+  /// Snapshot of the bridge counters. The live values are registry
+  /// instruments unique to this instance, read lock-free.
+  BridgeStats stats() const;
 
  private:
   CacheManager* local_;
   CacheManager* peer_;
   sim::LinkModel wan_;
-  mutable Mutex mutex_;
-  BridgeStats stats_ IDS_GUARDED_BY(mutex_);
+  telemetry::Counter* local_hits_;
+  telemetry::Counter* peer_fetches_;
+  telemetry::Counter* misses_;
+  telemetry::Counter* bytes_over_wan_;
 };
 
 }  // namespace ids::cache

@@ -1,6 +1,7 @@
 #include "cache/manager.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -17,19 +18,79 @@ std::span<std::byte> as_writable_bytes(std::string& s) {
   return {reinterpret_cast<std::byte*>(s.data()), s.size()};
 }
 
+/// Distinct default instance label per cache in construction order, so two
+/// caches sharing the global registry never merge their counters.
+std::string next_cache_name() {
+  static std::atomic<int> seq{0};
+  return "cache" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
 }  // namespace
 
 CacheManager::CacheManager(CacheConfig config)
-    : config_(config), nodes_(static_cast<std::size_t>(config.num_nodes)) {
-  IDS_CHECK(config.num_nodes > 0);
+    : config_(std::move(config)),
+      nodes_(static_cast<std::size_t>(config_.num_nodes)) {
+  IDS_CHECK(config_.num_nodes > 0);
+  if (config_.name.empty()) config_.name = next_cache_name();
+  auto& registry = config_.metrics != nullptr
+                       ? *config_.metrics
+                       : telemetry::MetricsRegistry::global();
+  auto tier_hits = [&](const char* tier) {
+    return registry.counter("ids_cache_hits_total",
+                            {{"cache", config_.name}, {"tier", tier}});
+  };
+  tele_.hits_local_dram = tier_hits("local_dram");
+  tele_.hits_local_ssd = tier_hits("local_ssd");
+  tele_.hits_remote_dram = tier_hits("remote_dram");
+  tele_.hits_remote_ssd = tier_hits("remote_ssd");
+  tele_.hits_backing = tier_hits("backing");
+  auto cache_counter = [&](const char* metric) {
+    return registry.counter(metric, {{"cache", config_.name}});
+  };
+  tele_.misses = cache_counter("ids_cache_misses_total");
+  tele_.puts = cache_counter("ids_cache_puts_total");
+  tele_.spills_to_ssd = cache_counter("ids_cache_spills_total");
+  tele_.ssd_drops = cache_counter("ids_cache_ssd_drops_total");
+  tele_.promotions = cache_counter("ids_cache_promotions_total");
+  tele_.bytes_read = cache_counter("ids_cache_read_bytes_total");
+  tele_.bytes_written = cache_counter("ids_cache_written_bytes_total");
+
   fam::FamOptions fam_opts;
-  fam_opts.server_nodes.resize(static_cast<std::size_t>(config.num_nodes));
-  for (int i = 0; i < config.num_nodes; ++i) {
+  fam_opts.server_nodes.resize(static_cast<std::size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
     fam_opts.server_nodes[static_cast<std::size_t>(i)] = i;
   }
-  fam_opts.server_capacity_bytes = config.dram_capacity_bytes;
-  fam_opts.fabric = config.fabric;
+  fam_opts.server_capacity_bytes = config_.dram_capacity_bytes;
+  fam_opts.fabric = config_.fabric;
+  fam_opts.metrics = config_.metrics;
   fam_ = std::make_unique<fam::FamService>(std::move(fam_opts));
+}
+
+CacheStats CacheManager::counters_snapshot() const {
+  CacheStats s;
+  s.hits_local_dram = tele_.hits_local_dram->value();
+  s.hits_local_ssd = tele_.hits_local_ssd->value();
+  s.hits_remote_dram = tele_.hits_remote_dram->value();
+  s.hits_remote_ssd = tele_.hits_remote_ssd->value();
+  s.hits_backing = tele_.hits_backing->value();
+  s.misses = tele_.misses->value();
+  s.puts = tele_.puts->value();
+  s.spills_to_ssd = tele_.spills_to_ssd->value();
+  s.ssd_drops = tele_.ssd_drops->value();
+  s.promotions = tele_.promotions->value();
+  s.bytes_read = tele_.bytes_read->value();
+  s.bytes_written = tele_.bytes_written->value();
+  return s;
+}
+
+CacheStats CacheManager::stats() const {
+  MutexLock lock(mutex_);
+  return counters_snapshot().since(baseline_);
+}
+
+void CacheManager::reset_stats() {
+  MutexLock lock(mutex_);
+  baseline_ = counters_snapshot();
 }
 
 std::string CacheManager::fam_name(ObjectId id, int node) {
@@ -135,7 +196,7 @@ Status CacheManager::evict_dram_lru(sim::VirtualClock& clock, int node) {
   if (have && config_.enable_ssd && meta.size <= config_.ssd_capacity_bytes) {
     clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
     RETURN_IF_ERROR(insert_ssd(node, victim, meta, std::move(payload)));
-    ++stats_.spills_to_ssd;
+    tele_.spills_to_ssd->inc();
   }
   return Status::Ok();
 }
@@ -161,7 +222,7 @@ Status CacheManager::insert_ssd(int node, ObjectId id, Meta& meta,
       return Status::Internal("SSD LRU victim missing from cache directory");
     }
     drop_copy(victim, dit->second, Location{node, TierKind::kSsd});
-    ++stats_.ssd_drops;
+    tele_.ssd_drops->inc();
   }
   if (ns.ssd_used + meta.size > config_.ssd_capacity_bytes) {
     return Status::Ok();
@@ -235,8 +296,8 @@ void CacheManager::put(sim::VirtualClock& clock, int node,
              << " left uncached: " << placed.to_string();
   }
 
-  ++stats_.puts;
-  stats_.bytes_written += payload.size();
+  tele_.puts->inc();
+  tele_.bytes_written->inc(payload.size());
 }
 
 std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
@@ -247,7 +308,7 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
 
   auto it = directory_.find(id);
   if (it == directory_.end()) {
-    ++stats_.misses;
+    tele_.misses->inc();
     return std::nullopt;
   }
   Meta& meta = it->second;
@@ -263,8 +324,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
   if (has_copy(node, TierKind::kDram) &&
       read_dram_copy(clock, node, node, meta, &payload)) {
     touch_dram(node, id);
-    ++stats_.hits_local_dram;
-    stats_.bytes_read += meta.size;
+    tele_.hits_local_dram->inc();
+    tele_.bytes_read->inc(meta.size);
     charge_serialization(clock);
     return payload;
   }
@@ -277,8 +338,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
       payload = sit->second;
       clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size));
       touch_ssd(node, id);
-      ++stats_.hits_local_ssd;
-      stats_.bytes_read += meta.size;
+      tele_.hits_local_ssd->inc();
+      tele_.bytes_read->inc(meta.size);
       charge_serialization(clock);
       return payload;
     }
@@ -301,12 +362,12 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
   if (remote_dram >= 0 &&
       read_dram_copy(clock, node, remote_dram, meta, &payload)) {
     touch_dram(remote_dram, id);
-    ++stats_.hits_remote_dram;
-    stats_.bytes_read += meta.size;
+    tele_.hits_remote_dram->inc();
+    tele_.bytes_read->inc(meta.size);
     if (config_.promote_on_remote_hit) {
       // Best-effort: a failed promotion still served the read.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
-      ++stats_.promotions;
+      tele_.promotions->inc();
     }
     charge_serialization(clock);
     return payload;
@@ -320,12 +381,12 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     clock.advance(config_.fabric.local_ssd.transfer_cost(meta.size) +
                   config_.fabric.inter_node.transfer_cost(meta.size));
     touch_ssd(remote_ssd, id);
-    ++stats_.hits_remote_ssd;
-    stats_.bytes_read += meta.size;
+    tele_.hits_remote_ssd->inc();
+    tele_.bytes_read->inc(meta.size);
     if (config_.promote_on_remote_hit) {
       // Best-effort: a failed promotion still served the read.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
-      ++stats_.promotions;
+      tele_.promotions->inc();
     }
     charge_serialization(clock);
     return payload;
@@ -338,8 +399,8 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     if (bit != backing_.end()) {
       payload = bit->second;
       clock.advance(config_.fabric.backing_store.transfer_cost(meta.size));
-      ++stats_.hits_backing;
-      stats_.bytes_read += meta.size;
+      tele_.hits_backing->inc();
+      tele_.bytes_read->inc(meta.size);
       // Best-effort re-population of the reader's DRAM.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       charge_serialization(clock);
@@ -349,7 +410,7 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     meta.in_backing = false;
   }
 
-  ++stats_.misses;
+  tele_.misses->inc();
   return std::nullopt;
 }
 

@@ -33,6 +33,7 @@
 #include "fam/fam.h"
 #include "sim/fabric.h"
 #include "sim/virtual_clock.h"
+#include "telemetry/metrics.h"
 
 namespace ids::cache {
 
@@ -62,6 +63,13 @@ struct CacheConfig {
   /// makes cached query time grow linearly with candidate count in
   /// Table 2. 0 disables the bottleneck.
   double serialization_service_seconds = 0.0;
+  /// Registry the manager reports ids_cache_* metrics into; nullptr means
+  /// telemetry::MetricsRegistry::global().
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Instance label on every metric (`cache="..."`), so multiple caches
+  /// (e.g. the two clusters of a CrossClusterBridge) stay distinguishable
+  /// in one registry. Empty = auto-assigned "cache<N>".
+  std::string name;
 };
 
 /// Placement hint for put(): pin the first copy to a specific node
@@ -121,16 +129,13 @@ class CacheManager {
   void relocate(sim::VirtualClock& clock, std::string_view name,
                 int target_node) IDS_EXCLUDES(mutex_);
 
-  /// Snapshot of the counters (a copy: concurrent operations keep
-  /// mutating the live struct).
-  CacheStats stats() const IDS_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    return stats_;
-  }
-  void reset_stats() IDS_EXCLUDES(mutex_) {
-    MutexLock lock(mutex_);
-    stats_ = CacheStats{};
-  }
+  /// Snapshot of the counters since the last reset_stats(). The live
+  /// counters are telemetry registry instruments (monotonic, shared with
+  /// the Prometheus exposition); this returns their delta against the
+  /// baseline captured by reset_stats(), so existing exact-count tests
+  /// keep working while the registry view never rewinds.
+  CacheStats stats() const IDS_EXCLUDES(mutex_);
+  void reset_stats() IDS_EXCLUDES(mutex_);
 
   std::uint64_t dram_used(int node) const IDS_EXCLUDES(mutex_);
   std::uint64_t ssd_used(int node) const IDS_EXCLUDES(mutex_);
@@ -192,7 +197,29 @@ class CacheManager {
   void remove_copy_record(Meta& meta, const Location& loc)
       IDS_REQUIRES(mutex_);
 
+  /// ids_cache_* instruments in the configured registry, labeled with
+  /// this cache's instance name. Resolved once at construction; the
+  /// increments themselves are lock-free atomics.
+  struct Telemetry {
+    telemetry::Counter* hits_local_dram;
+    telemetry::Counter* hits_local_ssd;
+    telemetry::Counter* hits_remote_dram;
+    telemetry::Counter* hits_remote_ssd;
+    telemetry::Counter* hits_backing;
+    telemetry::Counter* misses;
+    telemetry::Counter* puts;
+    telemetry::Counter* spills_to_ssd;
+    telemetry::Counter* ssd_drops;
+    telemetry::Counter* promotions;
+    telemetry::Counter* bytes_read;
+    telemetry::Counter* bytes_written;
+  };
+
+  /// Current absolute values of the registry counters as a CacheStats.
+  CacheStats counters_snapshot() const;
+
   CacheConfig config_;
+  Telemetry tele_;
   // Internally synchronized; acquired strictly *after* mutex_ (the FAM
   // layer never calls back into the cache, so the order cannot invert).
   std::unique_ptr<fam::FamService> fam_;
@@ -202,7 +229,8 @@ class CacheManager {
   std::unordered_map<ObjectId, std::string, ObjectIdHash> backing_
       IDS_GUARDED_BY(mutex_);
   std::vector<NodeState> nodes_ IDS_GUARDED_BY(mutex_);
-  CacheStats stats_ IDS_GUARDED_BY(mutex_);
+  /// Counter values at the last reset_stats(); stats() reports the delta.
+  CacheStats baseline_ IDS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ids::cache

@@ -34,6 +34,28 @@ struct CacheStats {
     return total_hits() - hits_backing;
   }
 
+  /// Field-wise difference against an earlier snapshot of the same
+  /// monotonic counters. CacheManager::stats() is implemented as
+  /// `live_counters.since(baseline)` — the live counters come from the
+  /// telemetry registry and never reset, so reset_stats() just moves the
+  /// baseline.
+  CacheStats since(const CacheStats& baseline) const {
+    CacheStats d;
+    d.hits_local_dram = hits_local_dram - baseline.hits_local_dram;
+    d.hits_local_ssd = hits_local_ssd - baseline.hits_local_ssd;
+    d.hits_remote_dram = hits_remote_dram - baseline.hits_remote_dram;
+    d.hits_remote_ssd = hits_remote_ssd - baseline.hits_remote_ssd;
+    d.hits_backing = hits_backing - baseline.hits_backing;
+    d.misses = misses - baseline.misses;
+    d.puts = puts - baseline.puts;
+    d.spills_to_ssd = spills_to_ssd - baseline.spills_to_ssd;
+    d.ssd_drops = ssd_drops - baseline.ssd_drops;
+    d.promotions = promotions - baseline.promotions;
+    d.bytes_read = bytes_read - baseline.bytes_read;
+    d.bytes_written = bytes_written - baseline.bytes_written;
+    return d;
+  }
+
   std::string to_string() const;
 };
 

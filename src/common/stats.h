@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdio>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace ids {
@@ -51,6 +53,15 @@ class RunningStats {
   }
   double stddev() const { return std::sqrt(variance()); }
 
+  /// One-line summary (`n=5 mean=1.2 min=0.5 max=2 sd=0.6`) for text
+  /// reports — telemetry::Tracer::to_text_report() builds on this.
+  std::string to_string() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "n=%zu mean=%.6g min=%.6g max=%.6g sd=%.6g",
+                  n_, mean(), min(), max(), stddev());
+    return buf;
+  }
+
  private:
   std::size_t n_ = 0;
   double min_ = std::numeric_limits<double>::infinity();
@@ -70,23 +81,44 @@ class SampleSet {
 
   std::size_t count() const { return samples_.size(); }
 
-  /// p in [0, 1]; nearest-rank percentile. Returns 0 when empty.
+  /// p in [0, 1]; linearly interpolated percentile. Returns 0 when empty.
+  /// Sorts the sample buffer lazily on first query and memoizes — the
+  /// mutation is invisible to callers (answers are identical), which is
+  /// why a const overload below can exist alongside it.
   double percentile(double p) {
     if (samples_.empty()) return 0.0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
-    double rank = p * static_cast<double>(samples_.size() - 1);
-    auto lo = static_cast<std::size_t>(rank);
-    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
-    double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return percentile_sorted(samples_, p);
+  }
+
+  /// Const-correct overload for callers holding a `const SampleSet&`.
+  /// When the lazy-sorted cache is stale this sorts a copy: O(n log n)
+  /// per call with no memoization, so prefer the non-const overload on
+  /// repeated queries.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    if (sorted_) return percentile_sorted(samples_, p);
+    std::vector<double> copy(samples_);
+    std::sort(copy.begin(), copy.end());
+    return percentile_sorted(copy, p);
   }
 
   double median() { return percentile(0.5); }
+  double median() const { return percentile(0.5); }
 
  private:
+  static double percentile_sorted(const std::vector<double>& sorted,
+                                  double p) {
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
   std::vector<double> samples_;
   bool sorted_ = false;
 };

@@ -4,9 +4,19 @@
 #include <latch>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace ids {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  queue_depth_ = registry.gauge("ids_threadpool_queue_depth");
+  tasks_total_ = registry.counter("ids_threadpool_tasks_total");
+  task_wait_seconds_ = registry.histogram(
+      "ids_threadpool_task_wait_seconds", telemetry::latency_seconds_buckets());
+  task_run_seconds_ = registry.histogram(
+      "ids_threadpool_task_run_seconds", telemetry::latency_seconds_buckets());
+
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
@@ -26,9 +36,19 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::run_task(Task task) {
+  const std::uint64_t start = telemetry::Tracer::wall_now_ns();
+  task_wait_seconds_->observe(
+      static_cast<double>(start - task.enqueued_ns) / 1e9);
+  task.fn();
+  task_run_seconds_->observe(
+      static_cast<double>(telemetry::Tracer::wall_now_ns() - start) / 1e9);
+  tasks_total_->inc();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(mutex_);
       cv_.wait(mutex_, [this]() IDS_REQUIRES(mutex_) {
@@ -37,8 +57,9 @@ void ThreadPool::worker_loop() {
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_->set(static_cast<double>(tasks_.size()));
     }
-    task();
+    run_task(std::move(task));
   }
 }
 
@@ -69,15 +90,17 @@ void ThreadPool::parallel_for(std::size_t n,
     remaining.count_down();
   };
 
+  const std::uint64_t enqueued = telemetry::Tracer::wall_now_ns();
   {
     MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      tasks_.push(run_chunk);
+      tasks_.push(Task{run_chunk, enqueued});
     }
+    queue_depth_->set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_all();
 
-  run_chunk();  // caller participates
+  run_task(Task{run_chunk, enqueued});  // caller participates
 
   remaining.wait();
 }

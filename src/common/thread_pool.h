@@ -13,13 +13,20 @@
 // acquired under no lock, so pool-wide and per-call synchronization can
 // never deadlock against each other.
 
+// Telemetry: every pool reports into telemetry::MetricsRegistry::global()
+// — ids_threadpool_queue_depth (gauge), ids_threadpool_tasks_total
+// (counter), and ids_threadpool_task_{wait,run}_seconds (histograms of
+// host wall time spent queued vs. executing).
+
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "telemetry/metrics.h"
 
 namespace ids {
 
@@ -44,13 +51,27 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueued_ns = 0;
+  };
+
   void worker_loop() IDS_EXCLUDES(mutex_);
+  void run_task(Task task);
 
   std::vector<std::thread> workers_;
   Mutex mutex_;
   CondVar cv_;
-  std::queue<std::function<void()>> tasks_ IDS_GUARDED_BY(mutex_);
+  std::queue<Task> tasks_ IDS_GUARDED_BY(mutex_);
   bool stopping_ IDS_GUARDED_BY(mutex_) = false;
+
+  // Resolved once at construction; the instruments live in the global
+  // registry (never destroyed), so raw pointers are safe for the pool's
+  // lifetime and the hot path touches only atomics.
+  telemetry::Gauge* queue_depth_;
+  telemetry::Counter* tasks_total_;
+  telemetry::Histogram* task_wait_seconds_;
+  telemetry::Histogram* task_run_seconds_;
 };
 
 }  // namespace ids

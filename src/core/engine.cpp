@@ -68,6 +68,10 @@ class QueryExecution {
         vectors_(vectors),
         registry_(registry),
         profiler_(profiler),
+        tracer_(opts.tracer),
+        metrics_(opts.metrics != nullptr
+                     ? opts.metrics
+                     : &telemetry::MetricsRegistry::global()),
         p_(opts.topology.num_ranks()),
         clocks_(static_cast<std::size_t>(p_)) {
     Rng seeder(opts.seed);
@@ -78,6 +82,13 @@ class QueryExecution {
   }
 
   QueryResult run(const Query& query) {
+    metrics_->counter("ids_engine_queries_total")->inc();
+    if (tracer_ != nullptr) {
+      root_span_ =
+          tracer_->begin_span("query", "query", telemetry::kNoSpan, -1, 0);
+      stage_wall_start_ = telemetry::Tracer::wall_now_ns();
+    }
+
     // Graph patterns in planner order.
     auto order = order_patterns(*triples_, query.patterns);
     for (std::size_t i = 0; i < order.size(); ++i) {
@@ -97,6 +108,16 @@ class QueryExecution {
     for (const auto& inv : query.invokes) apply_invoke(inv);
 
     gather_and_finish(query);
+    if (tracer_ != nullptr) {
+      tracer_->add_attr(
+          root_span_, "rows",
+          static_cast<std::uint64_t>(result_.solutions.num_rows()));
+      tracer_->add_attr(root_span_, "cache_hits",
+                        static_cast<std::uint64_t>(result_.cache_hits));
+      tracer_->add_attr(root_span_, "cache_misses",
+                        static_cast<std::uint64_t>(result_.cache_misses));
+      tracer_->end_span(root_span_, last_mark_);
+    }
     return std::move(result_);
   }
 
@@ -126,13 +147,60 @@ class QueryExecution {
     for (std::size_t r = 0; r < clocks_.size(); ++r) clocks_.at(r).advance(o);
   }
 
+  /// Opens the trace span of the pipeline stage that is starting. Each
+  /// stage ends in mark(), which closes the span at the barrier time.
+  /// Call after any early-return guards, so skipped stages leave no span.
+  void stage_begin(std::string_view name) {
+    if (tracer_ == nullptr) return;
+    stage_span_ =
+        tracer_->begin_span(name, "stage", root_span_, -1, last_mark_);
+  }
+
   /// Ends a pipeline stage: synchronizes clocks and records the stage's
-  /// critical-path duration.
+  /// critical-path duration (as a StageTiming, as the stage trace span's
+  /// modeled range — bit-identical, both are `now - last_mark_` — and as
+  /// an ids_engine_stage_seconds observation).
   void mark(std::string stage) {
     sim::Nanos now = clocks_.barrier();
-    result_.stages.push_back(
-        {std::move(stage), sim::to_seconds(now - last_mark_)});
+    double seconds = sim::to_seconds(now - last_mark_);
+    if (tracer_ != nullptr) {
+      if (stage_span_ != telemetry::kNoSpan) {
+        tracer_->end_span(stage_span_, now);
+        stage_span_ = telemetry::kNoSpan;
+      } else {
+        // Stage ran without a stage_begin(): record it retroactively so
+        // the trace still covers every StageTiming entry.
+        tracer_->record_span(stage, "stage", root_span_, -1, last_mark_, now,
+                             stage_wall_start_,
+                             telemetry::Tracer::wall_now_ns());
+      }
+      stage_wall_start_ = telemetry::Tracer::wall_now_ns();
+    }
+    metrics_
+        ->histogram("ids_engine_stage_seconds",
+                    telemetry::latency_seconds_buckets(), {{"stage", stage}})
+        ->observe(seconds);
+    result_.stages.push_back({std::move(stage), seconds});
     last_mark_ = now;
+  }
+
+  /// Wall-clock sample for a per-rank span start; 0 when tracing is off
+  /// (rank_span is a no-op then, so the value is never read).
+  std::uint64_t rank_wall_start() const {
+    return tracer_ != nullptr ? telemetry::Tracer::wall_now_ns() : 0;
+  }
+
+  /// Records a completed per-rank operator span [v0, rank-clock-now] on
+  /// rank r's timeline, parented to the current stage span. Returns the
+  /// span id so the caller can attach attrs (kNoSpan when tracing is off).
+  /// Thread-safe: rank lambdas call this concurrently.
+  telemetry::SpanId rank_span(std::string_view name, int r, sim::Nanos v0,
+                              std::uint64_t w0) {
+    if (tracer_ == nullptr) return telemetry::kNoSpan;
+    auto ru = static_cast<std::size_t>(r);
+    return tracer_->record_span(name, "rank", stage_span_, r, v0,
+                                clocks_.at(ru).now(), w0,
+                                telemetry::Tracer::wall_now_ns());
   }
 
   std::size_t total_rows() const {
@@ -262,10 +330,12 @@ class QueryExecution {
 
   void apply_pattern(const TriplePattern& pat, bool first) {
     if (first || !has_schema()) {
+      stage_begin("scan");
       scan_first(pat);
       mark("scan");
       return;
     }
+    stage_begin("join");
     if (pat.s.is_var && schema_has_var(pat.s.var)) {
       extend_subject_bound(pat);
       mark("join");
@@ -328,9 +398,16 @@ class QueryExecution {
     SolutionTable prototype{pattern_vars(pat)};
     init_parts(prototype);
     runtime::for_each_rank(p_, [&](int r) {
+      sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
+      std::uint64_t w0 = rank_wall_start();
       std::size_t matches =
           scan_pattern_into(r, pat, &parts_[static_cast<std::size_t>(r)]);
       charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
+      telemetry::SpanId span = rank_span("scan", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "matches",
+                          static_cast<std::uint64_t>(matches));
+      }
     });
   }
 
@@ -371,6 +448,8 @@ class QueryExecution {
                                    prototype.empty_like());
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      sim::Nanos v0 = clocks_.at(ru).now();
+      std::uint64_t w0 = rank_wall_start();
       const auto& in = parts_[ru];
       auto& dst = out[ru];
 
@@ -410,6 +489,11 @@ class QueryExecution {
       // columns in one pass per column.
       dst.append_prefix_from(in, src_rows);
       charge_graph_op(r, opts_.costs.triple_scan_cost(scanned + 64));
+      telemetry::SpanId span = rank_span("join:extend", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "scanned",
+                          static_cast<std::uint64_t>(scanned));
+      }
     });
     parts_ = std::move(out);
     clocks_.barrier();
@@ -431,9 +515,16 @@ class QueryExecution {
     std::vector<SolutionTable> build(static_cast<std::size_t>(p_),
                                      SolutionTable{pattern_vars(pat)});
     runtime::for_each_rank(p_, [&](int r) {
+      sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
+      std::uint64_t w0 = rank_wall_start();
       std::size_t matches =
           scan_pattern_into(r, pat, &build[static_cast<std::size_t>(r)]);
       charge_graph_op(r, opts_.costs.triple_scan_cost(matches + 64));
+      telemetry::SpanId span = rank_span("join:build", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "matches",
+                          static_cast<std::uint64_t>(matches));
+      }
     });
 
     // Shuffle both sides by the join key.
@@ -494,6 +585,8 @@ class QueryExecution {
 
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      sim::Nanos v0 = clocks_.at(ru).now();
+      std::uint64_t w0 = rank_wall_start();
       const auto& bt = build[ru];
       const auto& probe = parts_[ru];
       auto& dst = out[ru];
@@ -558,6 +651,11 @@ class QueryExecution {
       dst.append_prefix_from(probe, src_rows);
       charge_graph_op(r, opts_.costs.join_cost(bt.num_rows() +
                                                probe.num_rows() + produced));
+      telemetry::SpanId span = rank_span("join:probe", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "produced",
+                          static_cast<std::uint64_t>(produced));
+      }
     });
     parts_ = std::move(out);
     clocks_.barrier();
@@ -578,6 +676,8 @@ class QueryExecution {
                                    prototype.empty_like());
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      sim::Nanos v0 = clocks_.at(ru).now();
+      std::uint64_t w0 = rank_wall_start();
       const auto& in = parts_[ru];
       auto& dst = out[ru];
       const std::size_t n = in.num_rows();
@@ -611,6 +711,11 @@ class QueryExecution {
         }
       }
       charge_graph_op(r, opts_.costs.join_cost(n * m));
+      telemetry::SpanId span = rank_span("join:cartesian", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "produced",
+                          static_cast<std::uint64_t>(n * m));
+      }
     });
     parts_ = std::move(out);
     clocks_.barrier();
@@ -623,6 +728,7 @@ class QueryExecution {
       IDS_WARN << "keyword clause with no inverted index; skipping";
       return;
     }
+    stage_begin("keyword");
     std::vector<TermId> hits = kc.conjunctive
                                    ? keywords_->search_and(kc.tokens)
                                    : keywords_->search_or(kc.tokens);
@@ -642,12 +748,15 @@ class QueryExecution {
       IDS_WARN << "vector clause with no vector store; skipping";
       return;
     }
+    stage_begin("vector");
     // Per-shard top-k (exact scan, or IVF probing when the clause asks
     // for approximate search), then a global merge (allgather of k hits).
     std::vector<std::vector<store::VectorHit>> shard_hits(
         static_cast<std::size_t>(p_));
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      sim::Nanos v0 = clocks_.at(ru).now();
+      std::uint64_t w0 = rank_wall_start();
       if (vc.ivf_nprobe > 0) {
         store::IvfIndex::Params params;
         params.num_clusters = vc.ivf_clusters;
@@ -659,6 +768,11 @@ class QueryExecution {
         shard_hits[ru] = vectors_->topk_shard(r, vc.query, vc.k, vc.metric);
         charge_compute(
             r, opts_.costs.vector_scan_cost(vectors_->scan_work_units(r)));
+      }
+      telemetry::SpanId span = rank_span("vector:topk", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "hits",
+                          static_cast<std::uint64_t>(shard_hits[ru].size()));
       }
     });
     runtime::charge_tree_collective(
@@ -699,6 +813,8 @@ class QueryExecution {
       return;
     }
     runtime::for_each_rank(p_, [&](int r) {
+      sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
+      std::uint64_t w0 = rank_wall_start();
       auto& t = parts_[static_cast<std::size_t>(r)];
       const auto& col = t.id_col(idx);
       std::vector<char> keep(col.size(), 0);
@@ -707,7 +823,15 @@ class QueryExecution {
             std::binary_search(ids.begin(), ids.end(), col[row]) ? 1 : 0;
       }
       charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
+      std::size_t rows_in = t.num_rows();
       t.filter_rows(keep);
+      telemetry::SpanId span = rank_span("semi_join", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "rows_in",
+                          static_cast<std::uint64_t>(rows_in));
+        tracer_->add_attr(span, "rows_kept",
+                          static_cast<std::uint64_t>(t.num_rows()));
+      }
     });
     clocks_.barrier();
   }
@@ -740,6 +864,7 @@ class QueryExecution {
     // Solution re-balancing (§2.4.2) driven by per-rank single-solution
     // time estimates.
     if (opts_.rebalance != RebalancePolicy::kNone) {
+      stage_begin("rebalance");
       std::vector<std::size_t> counts(static_cast<std::size_t>(p_));
       std::vector<double> throughput(static_cast<std::size_t>(p_), 0.0);
       for (int r = 0; r < p_; ++r) {
@@ -756,6 +881,24 @@ class QueryExecution {
       if (decision.rebalance) {
         redistribute_to_targets(decision.targets);
         result_.used_throughput_rebalance |= decision.used_throughput;
+        metrics_
+            ->counter("ids_engine_rebalance_total",
+                      {{"policy", decision.used_throughput ? "throughput"
+                                                           : "count"}})
+            ->inc();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->add_attr(stage_span_, "policy",
+                          std::string_view(opts_.rebalance ==
+                                                   RebalancePolicy::kThroughput
+                                               ? "throughput"
+                                               : "count"));
+        tracer_->add_attr(stage_span_, "triggered",
+                          static_cast<std::uint64_t>(decision.rebalance));
+        tracer_->add_attr(
+            stage_span_, "throughput_based",
+            static_cast<std::uint64_t>(decision.used_throughput));
+        tracer_->add_attr(stage_span_, "speed_ratio", decision.speed_ratio);
       }
       mark("rebalance");
     }
@@ -777,9 +920,27 @@ class QueryExecution {
     // Evaluate the chain; the first falsy conjunct rejects the row and is
     // attributed to its last UDF (the rejection statistic of the paper's
     // profiling section).
+    stage_begin("filter");
+    if (tracer_ != nullptr) {
+      tracer_->add_attr(stage_span_, "reorder",
+                        std::string_view(opts_.reorder_filters ? "on"
+                                                               : "off"));
+      std::set<std::vector<std::size_t>> distinct(orders.begin(),
+                                                  orders.end());
+      tracer_->add_attr(stage_span_, "distinct_orders",
+                        static_cast<std::uint64_t>(distinct.size()));
+      std::string rank0;
+      for (std::size_t ci : orders[0]) {
+        if (!rank0.empty()) rank0 += ',';
+        rank0 += std::to_string(ci);
+      }
+      tracer_->add_attr(stage_span_, "rank0_order", rank0);
+    }
     charge_operator_overhead();
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      sim::Nanos v0 = clocks_.at(ru).now();
+      std::uint64_t w0 = rank_wall_start();
       auto& t = parts_[ru];
       std::vector<char> keep(t.num_rows(), 1);
       double rank_cost = 0.0;  // nanoseconds, multiplier-weighted
@@ -808,7 +969,15 @@ class QueryExecution {
         }
       }
       clocks_.at(ru).advance(static_cast<sim::Nanos>(rank_cost));
+      std::size_t rows_in = t.num_rows();
       t.filter_rows(keep);
+      telemetry::SpanId span = rank_span("filter", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "rows_in",
+                          static_cast<std::uint64_t>(rows_in));
+        tracer_->add_attr(span, "rows_kept",
+                          static_cast<std::uint64_t>(t.num_rows()));
+      }
     });
     mark("filter");
   }
@@ -823,12 +992,15 @@ class QueryExecution {
       IDS_WARN << "distinct variable ?" << var << " not bound; skipping";
       return;
     }
+    stage_begin("distinct");
     // Co-locate equal values, then keep the first row of each value.
     shuffle_rows([this, idx](const SolutionTable& t, std::size_t row) {
       return static_cast<int>(mix64(t.id_at(row, idx)) %
                               static_cast<std::uint64_t>(p_));
     });
     runtime::for_each_rank(p_, [&](int r) {
+      sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
+      std::uint64_t w0 = rank_wall_start();
       auto& t = parts_[static_cast<std::size_t>(r)];
       const auto& col = t.id_col(idx);
       FlatTermSet seen(col.size());
@@ -837,7 +1009,15 @@ class QueryExecution {
         keep[row] = seen.insert(col[row]) ? 1 : 0;
       }
       charge_graph_op(r, opts_.costs.join_cost(t.num_rows()));
+      std::size_t rows_in = t.num_rows();
       t.filter_rows(keep);
+      telemetry::SpanId span = rank_span("distinct", r, v0, w0);
+      if (span != telemetry::kNoSpan) {
+        tracer_->add_attr(span, "rows_in",
+                          static_cast<std::uint64_t>(rows_in));
+        tracer_->add_attr(span, "rows_kept",
+                          static_cast<std::uint64_t>(t.num_rows()));
+      }
     });
     // Spread the survivors evenly: the upcoming INVOKE is expensive and
     // hash placement can clump a small distinct set onto few ranks ("IDS
@@ -888,13 +1068,23 @@ class QueryExecution {
     }
     for (auto& t : parts_) t.add_num_var(inv.out_var);
     const bool cached = inv.use_cache && opts_.cache != nullptr;
+    stage_begin("invoke:" + inv.udf);
 
-    std::atomic<std::size_t> hits{0};
-    std::atomic<std::size_t> misses{0};
+    // Hits and misses are derived from the cache's own telemetry counters
+    // (delta over this stage) — the exact numbers the Prometheus export
+    // reports — instead of a parallel set of hand-maintained atomics.
+    cache::CacheStats cache_before;
+    if (cached) cache_before = opts_.cache->stats();
+
     std::atomic<std::size_t> invoked{0};
 
     runtime::for_each_rank(p_, [&](int r) {
       auto ru = static_cast<std::size_t>(r);
+      telemetry::SpanId span =
+          tracer_ == nullptr
+              ? telemetry::kNoSpan
+              : tracer_->begin_span("invoke", "rank", stage_span_, r,
+                                    clocks_.at(ru).now());
       auto& t = parts_[ru];
       int out_col = t.num_var_index(inv.out_var);
       // One context and one argument buffer per rank; the row cursor and
@@ -913,23 +1103,40 @@ class QueryExecution {
 
         args.clear();
         for (const auto& a : inv.args) args.push_back(expr::eval(*a, ctx));
+        // Argument-evaluation cost lands on the clock now so the per-call
+        // spans below start at the right modeled time. Splitting the
+        // row's single advance into several is exact (integer adds), and
+        // the cache never reads the clock's current value, so the modeled
+        // result is bit-identical to charging everything at row end.
+        clocks_.at(ru).advance(ctx.cost);
+        ctx.cost = 0;
 
         double value = 0.0;
         bool have = false;
         std::string key;
         if (cached) {
           key = render_cache_key(inv, args);
+          sim::Nanos gv0 = clocks_.at(ru).now();
+          std::uint64_t gw0 = rank_wall_start();
           auto payload = opts_.cache->get(clocks_.at(ru),
                                           cache_node_of_rank(r), key);
+          if (span != telemetry::kNoSpan) {
+            telemetry::SpanId call = tracer_->record_span(
+                "cache.get", "cache", span, r, gv0, clocks_.at(ru).now(),
+                gw0, telemetry::Tracer::wall_now_ns());
+            tracer_->add_attr(call, "hit",
+                              static_cast<std::uint64_t>(payload ? 1 : 0));
+          }
           if (payload) {
             value = std::strtod(payload->c_str(), nullptr);
             have = true;
-            hits.fetch_add(1, std::memory_order_relaxed);
           }
         }
         if (!have) {
           // Execute the model (a cache miss falls back to re-running the
           // simulation, the paper's "last resort on a total miss").
+          sim::Nanos xv0 = clocks_.at(ru).now();
+          std::uint64_t xw0 = rank_wall_start();
           ctx.cost += registry_->charge_module_load(r, *info);
           udf::UdfResult res = info->fn(ctx.udf_ctx, args);
           auto scaled = static_cast<sim::Nanos>(
@@ -941,18 +1148,41 @@ class QueryExecution {
           expr::as_double(res.value, &out);
           value = out;
           invoked.fetch_add(1, std::memory_order_relaxed);
+          clocks_.at(ru).advance(ctx.cost);
+          ctx.cost = 0;
+          if (span != telemetry::kNoSpan) {
+            tracer_->record_span(info->name, "udf", span, r, xv0,
+                                 clocks_.at(ru).now(), xw0,
+                                 telemetry::Tracer::wall_now_ns());
+          }
           if (cached) {
-            misses.fetch_add(1, std::memory_order_relaxed);
+            sim::Nanos pv0 = clocks_.at(ru).now();
+            std::uint64_t pw0 = rank_wall_start();
             opts_.cache->put(clocks_.at(ru), cache_node_of_rank(r), key,
                              make_payload(value, inv.cached_payload_bytes));
+            if (span != telemetry::kNoSpan) {
+              tracer_->record_span("cache.put", "cache", span, r, pv0,
+                                   clocks_.at(ru).now(), pw0,
+                                   telemetry::Tracer::wall_now_ns());
+            }
           }
         }
         t.set_num(row, out_col, value);
         clocks_.at(ru).advance(ctx.cost);
       }
+      if (tracer_ != nullptr) {
+        tracer_->end_span(span, clocks_.at(ru).now());
+      }
     });
-    result_.cache_hits += hits.load();
-    result_.cache_misses += misses.load();
+    std::size_t stage_hits = 0;
+    std::size_t stage_misses = 0;
+    if (cached) {
+      cache::CacheStats delta = opts_.cache->stats().since(cache_before);
+      stage_hits = static_cast<std::size_t>(delta.total_hits());
+      stage_misses = static_cast<std::size_t>(delta.misses);
+    }
+    result_.cache_hits += stage_hits;
+    result_.cache_misses += stage_misses;
     result_.rows_invoked += invoked.load();
 
     // Shared-server queueing of the cache's (de)serialization service: a
@@ -963,7 +1193,7 @@ class QueryExecution {
     if (cached) {
       double service = opts_.cache->config().serialization_service_seconds;
       if (service > 0.0) {
-        std::uint64_t ops = hits.load() + misses.load();  // get hit or put
+        std::uint64_t ops = stage_hits + stage_misses;  // get hit or put
         sim::Nanos floor =
             last_mark_ +
             sim::from_seconds(service * static_cast<double>(ops));
@@ -978,6 +1208,7 @@ class QueryExecution {
   // ---- Final gather --------------------------------------------------------
 
   void gather_and_finish(const Query& query) {
+    stage_begin("gather");
     SolutionTable merged =
         has_schema() ? parts_[0].empty_like() : SolutionTable{};
     std::size_t total_bytes = 0;
@@ -1039,6 +1270,11 @@ class QueryExecution {
   store::VectorStore* vectors_;
   udf::UdfRegistry* registry_;
   udf::UdfProfiler* profiler_;
+  telemetry::Tracer* tracer_;        // nullptr = tracing off
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::SpanId root_span_ = telemetry::kNoSpan;
+  telemetry::SpanId stage_span_ = telemetry::kNoSpan;
+  std::uint64_t stage_wall_start_ = 0;
 
   int p_;
   sim::ClockSet clocks_;
@@ -1059,7 +1295,10 @@ IdsEngine::IdsEngine(EngineOptions options, graph::TripleStore* triples,
       features_(features),
       keywords_(keywords),
       vectors_(vectors),
-      profiler_(options_.topology.num_ranks()) {
+      profiler_(options_.topology.num_ranks(),
+                options_.metrics != nullptr
+                    ? options_.metrics
+                    : &telemetry::MetricsRegistry::global()) {
   IDS_CHECK(triples_->num_shards() == options_.topology.num_ranks())
       << "store sharding must match the rank count";
 }

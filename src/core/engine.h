@@ -28,6 +28,8 @@
 #include "store/feature_store.h"
 #include "store/inverted_index.h"
 #include "store/vector_store.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "udf/profiler.h"
 #include "udf/registry.h"
 
@@ -58,6 +60,15 @@ struct EngineOptions {
   std::unordered_map<std::string, double> udf_call_multiplier;  // lint:allow-unordered
   /// Optional global distributed cache for INVOKE clauses.
   cache::CacheManager* cache = nullptr;
+  /// Trace sink: when set, every execute() records a span tree into it —
+  /// query → stage → per-rank operator → per-call (UDF exec, cache
+  /// get/put) — with modeled and wall time on every span. nullptr = no
+  /// tracing (and no tracing overhead on the hot path).
+  telemetry::Tracer* tracer = nullptr;
+  /// Metrics sink for engine instruments (ids_engine_queries_total,
+  /// ids_engine_stage_seconds, ids_engine_rebalance_total). nullptr = the
+  /// process-global registry.
+  telemetry::MetricsRegistry* metrics = nullptr;
   std::uint64_t seed = 0x1D5;
 };
 

@@ -9,6 +9,16 @@ namespace ids::fam {
 
 FamService::FamService(FamOptions options) : options_(std::move(options)) {
   IDS_CHECK(!options_.server_nodes.empty());
+  auto& registry = options_.metrics != nullptr
+                       ? *options_.metrics
+                       : telemetry::MetricsRegistry::global();
+  puts_total_ = registry.counter("ids_fam_puts_total");
+  gets_total_ = registry.counter("ids_fam_gets_total");
+  atomics_total_ = registry.counter("ids_fam_atomics_total");
+  written_bytes_total_ = registry.counter("ids_fam_written_bytes_total");
+  read_bytes_total_ = registry.counter("ids_fam_read_bytes_total");
+  alloc_failures_total_ = registry.counter("ids_fam_alloc_failures_total");
+  server_failures_total_ = registry.counter("ids_fam_server_failures_total");
   servers_.reserve(options_.server_nodes.size());
   for (int node : options_.server_nodes) {
     Server s;
@@ -60,6 +70,7 @@ Result<Descriptor> FamService::allocate(std::string_view name,
     }
   }
   if (server < 0) {
+    alloc_failures_total_->inc();
     return Status::ResourceExhausted("no fam server can hold " +
                                      std::to_string(size) + " bytes");
   }
@@ -134,6 +145,8 @@ Status FamService::put(sim::VirtualClock& clock, int caller_node,
       servers_[static_cast<std::size_t>(d.server)].regions.at(d.region);
   std::memcpy(region.data.data() + offset, data.data(), data.size());
   clock.advance(transfer_cost(caller_node, d.server, data.size()));
+  puts_total_->inc();
+  written_bytes_total_->inc(data.size());
   return Status::Ok();
 }
 
@@ -145,6 +158,8 @@ Status FamService::get(sim::VirtualClock& clock, int caller_node,
   const Region* region = find_region(d);
   std::memcpy(out.data(), region->data.data() + offset, out.size());
   clock.advance(transfer_cost(caller_node, d.server, out.size()));
+  gets_total_->inc();
+  read_bytes_total_->inc(out.size());
   return Status::Ok();
 }
 
@@ -163,6 +178,7 @@ Result<std::uint64_t> FamService::fetch_add(sim::VirtualClock& clock,
   std::uint64_t updated = old + delta;
   std::memcpy(region.data.data() + offset, &updated, 8);
   clock.advance(transfer_cost(caller_node, d.server, 8) * 2);  // round trip
+  atomics_total_->inc();
   return old;
 }
 
@@ -183,6 +199,7 @@ Result<std::uint64_t> FamService::compare_swap(sim::VirtualClock& clock,
     std::memcpy(region.data.data() + offset, &desired, 8);
   }
   clock.advance(transfer_cost(caller_node, d.server, 8) * 2);
+  atomics_total_->inc();
   return old;
 }
 
@@ -192,6 +209,7 @@ std::uint64_t FamService::used_bytes(int server) const {
 }
 
 void FamService::fail_server(int server) {
+  server_failures_total_->inc();
   MutexLock lock(mutex_);
   auto& s = servers_[static_cast<std::size_t>(server)];
   s.alive = false;

@@ -28,6 +28,7 @@
 #include "common/thread_annotations.h"
 #include "sim/fabric.h"
 #include "sim/virtual_clock.h"
+#include "telemetry/metrics.h"
 
 namespace ids::fam {
 
@@ -46,6 +47,9 @@ struct FamOptions {
   std::vector<int> server_nodes;
   std::uint64_t server_capacity_bytes = 64ull << 20;
   sim::FabricParams fabric;
+  /// Registry the service reports ids_fam_* metrics into; nullptr means
+  /// telemetry::MetricsRegistry::global().
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class FamService {
@@ -130,6 +134,17 @@ class FamService {
   const Region* find_region(const Descriptor& d) const IDS_REQUIRES(mutex_);
 
   const FamOptions options_;  // immutable after construction
+
+  // ids_fam_* instruments, resolved once at construction (lock-free on
+  // the data path; counted only for operations that succeed).
+  telemetry::Counter* puts_total_;
+  telemetry::Counter* gets_total_;
+  telemetry::Counter* atomics_total_;
+  telemetry::Counter* written_bytes_total_;
+  telemetry::Counter* read_bytes_total_;
+  telemetry::Counter* alloc_failures_total_;
+  telemetry::Counter* server_failures_total_;
+
   mutable Mutex mutex_;
   std::vector<Server> servers_ IDS_GUARDED_BY(mutex_);
   std::unordered_map<std::string, Descriptor> names_ IDS_GUARDED_BY(mutex_);

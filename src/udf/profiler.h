@@ -24,6 +24,7 @@
 
 #include "common/thread_annotations.h"
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 
 namespace ids::udf {
 
@@ -54,14 +55,27 @@ struct UdfStats {
 
 class UdfProfiler {
  public:
-  explicit UdfProfiler(int num_ranks)
-      : per_rank_(static_cast<std::size_t>(num_ranks)) {}
+  /// `metrics` mirrors every record into the registry — an
+  /// ids_udf_exec_seconds{udf=...} histogram of modeled per-exec cost and
+  /// an ids_udf_rejects_total{udf=...} counter — so UDF latency
+  /// distributions appear in the Prometheus exposition alongside the
+  /// planner's own per-rank store. nullptr disables mirroring.
+  explicit UdfProfiler(int num_ranks,
+                       telemetry::MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics), per_rank_(static_cast<std::size_t>(num_ranks)) {}
 
   int num_ranks() const { return static_cast<int>(per_rank_.size()); }
 
   /// Records one execution on `rank`. Safe to call concurrently from
   /// different ranks, and concurrently with cross-rank readers.
   void record_exec(int rank, std::string_view name, sim::Nanos cost) {
+    if (metrics_ != nullptr) {
+      metrics_
+          ->histogram("ids_udf_exec_seconds",
+                      telemetry::latency_seconds_buckets(),
+                      {{"udf", std::string(name)}})
+          ->observe(sim::to_seconds(cost));
+    }
     Shard& shard = per_rank_[static_cast<std::size_t>(rank)];
     MutexLock lock(shard.mutex);
     auto& s = shard.stats[std::string(name)];
@@ -71,6 +85,11 @@ class UdfProfiler {
 
   /// Records that `name`'s evaluation rejected an expression on `rank`.
   void record_reject(int rank, std::string_view name) {
+    if (metrics_ != nullptr) {
+      metrics_
+          ->counter("ids_udf_rejects_total", {{"udf", std::string(name)}})
+          ->inc();
+    }
     Shard& shard = per_rank_[static_cast<std::size_t>(rank)];
     MutexLock lock(shard.mutex);
     ++shard.stats[std::string(name)].rejects;
@@ -132,6 +151,7 @@ class UdfProfiler {
     std::unordered_map<std::string, UdfStats> stats IDS_GUARDED_BY(mutex);
   };
 
+  telemetry::MetricsRegistry* metrics_;
   // mutable: const readers (get/aggregate) still lock the shard mutexes.
   mutable std::vector<Shard> per_rank_;
 };

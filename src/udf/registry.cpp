@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace ids::udf {
+
+namespace {
+
+// Process-wide registration/load counters (all registries report into the
+// global registry: these describe code-loading activity, not one engine).
+telemetry::Counter* registered_counter(const char* kind) {
+  return telemetry::MetricsRegistry::global().counter(
+      "ids_udf_registered_total", {{"kind", kind}});
+}
+
+}  // namespace
 
 bool UdfRegistry::register_static(std::string name, UdfFn fn) {
   MutexLock lock(mutex_);
@@ -12,6 +25,7 @@ bool UdfRegistry::register_static(std::string name, UdfFn fn) {
   info.fn = std::move(fn);
   info.dynamic = false;
   udfs_.emplace(std::move(name), std::move(info));
+  registered_counter("static")->inc();
   return true;
 }
 
@@ -26,6 +40,7 @@ void UdfRegistry::register_dynamic(std::string module, std::string method,
   info.dynamic = true;
   info.module_load_cost = load_cost;
   udfs_[std::move(name)] = std::move(info);
+  registered_counter("dynamic")->inc();
 }
 
 const UdfInfo* UdfRegistry::find(std::string_view name) const {
@@ -40,10 +55,18 @@ sim::Nanos UdfRegistry::charge_module_load(int rank, const UdfInfo& info) {
   MutexLock lock(mutex_);
   auto [it, inserted] = loaded_.emplace(rank, info.module);
   (void)it;
+  if (inserted) {
+    telemetry::MetricsRegistry::global()
+        .counter("ids_udf_module_loads_total", {{"module", info.module}})
+        ->inc();
+  }
   return inserted ? info.module_load_cost : 0;
 }
 
 void UdfRegistry::force_reload(std::string_view module) {
+  telemetry::MetricsRegistry::global()
+      .counter("ids_udf_module_reloads_total")
+      ->inc();
   MutexLock lock(mutex_);
   for (auto it = loaded_.begin(); it != loaded_.end();) {
     if (it->second == module) {

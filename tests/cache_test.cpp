@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <memory>
 
 #include "cache/cross_cluster.h"
 #include "cache/manager.h"
+#include "core/engine.h"
 
 namespace ids::cache {
 namespace {
@@ -311,6 +313,74 @@ TEST(CrossCluster, WritesStayLocal) {
   bridge.put(clock, 0, "local-artifact", blob(64));
   EXPECT_TRUE(b.contains("local-artifact"));
   EXPECT_FALSE(a.contains("local-artifact"));
+}
+
+// QueryResult::cache_hits/cache_misses are *derived* from the same
+// registry counters the cache manager records (telemetry equivalence):
+// summed over a cold and a warm run of the same cached INVOKE, they must
+// account for every counter increment exactly — no parallel bookkeeping.
+TEST(CacheEngineEquivalence, QueryResultCountersMatchRegistry) {
+  telemetry::MetricsRegistry reg;
+  CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.dram_capacity_bytes = 10 << 20;
+  cc.metrics = &reg;
+  cc.name = "eq";
+  CacheManager cache(cc);
+
+  constexpr int kRanks = 4;
+  auto triples = std::make_unique<graph::TripleStore>(kRanks);
+  auto features = std::make_unique<store::FeatureStore>(kRanks);
+  auto& d = triples->dict();
+  for (int i = 0; i < 10; ++i) {
+    std::string person = "person" + std::to_string(i);
+    triples->add(person, "type", "Person");
+    features->set(*d.lookup(person), "age", 20.0 + i);
+  }
+  triples->finalize();
+
+  core::EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  opts.cache = &cache;
+  core::IdsEngine eng(opts, triples.get(), features.get());
+  eng.registry().register_static(
+      "expensive",
+      [](const udf::UdfContext& ctx, std::span<const expr::Value> args) {
+        const auto* e = std::get_if<expr::Entity>(&args[0]);
+        auto age = ctx.features->get_double(e->id, "age");
+        return udf::UdfResult{age ? *age : 0.0, sim::from_seconds(30.0)};
+      });
+  core::Query q;
+  q.patterns.push_back({graph::PatternTerm::Var("x"),
+                        graph::PatternTerm::Const(*d.lookup("type")),
+                        graph::PatternTerm::Const(*d.lookup("Person"))});
+  core::InvokeClause inv;
+  inv.udf = "expensive";
+  inv.args = {expr::Expr::Var("x")};
+  inv.out_var = "v";
+  inv.use_cache = true;
+  inv.cache_prefix = "exp";
+  q.invokes.push_back(inv);
+
+  core::QueryResult cold = eng.execute(q);  // misses; results get stashed
+  core::QueryResult warm = eng.execute(q);  // every row served from cache
+
+  CacheStats cs = cache.stats();
+  EXPECT_EQ(cold.cache_misses, 10u);
+  EXPECT_EQ(cold.cache_hits + warm.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_hits, 10u);
+  EXPECT_EQ(cold.cache_hits + warm.cache_hits, cs.total_hits());
+  EXPECT_EQ(cold.cache_misses + warm.cache_misses, cs.misses);
+
+  // The stats struct itself is a view over the same registry counters.
+  EXPECT_EQ(cs.misses,
+            reg.counter("ids_cache_misses_total", {{"cache", "eq"}})->value());
+  EXPECT_EQ(cs.hits_local_dram,
+            reg.counter("ids_cache_hits_total",
+                        {{"cache", "eq"}, {"tier", "local_dram"}})
+                ->value());
+  EXPECT_EQ(cs.puts,
+            reg.counter("ids_cache_puts_total", {{"cache", "eq"}})->value());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -182,6 +183,36 @@ TEST(Stats, SampleSetPercentiles) {
   EXPECT_NEAR(s.median(), 50.5, 1e-9);
   EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-9);
   EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-9);
+}
+
+TEST(Stats, SampleSetConstPercentileMatchesMutable) {
+  SampleSet s;
+  for (double x : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(x);
+  const SampleSet& cs = s;  // const overload copies instead of sorting
+  EXPECT_NEAR(cs.median(), 3.0, 1e-9);
+  EXPECT_NEAR(cs.percentile(1.0), 5.0, 1e-9);
+  EXPECT_NEAR(s.percentile(0.5), 3.0, 1e-9);  // mutable overload agrees
+  s.add(6.0);  // const path must also work on the unsorted tail
+  EXPECT_NEAR(cs.percentile(1.0), 6.0, 1e-9);
+}
+
+TEST(Stats, RunningStatsToString) {
+  RunningStats r;
+  r.add(1.0);
+  r.add(3.0);
+  EXPECT_EQ(r.to_string(), "n=2 mean=2 min=1 max=3 sd=1.41421");
+}
+
+TEST(Logging, ShouldLogEveryNFiresOnMultiples) {
+  std::atomic<std::uint64_t> counter{0};
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (internal::should_log_every_n(&counter, 4)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // calls 0, 4, 8
+  std::atomic<std::uint64_t> every1{0};
+  EXPECT_TRUE(internal::should_log_every_n(&every1, 1));
+  EXPECT_TRUE(internal::should_log_every_n(&every1, 0));
 }
 
 TEST(Result, OkAndErrorPaths) {

@@ -39,5 +39,7 @@ check "unordered container in hot path flagged" 1 'node-based hash container' \
       --root "$repo/tools/lint_fixtures/unordered_hot"
 check "bare assert flagged" 1 'bare assert' \
       --root "$repo/tools/lint_fixtures/bare_assert"
+check "raw stdout flagged" 1 'raw stdout write' \
+      --root "$repo/tools/lint_fixtures/raw_stdout"
 
 exit $failed

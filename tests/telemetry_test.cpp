@@ -1,0 +1,634 @@
+// Telemetry tests: metrics registry (series identity, bucket edges,
+// Prometheus/JSON exposition goldens, concurrency under TSan), the query
+// tracer (span tree, cap, Chrome trace_event schema), and the engine
+// integration contract — per-stage trace spans must match
+// QueryResult::stages exactly, on the same integer-nanosecond clock.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "cache/manager.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace ids::telemetry {
+namespace {
+
+using core::EngineOptions;
+using core::IdsEngine;
+using core::Query;
+using core::QueryResult;
+using expr::Expr;
+using graph::PatternTerm;
+using graph::TermId;
+
+// ---- Minimal JSON syntax validator --------------------------------------
+// Recursive descent over the full JSON grammar; used to check that both
+// exporters emit well-formed documents without depending on a JSON lib.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+TEST(Metrics, SameSeriesReturnsSamePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("ids_t_total", {{"k", "v"}});
+  Counter* b = reg.counter("ids_t_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  a->inc();
+  a->inc(4);
+  EXPECT_EQ(b->value(), 5u);
+  EXPECT_NE(reg.counter("ids_t_total", {{"k", "w"}}), a);
+  EXPECT_NE(reg.counter("ids_t_total"), a);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("ids_t_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b = reg.counter("ids_t_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("ids_t_depth");
+  g->set(2.5);
+  g->add(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+  g->add(-4.0);
+  EXPECT_DOUBLE_EQ(g->value(), -0.5);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram* h = reg.histogram("ids_t_seconds", bounds);
+  for (double x : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) h->observe(x);
+  std::vector<std::uint64_t> counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // 0.5 and exactly-1.0: le is inclusive
+  EXPECT_EQ(counts[1], 2u);      // 1.5, 2.0
+  EXPECT_EQ(counts[2], 1u);      // 4.0
+  EXPECT_EQ(counts[3], 1u);      // 5.0 -> +Inf
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 14.0);
+}
+
+TEST(Metrics, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("ids_t_total", {{"cache", "c0"}})->inc(3);
+  reg.gauge("ids_t_depth")->set(2.5);
+  const double bounds[] = {0.1, 1.0};
+  Histogram* h = reg.histogram("ids_t_seconds", bounds);
+  // Dyadic values: the sum is exact in binary, so the golden is stable.
+  h->observe(0.0625);
+  h->observe(0.5);
+  h->observe(5.0);
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE ids_t_depth gauge\n"
+            "ids_t_depth 2.5\n"
+            "# TYPE ids_t_seconds histogram\n"
+            "ids_t_seconds_bucket{le=\"0.1\"} 1\n"
+            "ids_t_seconds_bucket{le=\"1\"} 2\n"
+            "ids_t_seconds_bucket{le=\"+Inf\"} 3\n"
+            "ids_t_seconds_sum 5.5625\n"
+            "ids_t_seconds_count 3\n"
+            "# TYPE ids_t_total counter\n"
+            "ids_t_total{cache=\"c0\"} 3\n");
+}
+
+TEST(Metrics, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("ids_t_total", {{"k", "a\"b\\c\nd"}})->inc();
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE ids_t_total counter\n"
+            "ids_t_total{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+TEST(Metrics, JsonExportIsValidAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.counter("ids_t_total")->inc(2);
+  reg.gauge("ids_t_depth")->set(1.5);
+  const double bounds[] = {1.0};
+  reg.histogram("ids_t_seconds", bounds)->observe(0.5);
+  std::string json = reg.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"name\":\"ids_t_total\",\"labels\":{},\"value\":2"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"le\":\"1\",\"count\":1}"), std::string::npos);
+}
+
+TEST(Metrics, FormatDoubleRoundTrips) {
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(2.5e-6), "2.5e-06");
+  EXPECT_EQ(format_double(1.0 / 3.0), "0.3333333333333333");
+}
+
+TEST(Metrics, ConcurrentRecordingIsExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Resolve inside the thread: registration itself must be safe too.
+      Counter* c = reg.counter("ids_t_total");
+      Histogram* h =
+          reg.histogram("ids_t_seconds", latency_seconds_buckets());
+      Gauge* g = reg.gauge("ids_t_depth");
+      for (int i = 0; i < kIters; ++i) {
+        c->inc();
+        h->observe(1e-4);
+        g->add(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto total = static_cast<std::uint64_t>(kThreads) * kIters;
+  EXPECT_EQ(reg.counter("ids_t_total")->value(), total);
+  EXPECT_EQ(
+      reg.histogram("ids_t_seconds", latency_seconds_buckets())->count(),
+      total);
+  EXPECT_DOUBLE_EQ(reg.gauge("ids_t_depth")->value(),
+                   static_cast<double>(total));
+}
+
+TEST(Metrics, CacheTierCountersOnPrivateRegistry) {
+  MetricsRegistry reg;
+  cache::CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.metrics = &reg;
+  cc.name = "t";
+  cache::CacheManager cache(cc);
+  sim::VirtualClock clock;
+  cache.put(clock, 0, "obj", std::string(100, 'a'));
+  ASSERT_TRUE(cache.get(clock, 0, "obj").has_value());
+  EXPECT_EQ(reg.counter("ids_cache_hits_total",
+                        {{"cache", "t"}, {"tier", "local_dram"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(reg.counter("ids_cache_puts_total", {{"cache", "t"}})->value(),
+            1u);
+  EXPECT_EQ(reg.counter("ids_cache_misses_total", {{"cache", "t"}})->value(),
+            0u);
+}
+
+// ---- Tracer --------------------------------------------------------------
+
+TEST(Trace, SpanTreeAndAttrs) {
+  Tracer tracer;
+  SpanId root = tracer.begin_span("query", "query", kNoSpan, -1, 0);
+  ASSERT_NE(root, kNoSpan);
+  SpanId child = tracer.begin_span("scan", "stage", root, -1, 10);
+  tracer.add_attr(child, "rows", std::uint64_t{42});
+  tracer.add_attr(child, "note", std::string_view("hi"));
+  tracer.end_span(child, 30);
+  tracer.end_span(root, 40);
+
+  std::vector<Span> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "query");
+  EXPECT_EQ(spans[0].virt_duration(), 40u);
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].virt_start, 10u);
+  EXPECT_EQ(spans[1].virt_duration(), 20u);
+  ASSERT_EQ(spans[1].attrs.size(), 2u);
+  EXPECT_EQ(spans[1].attrs[0].first, "rows");
+  EXPECT_EQ(spans[1].attrs[0].second, "42");
+  EXPECT_LE(spans[1].wall_start_ns, spans[1].wall_end_ns);
+}
+
+TEST(Trace, CapDropsExcessSpansAndNoSpanIsInert) {
+  Tracer tracer(/*max_spans=*/2);
+  EXPECT_NE(tracer.begin_span("a", "x", kNoSpan, -1, 0), kNoSpan);
+  EXPECT_NE(tracer.record_span("b", "x", kNoSpan, -1, 0, 1, 0, 1), kNoSpan);
+  EXPECT_EQ(tracer.begin_span("c", "x", kNoSpan, -1, 0), kNoSpan);
+  EXPECT_EQ(tracer.record_span("d", "x", kNoSpan, -1, 0, 1, 0, 1), kNoSpan);
+  tracer.end_span(kNoSpan, 5);                     // no-op
+  tracer.add_attr(kNoSpan, "k", std::uint64_t{1});  // no-op
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_NE(tracer.to_chrome_json().find("\"dropped_spans\":2"),
+            std::string::npos);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, ChromeJsonIsValidJson) {
+  Tracer tracer;
+  SpanId q = tracer.begin_span("query", "query", kNoSpan, -1, 0);
+  SpanId s = tracer.begin_span("scan", "stage", q, -1, 0);
+  SpanId r = tracer.begin_span("scan", "rank", s, 2, 0);
+  tracer.add_attr(r, "matches", std::uint64_t{7});
+  tracer.end_span(r, 1500);
+  tracer.end_span(s, 2000);
+  tracer.end_span(q, 2000);
+
+  std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Rank 2 maps to tid 3; the engine timeline is tid 0.
+  EXPECT_NE(json.find("\"tid\":3,\"args\":{\"name\":\"rank 2\"}"),
+            std::string::npos);
+  // Modeled times become microseconds with 3 decimals, exactly.
+  EXPECT_NE(json.find("\"ts\":0.000,\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"modeled_ns\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"matches\":\"7\""), std::string::npos);
+}
+
+TEST(Trace, TextReportTreeAndCategorySummary) {
+  Tracer tracer;
+  SpanId q = tracer.begin_span("query", "query", kNoSpan, -1, 0);
+  SpanId s = tracer.begin_span("filter", "stage", q, -1, 0);
+  tracer.end_span(s, sim::from_seconds(1.5));
+  tracer.end_span(q, sim::from_seconds(1.5));
+  std::string report = tracer.to_text_report();
+  EXPECT_NE(report.find("trace: 2 spans"), std::string::npos) << report;
+  EXPECT_NE(report.find("query"), std::string::npos);
+  EXPECT_NE(report.find("  filter"), std::string::npos);  // indented child
+  EXPECT_NE(report.find("by category (modeled seconds):"), std::string::npos);
+  EXPECT_NE(report.find("n=1"), std::string::npos);  // RunningStats summary
+}
+
+// ---- Engine integration --------------------------------------------------
+
+/// Tiny graph fixture mirroring tests/engine_test.cpp: 10 people with an
+/// age feature and a friendship ring, sharded over 4 ranks.
+class TelemetryEngineFixture : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 4;
+
+  void SetUp() override {
+    triples_ = std::make_unique<graph::TripleStore>(kRanks);
+    features_ = std::make_unique<store::FeatureStore>(kRanks);
+    auto& d = triples_->dict();
+    for (int i = 0; i < 10; ++i) {
+      std::string person = "person" + std::to_string(i);
+      triples_->add(person, "type", "Person");
+      features_->set(*d.lookup(person), "age", static_cast<double>(20 + i));
+    }
+    for (int i = 0; i < 10; ++i) {
+      triples_->add("person" + std::to_string(i), "knows",
+                    "person" + std::to_string((i + 1) % 10));
+    }
+    triples_->finalize();
+  }
+
+  PatternTerm term(const char* iri) {
+    return PatternTerm::Const(*triples_->dict().lookup(iri));
+  }
+
+  /// Scan + join + UDF filter + distinct + cached invoke + gather: every
+  /// stage kind the tracer knows about.
+  Query full_query() {
+    Query q;
+    q.patterns.push_back(
+        {PatternTerm::Var("x"), term("type"), term("Person")});
+    q.patterns.push_back(
+        {PatternTerm::Var("x"), term("knows"), PatternTerm::Var("y")});
+    q.filters.push_back(Expr::Udf("coarse", {Expr::Var("x")}));
+    q.distinct_var = "x";
+    core::InvokeClause inv;
+    inv.udf = "score";
+    inv.args = {Expr::Var("x")};
+    inv.out_var = "s";
+    inv.use_cache = true;
+    inv.cache_prefix = "score";
+    q.invokes.push_back(inv);
+    return q;
+  }
+
+  void register_udfs(IdsEngine* eng) {
+    eng->registry().register_static(
+        "coarse", [](const udf::UdfContext& ctx,
+                     std::span<const expr::Value> args) {
+          const auto* e = std::get_if<expr::Entity>(&args[0]);
+          auto age = ctx.features->get_double(e->id, "age");
+          return udf::UdfResult{age && *age >= 22.0, sim::from_millis(2)};
+        });
+    eng->registry().register_static(
+        "score", [](const udf::UdfContext& ctx,
+                    std::span<const expr::Value> args) {
+          const auto* e = std::get_if<expr::Entity>(&args[0]);
+          auto age = ctx.features->get_double(e->id, "age");
+          return udf::UdfResult{age ? *age * 2 : 0.0, sim::from_seconds(3)};
+        });
+  }
+
+  std::unique_ptr<graph::TripleStore> triples_;
+  std::unique_ptr<store::FeatureStore> features_;
+};
+
+TEST_F(TelemetryEngineFixture, StageSpansMatchQueryResultExactly) {
+  Tracer tracer;
+  MetricsRegistry reg;
+  cache::CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.metrics = &reg;
+  cache::CacheManager cache(cc);
+
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  opts.cache = &cache;
+  opts.tracer = &tracer;
+  opts.metrics = &reg;
+  IdsEngine eng(opts, triples_.get(), features_.get());
+  register_udfs(&eng);
+
+  QueryResult r = eng.execute(full_query());
+  ASSERT_GT(r.stages.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  std::vector<Span> spans = tracer.snapshot();
+  std::vector<Span> stage_spans;
+  const Span* root = nullptr;
+  for (const Span& s : spans) {
+    if (s.category == "stage") stage_spans.push_back(s);
+    if (s.category == "query") root = &s;
+  }
+  ASSERT_NE(root, nullptr);
+
+  // One stage span per StageTiming, same names, same order, and the
+  // modeled duration converts to the *identical* double.
+  ASSERT_EQ(stage_spans.size(), r.stages.size());
+  sim::Nanos cursor = 0;
+  sim::Nanos total = 0;
+  for (std::size_t i = 0; i < stage_spans.size(); ++i) {
+    EXPECT_EQ(stage_spans[i].name, r.stages[i].stage);
+    EXPECT_EQ(sim::to_seconds(stage_spans[i].virt_duration()),
+              r.stages[i].seconds)
+        << "stage " << r.stages[i].stage;
+    EXPECT_EQ(stage_spans[i].parent, root->id);
+    // Stages tile the query's modeled timeline with no gaps.
+    EXPECT_EQ(stage_spans[i].virt_start, cursor);
+    cursor = stage_spans[i].virt_end;
+    total += stage_spans[i].virt_duration();
+  }
+  EXPECT_EQ(root->virt_start, 0u);
+  EXPECT_EQ(root->virt_end, cursor);
+  EXPECT_EQ(root->virt_duration(), total);
+  EXPECT_EQ(sim::to_seconds(cursor), r.total_seconds);
+
+  // The stage list contains the expected pipeline for full_query().
+  std::vector<std::string> names;
+  names.reserve(r.stages.size());
+  for (const auto& st : r.stages) names.push_back(st.stage);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"scan", "join", "rebalance", "filter",
+                                      "distinct", "invoke:score", "gather"}));
+
+  // Per-rank operator spans hang off stage spans; per-call spans hang off
+  // rank spans.
+  bool saw_rank = false;
+  bool saw_cache_call = false;
+  bool saw_udf_call = false;
+  for (const Span& s : spans) {
+    if (s.category == "rank") {
+      saw_rank = true;
+      EXPECT_GE(s.rank, 0);
+    }
+    if (s.category == "cache") saw_cache_call = true;
+    if (s.category == "udf") saw_udf_call = true;
+  }
+  EXPECT_TRUE(saw_rank);
+  EXPECT_TRUE(saw_cache_call);
+  EXPECT_TRUE(saw_udf_call);
+
+  // The Chrome export of a real query is valid JSON.
+  EXPECT_TRUE(JsonValidator(tracer.to_chrome_json()).valid());
+
+  // QueryResult hit/miss counters are derived from the cache's registry
+  // counters, so the two must agree exactly.
+  cache::CacheStats cs = cache.stats();
+  EXPECT_EQ(r.cache_hits, cs.total_hits());
+  EXPECT_EQ(r.cache_misses, cs.misses);
+
+  // The UDF latency histogram reached the engine's private registry.
+  EXPECT_EQ(reg.histogram("ids_udf_exec_seconds", latency_seconds_buckets(),
+                          {{"udf", "score"}})
+                ->count(),
+            r.rows_invoked);
+  EXPECT_EQ(reg.counter("ids_engine_queries_total")->value(), 1u);
+}
+
+TEST_F(TelemetryEngineFixture, ExplainAndTraceAgreeOnStages) {
+  Tracer tracer;
+  MetricsRegistry reg;
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  opts.tracer = &tracer;
+  opts.metrics = &reg;
+  IdsEngine eng(opts, triples_.get(), features_.get());
+  register_udfs(&eng);
+
+  Query q = full_query();
+  q.invokes[0].use_cache = false;  // no cache configured in this engine
+  std::string plan = eng.explain(q);
+  QueryResult r = eng.execute(q);
+
+  // Every operator the plan lists shows up as a traced stage, and vice
+  // versa: scan, join, filter chain, distinct, invoke.
+  EXPECT_NE(plan.find("scan"), std::string::npos);
+  EXPECT_NE(plan.find("join"), std::string::npos);
+  EXPECT_NE(plan.find("filter chain"), std::string::npos);
+  EXPECT_NE(plan.find("distinct ?x"), std::string::npos);
+  EXPECT_NE(plan.find("invoke score"), std::string::npos);
+
+  std::vector<std::string> traced;
+  for (const Span& s : tracer.snapshot()) {
+    if (s.category == "stage") traced.push_back(s.name);
+  }
+  std::vector<std::string> timed;
+  timed.reserve(r.stages.size());
+  for (const auto& st : r.stages) timed.push_back(st.stage);
+  EXPECT_EQ(traced, timed);
+  for (std::string_view want :
+       {"scan", "join", "filter", "distinct", "invoke:score"}) {
+    EXPECT_NE(std::find(traced.begin(), traced.end(), want), traced.end())
+        << "missing stage " << want;
+  }
+
+  // The text report covers the stages too (with the stats.h summary).
+  std::string report = tracer.to_text_report();
+  EXPECT_NE(report.find("invoke:score"), std::string::npos);
+  EXPECT_NE(report.find("n="), std::string::npos);
+}
+
+TEST_F(TelemetryEngineFixture, UntracedRunRecordsNothingButSameResult) {
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  MetricsRegistry reg;
+  opts.metrics = &reg;
+
+  Tracer tracer;
+  EngineOptions traced_opts = opts;
+  traced_opts.tracer = &tracer;
+
+  Query q = full_query();
+  q.invokes[0].use_cache = false;
+
+  IdsEngine plain(opts, triples_.get(), features_.get());
+  register_udfs(&plain);
+  QueryResult a = plain.execute(q);
+
+  IdsEngine traced(traced_opts, triples_.get(), features_.get());
+  register_udfs(&traced);
+  QueryResult b = traced.execute(q);
+
+  // Tracing must not perturb the modeled result.
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].stage, b.stages[i].stage);
+    EXPECT_EQ(a.stages[i].seconds, b.stages[i].seconds);
+  }
+  EXPECT_GT(tracer.size(), 0u);
+}
+
+TEST(ThreadPoolMetrics, TasksFlowIntoGlobalRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const std::uint64_t before = reg.counter("ids_threadpool_tasks_total")->value();
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_GT(reg.counter("ids_threadpool_tasks_total")->value(), before);
+  EXPECT_GT(
+      reg.histogram("ids_threadpool_task_run_seconds",
+                    latency_seconds_buckets())
+          ->count(),
+      0u);
+}
+
+}  // namespace
+}  // namespace ids::telemetry

@@ -30,6 +30,29 @@ rm -f build-analyze-configure.log
 cmake --build build-analyze --target ids-analyzer -j "$jobs"
 build-analyze/tools/analyzer/ids-analyzer src
 
+echo "==> trace smoke (ncnpr_workflow --trace/--metrics)"
+cmake --build build-analyze --target ncnpr_workflow -j "$jobs"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+build-analyze/examples/ncnpr_workflow \
+  --trace "$smoke_dir/trace.json" --metrics "$smoke_dir/metrics.prom" \
+  > "$smoke_dir/stdout.log"
+[ -s "$smoke_dir/trace.json" ] || { echo "trace smoke: empty trace" >&2; exit 1; }
+grep -q '"traceEvents"' "$smoke_dir/trace.json" || {
+  echo "trace smoke: no traceEvents in trace.json" >&2; exit 1
+}
+grep -q '^ids_cache_hits_total{' "$smoke_dir/metrics.prom" || {
+  echo "trace smoke: cache metrics missing from exposition" >&2; exit 1
+}
+grep -q '^ids_udf_exec_seconds_bucket{' "$smoke_dir/metrics.prom" || {
+  echo "trace smoke: UDF latency histogram missing from exposition" >&2; exit 1
+}
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$smoke_dir/trace.json" > /dev/null || {
+    echo "trace smoke: trace.json is not valid JSON" >&2; exit 1
+  }
+fi
+
 build_and_test() {  # $1 = build dir, $2 = IDS_SANITIZE value
   echo "==> $2 build ($1)"
   mkdir -p "$1"

@@ -16,6 +16,12 @@
 #      IDS_CHECK / IDS_DCHECK (common/check.h), recoverable conditions
 #      return a Status. tools/analyzer enforces the same ban with full
 #      token fidelity; this regex rule keeps the signal in plain `lint`.
+#   7. Raw stdout writes (std::cout / printf / fprintf(stdout) / puts) in
+#      src/ — library code reports through IDS_LOG (stderr) or the
+#      telemetry exporters; stdout belongs to the examples and tools that
+#      own the process. src/telemetry/ is exempt (it renders the export
+#      formats); snprintf and fprintf(stderr, ...) are always fine. A
+#      deliberate use opts out with a trailing `// lint:allow-stdout`.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -138,6 +144,26 @@ while IFS= read -r f; do
   hits=$(sed 's|//.*||' "$f" | grep -nE '(^|[^_[:alnum:]])assert[[:space:]]*\(')
   if [ -n "$hits" ]; then
     fail "bare assert in $f (use IDS_CHECK/IDS_DCHECK from common/check.h, or return a Status for recoverable conditions):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 7. raw stdout writes in src/ ---------------------------------------
+# Library code must not claim the process's stdout: logs go to stderr via
+# IDS_LOG, structured data goes through the telemetry exporters (which
+# return strings). snprintf/fprintf(stderr) never match; whole-line
+# comments are skipped; `// lint:allow-stdout` opts a line out.
+while IFS= read -r f; do
+  case "$f" in
+    src/telemetry/*) continue ;;
+    src/*) ;;
+    *) continue ;;
+  esac
+  hits=$(grep -nE 'std::cout|(^|[^_[:alnum:]])printf[[:space:]]*\(|fprintf[[:space:]]*\([[:space:]]*stdout|(^|[^_[:alnum:]])puts[[:space:]]*\(' "$f" \
+           | grep -v 'lint:allow-stdout' \
+           | grep -vE '^[0-9]+:[[:space:]]*//')
+  if [ -n "$hits" ]; then
+    fail "raw stdout write in $f (log via IDS_LOG, return strings from exporters, or mark a deliberate use with // lint:allow-stdout):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

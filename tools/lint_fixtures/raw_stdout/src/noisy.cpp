@@ -1,0 +1,11 @@
+// Negative fixture for lint rule 7: library code writing to stdout. The
+// process's stdout belongs to the example/tool binary; a library that
+// printf()s corrupts pipelines (e.g. `ncnpr_workflow --metrics - | ...`)
+// and bypasses the IDS_LOG level filter.
+#include <cstdio>
+#include <iostream>
+
+void report_progress(int done, int total) {
+  std::cout << "progress " << done << "/" << total << "\n";
+  std::printf("done %d\n", done);
+}
