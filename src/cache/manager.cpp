@@ -265,11 +265,16 @@ Status CacheManager::insert_dram(sim::VirtualClock& clock, int node,
 void CacheManager::put(sim::VirtualClock& clock, int node,
                        std::string_view name, std::string payload,
                        PlacementHint hint) {
+  // Serialize the artifact *before* entering the critical section: the
+  // serialization service is a shared blocking server (the paper's §8
+  // bottleneck) and must not stall every other cache client behind
+  // mutex_. Virtual-clock advances commute, so the modeled total is
+  // unchanged.
+  charge_serialization(clock);
+
   MutexLock lock(mutex_);
   ObjectId id = object_id(name);
   charge_directory_lookup(clock, node, id);
-
-  charge_serialization(clock);
 
   auto [it, inserted] = directory_.try_emplace(id);
   Meta& meta = it->second;
@@ -302,7 +307,22 @@ void CacheManager::put(sim::VirtualClock& clock, int node,
 
 std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
                                              int node, std::string_view name) {
-  MutexLock lock(mutex_);
+  std::optional<std::string> hit;
+  {
+    MutexLock lock(mutex_);
+    hit = get_locked(clock, node, name);
+  }
+  // Deserialize the fetched artifact outside the critical section (see
+  // charge_serialization: the shared service blocks, and every hit tier
+  // pays exactly one deserialization). Advances commute, so hoisting the
+  // charge out of get_locked leaves the modeled total bit-identical.
+  if (hit.has_value()) charge_serialization(clock);
+  return hit;
+}
+
+std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
+                                                    int node,
+                                                    std::string_view name) {
   ObjectId id = object_id(name);
   charge_directory_lookup(clock, node, id);
 
@@ -326,7 +346,6 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
     touch_dram(node, id);
     tele_.hits_local_dram->inc();
     tele_.bytes_read->inc(meta.size);
-    charge_serialization(clock);
     return payload;
   }
 
@@ -340,7 +359,6 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
       touch_ssd(node, id);
       tele_.hits_local_ssd->inc();
       tele_.bytes_read->inc(meta.size);
-      charge_serialization(clock);
       return payload;
     }
     // Stale copy record (bytes vanished): drop it and fall through to the
@@ -369,7 +387,6 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       tele_.promotions->inc();
     }
-    charge_serialization(clock);
     return payload;
   }
 
@@ -388,7 +405,6 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       tele_.promotions->inc();
     }
-    charge_serialization(clock);
     return payload;
   }
 
@@ -403,7 +419,6 @@ std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
       tele_.bytes_read->inc(meta.size);
       // Best-effort re-population of the reader's DRAM.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
-      charge_serialization(clock);
       return payload;
     }
     // in_backing flag with no backing bytes: treat as the miss it is.

@@ -173,7 +173,19 @@ class CacheManager {
 
   /// Charges the per-artifact (de)serialization latency.
   /// No-op when serialization_service_seconds is 0.
-  void charge_serialization(sim::VirtualClock& clock);
+  ///
+  /// IDS_MAY_BLOCK: this models a round trip to the *shared* serialization
+  /// service the paper calls out as the cache bottleneck (§8) — in a real
+  /// deployment it stalls on the service queue, so it must never run with
+  /// mutex_ held (the [blocking-under-lock] analyzer rule enforces this;
+  /// get()/put() charge it outside their critical sections).
+  void charge_serialization(sim::VirtualClock& clock) IDS_MAY_BLOCK;
+
+  /// get() body; charge_serialization of the fetched artifact is the
+  /// caller's job, outside the critical section.
+  std::optional<std::string> get_locked(sim::VirtualClock& clock, int node,
+                                        std::string_view name)
+      IDS_REQUIRES(mutex_);
 
   // All helpers below require mutex_ held (machine-checked under Clang).
   // The placement helpers return Status instead of asserting: a directory

@@ -81,6 +81,22 @@
 #define IDS_NO_THREAD_SAFETY_ANALYSIS \
   IDS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// --- ids-analyzer contract markers (tools/analyzer, DESIGN.md §8) -----------
+//
+// These two are consumed by the in-tree interprocedural checker, not by
+// Clang: they compile to nothing on every compiler.
+
+/// Declares that a function may block (sleep, wait, join, file/process
+/// I/O, or a callee that does). Inside the function, [blocking-under-lock]
+/// findings are suppressed — the author has accepted the blocking — and
+/// for callers the function counts as a blocking sink: calling it while an
+/// ids::MutexLock is held is a finding at the call site.
+#define IDS_MAY_BLOCK
+
+/// Declares a sanctioned wall-clock read outside src/telemetry/ (e.g. log
+/// timestamps). Suppresses [wallclock-in-engine] for the function.
+#define IDS_WALLCLOCK_OK
+
 namespace ids {
 
 /// std::mutex with the capability annotation. Satisfies BasicLockable /
@@ -126,7 +142,7 @@ class CondVar {
   /// Atomically releases `mu`, waits for `pred`, reacquires `mu`. Caller
   /// must hold `mu`, and holds it again on return.
   template <typename Pred>
-  void wait(Mutex& mu, Pred pred) IDS_REQUIRES(mu) {
+  void wait(Mutex& mu, Pred pred) IDS_REQUIRES(mu) IDS_MAY_BLOCK {
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
     cv_.wait(lk, std::move(pred));
     lk.release();  // ownership stays with the caller's MutexLock
