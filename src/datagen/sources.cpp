@@ -1,9 +1,9 @@
 #include "datagen/sources.h"
 
-#include <chrono>
 #include <cstdio>
 
 #include "common/rng.h"
+#include "telemetry/trace.h"
 
 namespace ids::datagen {
 
@@ -41,7 +41,10 @@ SourceStats generate_source(graph::TripleStore* store, const SourceSpec& spec,
     preds.push_back(dict.intern(spec.name + ":pred/" + std::to_string(p)));
   }
 
-  auto t0 = std::chrono::steady_clock::now();
+  // Host-side ingest duration (Table 1), read through the telemetry
+  // layer's single wall-clock chokepoint — never a raw clock in
+  // modeled code (see DESIGN.md §8, [wallclock-in-engine]).
+  const std::uint64_t t0 = telemetry::Tracer::wall_now_ns();
   std::string subject, object;
   // Entities are reused ~8x so the graph has realistic fan-out.
   const std::uint64_t n_entities = std::max<std::uint64_t>(1, n / 8);
@@ -61,9 +64,8 @@ SourceStats generate_source(graph::TripleStore* store, const SourceSpec& spec,
     stats.raw_bytes_generated += subject.size() + object.size() + 20;
     ++stats.triples_generated;
   }
-  auto t1 = std::chrono::steady_clock::now();
   stats.ingest_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
+      static_cast<double>(telemetry::Tracer::wall_now_ns() - t0) / 1e9;
   return stats;
 }
 
