@@ -6,6 +6,8 @@
 #include <ctime>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 namespace ids {
 
 namespace {
@@ -21,7 +23,9 @@ int thread_log_id() {
 }
 
 /// ISO-8601 UTC with millisecond resolution: 2026-08-05T14:03:22.123Z.
-void format_timestamp(char* buf, std::size_t size) {
+/// Log-line timestamps are the sanctioned wall-clock read outside
+/// src/telemetry/ — they never feed modeled time.
+void format_timestamp(char* buf, std::size_t size) IDS_WALLCLOCK_OK {
   const auto now = std::chrono::system_clock::now();
   const std::time_t secs = std::chrono::system_clock::to_time_t(now);
   const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
