@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# ids-analyzer dogfooding: the checker must hold itself to its own rules,
+# and its call-graph construction must stay honest on the real tree.
+#
+#   1. `ids-analyzer tools/analyzer` exits 0 — the analyzer's own sources
+#      pass every rule (it uses Status-free plain C++, no locks, and no
+#      wall-clock reads, so a finding here is a checker bug or a real
+#      defect; either way it fails this test).
+#   2. `ids-analyzer --stats src` resolves at least 95% of call sites
+#      (resolved / (resolved + unresolved)). The unresolved bucket is
+#      expression calls like `fn_ptr()(...)` the token-stream resolver
+#      cannot name; if it grows past 5% the interprocedural rules are
+#      analyzing a fiction and the regression should fail loudly.
+#
+# Registered with ctest as `analyzer_selftest`; the binary path arrives as
+# $1 (falls back to the default build location so the script also runs
+# standalone).
+
+set -u
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+analyzer="${1:-$repo/build/tools/analyzer/ids-analyzer}"
+failed=0
+
+if [ ! -x "$analyzer" ]; then
+  echo "FAIL: ids-analyzer binary not found at $analyzer" >&2
+  exit 1
+fi
+
+out=$("$analyzer" "$repo/tools/analyzer" 2>&1)
+if [ $? -ne 0 ]; then
+  echo "FAIL [analyzer clean on itself]: findings in tools/analyzer:" >&2
+  echo "$out" | sed 's/^/    /' >&2
+  failed=1
+else
+  echo "ok   [analyzer clean on itself]"
+fi
+
+stats=$("$analyzer" --stats "$repo/src" 2>&1 >/dev/null)
+ratio=$(echo "$stats" | sed -n 's/.*resolution-ratio=\([0-9.]*\).*/\1/p')
+if [ -z "$ratio" ]; then
+  echo "FAIL [stats emitted]: no resolution-ratio in --stats output:" >&2
+  echo "$stats" | sed 's/^/    /' >&2
+  failed=1
+else
+  echo "ok   [stats emitted] (resolution-ratio=$ratio)"
+  # Compare without bc/awk float support surprises: scale to basis points.
+  bp=$(echo "$ratio" | awk '{printf "%d", $1 * 10000}')
+  if [ "$bp" -lt 9500 ]; then
+    echo "FAIL [resolution >= 95%]: ratio $ratio is below 0.95" >&2
+    failed=1
+  else
+    echo "ok   [resolution >= 95%]"
+  fi
+fi
+
+exit $failed

@@ -62,7 +62,115 @@ check "bare assert flagged" 1 'bare-assert' \
 check "IDS_CHECK and static_assert accepted" 0 'ids-analyzer: OK' \
       "$fixtures/bare_assert/good.cpp"
 
+check "cross-TU lock cycle flagged" 1 'cross-TU inconsistent lock acquisition order' \
+      "$fixtures/xfile_lock_cycle/bad.cpp" "$fixtures/xfile_lock_cycle/bad_peer.cpp"
+check "cross-TU cycle tagged xfile-lock-order" 1 'xfile-lock-order' \
+      "$fixtures/xfile_lock_cycle/bad.cpp" "$fixtures/xfile_lock_cycle/bad_peer.cpp"
+check "cross-TU hierarchy accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/xfile_lock_cycle/good.cpp" "$fixtures/xfile_lock_cycle/good_peer.cpp"
+
+check "transitive blocking under lock flagged" 1 \
+      'blocking-under-lock.*write_file.*may block' \
+      "$fixtures/blocking_under_lock/bad.cpp"
+check "direct sleep under lock flagged" 1 'sleep_for' \
+      "$fixtures/blocking_under_lock/bad.cpp"
+check "hoist / IDS_MAY_BLOCK / condvar wait accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/blocking_under_lock/good.cpp"
+
+check "wall-clock read on execute path flagged" 1 \
+      'wallclock-in-engine.*system_clock.*reachable from IdsEngine::execute' \
+      "$fixtures/wallclock_in_engine/bad.cpp"
+check "raw RNG on execute path flagged" 1 'raw randomness.*mt19937' \
+      "$fixtures/wallclock_in_engine/bad.cpp"
+check "IDS_WALLCLOCK_OK and ids::Rng accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/wallclock_in_engine/good.cpp"
+
+check "wrapper-forwarded discard flagged" 1 \
+      'wrapper-discarded-status.*forwards a Status/Result' \
+      "$fixtures/wrapper_discarded_status/bad.cpp"
+check "consumed wrapper results accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/wrapper_discarded_status/good.cpp"
+
+# --- CLI surface -------------------------------------------------------------
+
 check "no input paths is a usage error" 2 'no input paths'
 check "missing path is an IO error" 2 'cannot read' /no/such/path
+check "--list-rules names every rule" 0 'xfile-lock-order' --list-rules
+check "unknown --rule is a usage error" 2 'unknown rule' --rule=no-such-rule
+check "unknown --format is a usage error" 2 'unknown format' --format=xml \
+      "$fixtures/bare_assert/good.cpp"
+# Rule filtering: with only bare-assert enabled, the discarded-status
+# fixture is clean; with its own rule enabled it still fails.
+check "--rule disables other rules" 0 'ids-analyzer: OK' \
+      --rule=bare-assert "$fixtures/discarded_status/bad.cpp"
+check "--rule keeps the selected rule" 1 'discarded-status' \
+      --rule=discarded-status "$fixtures/discarded_status/bad.cpp"
+check "--stats reports the resolution ratio" 0 'resolution-ratio=' \
+      --stats "$fixtures/lock_order_cycle/good.cpp"
+
+# --- SARIF -------------------------------------------------------------------
+
+sarif_check() {  # $1 = label, $2 = expected exit, rest = args
+  local label="$1" want_exit="$2"
+  shift 2
+  local out
+  out=$("$analyzer" --format=sarif "$@" 2>/dev/null)
+  local got=$?
+  if [ "$got" -ne "$want_exit" ]; then
+    echo "FAIL [$label]: exit $got, wanted $want_exit" >&2
+    failed=1
+    return
+  fi
+  if ! echo "$out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["version"] == "2.1.0", "bad version"
+assert len(doc["runs"]) == 1, "expected exactly one run"
+run = doc["runs"][0]
+rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+for rid in ("discarded-status", "unchecked-value", "lock-order",
+            "bare-assert", "xfile-lock-order", "blocking-under-lock",
+            "wallclock-in-engine", "wrapper-discarded-status"):
+    assert rid in rules, "missing rule metadata: " + rid
+for res in run["results"]:
+    assert res["ruleId"] in rules
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"]
+    assert loc["region"]["startLine"] >= 1
+print(len(run["results"]))
+' >/dev/null; then
+    echo "FAIL [$label]: SARIF did not validate" >&2
+    failed=1
+  else
+    echo "ok   [$label]"
+  fi
+}
+
+if command -v python3 >/dev/null 2>&1; then
+  sarif_check "SARIF validates (findings)" 1 "$fixtures/discarded_status/bad.cpp"
+  sarif_check "SARIF validates (clean)" 0 "$fixtures/discarded_status/good.cpp"
+else
+  echo "skip [SARIF validation]: python3 not available"
+fi
+
+# --- baseline round-trip -----------------------------------------------------
+
+tmp_baseline="$(mktemp)"
+trap 'rm -f "$tmp_baseline"' EXIT
+check "baseline write still reports findings" 1 'discarded-status' \
+      --write-baseline="$tmp_baseline" "$fixtures/discarded_status/bad.cpp"
+if ! grep -q 'discarded-status|' "$tmp_baseline"; then
+  echo "FAIL [baseline file has keys]: no discarded-status key in $tmp_baseline" >&2
+  failed=1
+else
+  echo "ok   [baseline file has keys]"
+fi
+check "baselined findings suppressed" 0 'suppressed' \
+      --baseline="$tmp_baseline" "$fixtures/discarded_status/bad.cpp"
+check "baseline leaves new findings fatal" 1 'bare-assert' \
+      --baseline="$tmp_baseline" "$fixtures/discarded_status/bad.cpp" \
+      "$fixtures/bare_assert/bad.cpp"
+check "missing baseline is an IO error" 2 'cannot read baseline' \
+      --baseline=/no/such/baseline "$fixtures/discarded_status/good.cpp"
 
 exit $failed

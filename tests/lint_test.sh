@@ -41,5 +41,7 @@ check "bare assert flagged" 1 'bare assert' \
       --root "$repo/tools/lint_fixtures/bare_assert"
 check "raw stdout flagged" 1 'raw stdout write' \
       --root "$repo/tools/lint_fixtures/raw_stdout"
+check "host-side sleep flagged" 1 'host-side sleep' \
+      --root "$repo/tools/lint_fixtures/sleep_in_src"
 
 exit $failed

@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared analysis state for ids-analyzer's rules: the finding model, the
+// rule registry (stable ids + one-line summaries, exported through
+// --list-rules and the SARIF rules metadata), and the entry points the
+// driver calls. Output formatting (text / SARIF / baseline) lives in
+// output.cpp.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "corpus.h"
+
+namespace ids::analyzer {
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the analyzer knows, in documentation order. Ids are stable:
+/// they appear in findings, --rule= filters, baselines, and SARIF.
+const std::vector<RuleInfo>& rule_table();
+bool known_rule(const std::string& id);
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;             // first line of the finding
+  std::vector<std::string> notes;  // extra context lines (cycle edges)
+  bool suppressed = false;         // matched the baseline
+};
+
+struct Analysis {
+  const Corpus* corpus = nullptr;
+  const CallGraph* graph = nullptr;
+  /// Rules selected via --rule=; empty means all rules run.
+  std::set<std::string> enabled;
+  std::vector<Finding> findings;
+
+  bool rule_enabled(const std::string& id) const {
+    return enabled.empty() || enabled.count(id) != 0;
+  }
+  void report(const std::string& rule, const FileData& f, int line,
+              std::string msg, std::vector<std::string> notes = {}) {
+    if (!rule_enabled(rule)) return;
+    findings.push_back(
+        {rule, f.path, line, std::move(msg), std::move(notes), false});
+  }
+};
+
+/// File-local rules ported from the v1 analyzer: [discarded-status] (with
+/// [wrapper-discarded-status] attribution when the return kind was
+/// inferred through a forwarding wrapper), [unchecked-value],
+/// [bare-assert].
+void run_local_rules(Analysis& a);
+
+/// Interprocedural rules over the call graph: [lock-order] /
+/// [xfile-lock-order] (whole-program acquisition-order cycles and
+/// self-deadlock), [blocking-under-lock], [wallclock-in-engine].
+void run_interproc_rules(Analysis& a);
+
+/// Stable ordering for output and baselines: path, line, rule, message.
+void sort_findings(std::vector<Finding>& findings);
+
+}  // namespace ids::analyzer

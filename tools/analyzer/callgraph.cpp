@@ -1,0 +1,165 @@
+#include "callgraph.h"
+
+#include <deque>
+
+namespace ids::analyzer {
+namespace {
+
+/// Receiver class of the member call at `idx` (token after '.'/'->'), or
+/// "" when the receiver cannot be typed.
+std::string receiver_class(const FileData& f, std::size_t idx,
+                           const std::string& cur_class,
+                           const Corpus& corpus) {
+  if (idx < 2) return "";
+  if (!tok_is(f.toks[idx - 1], ".") && !tok_is(f.toks[idx - 1], "->")) {
+    return "";
+  }
+  if (!tok_ident(f.toks[idx - 2])) return "";
+  const std::string& recv = f.toks[idx - 2].text;
+  if (recv == "this") return cur_class;
+  auto mi = corpus.members.find(cur_class);
+  if (mi != corpus.members.end()) {
+    auto ri = mi->second.find(recv);
+    if (ri != mi->second.end()) return ri->second;
+  }
+  return "";
+}
+
+}  // namespace
+
+CallTargets resolve_targets(const FileData& f, std::size_t idx,
+                            const std::string& cur_class,
+                            const Corpus& corpus) {
+  using Kind = CallTargets::Kind;
+  if (const MergedFunc* m = resolve_call(f, idx, cur_class, corpus)) {
+    return {Kind::kUnique, {m}};
+  }
+  const std::string& name = f.toks[idx].text;
+  const bool member_call =
+      idx >= 1 &&
+      (tok_is(f.toks[idx - 1], ".") || tok_is(f.toks[idx - 1], "->"));
+  if (member_call &&
+      !receiver_class(f, idx, cur_class, corpus).empty()) {
+    // Typed receiver whose class has no such method: the call targets code
+    // outside the corpus (std::unique_ptr::get, std::vector::size, ...).
+    return {Kind::kExternal, {}};
+  }
+  if (!member_call && idx >= 2 && tok_is(f.toks[idx - 1], "::") &&
+      tok_ident(f.toks[idx - 2]) &&
+      corpus.classes.count(f.toks[idx - 2].text)) {
+    return {Kind::kExternal, {}};  // Class:: qualifier, method not recorded
+  }
+  auto bi = corpus.by_name.find(name);
+  if (bi == corpus.by_name.end()) return {Kind::kExternal, {}};
+  const std::size_t argc = call_arg_count(f, idx + 1);
+  std::vector<const MergedFunc*> cands;
+  for (const MergedFunc* m : bi->second) {
+    if (m->arity_compatible(argc)) cands.push_back(m);
+  }
+  if (cands.empty()) {
+    // The name exists in the corpus but no declaration admits this
+    // argument count: an external name collision (e.g. `w.join()` vs the
+    // corpus's two-argument string join).
+    return {Kind::kExternal, {}};
+  }
+  return {Kind::kOverapprox, std::move(cands)};
+}
+
+void for_each_call(
+    const FuncDecl& fn, const Corpus& corpus,
+    const std::function<void(std::size_t, const CallTargets&)>& visit) {
+  const FileData& f = *fn.file;
+  // '(' indices that open a lambda parameter list — `](...)` is a lambda
+  // introducer, not a call through the preceding ']'.
+  std::set<std::size_t> lambda_parens;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    if (!tok_is(f.toks[i], "[")) continue;
+    const bool subscript =
+        i > fn.body_begin &&
+        (tok_ident(f.toks[i - 1]) || tok_is(f.toks[i - 1], ")") ||
+         tok_is(f.toks[i - 1], "]"));
+    if (subscript) continue;
+    std::size_t close = f.partner[i];
+    if (close != kNone && close + 1 < fn.body_end &&
+        tok_is(f.toks[close + 1], "(")) {
+      lambda_parens.insert(close + 1);
+    }
+  }
+  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!tok_is(f.toks[i + 1], "(")) continue;
+    if (tok_ident(f.toks[i])) {
+      const std::string& name = f.toks[i].text;
+      if (is_keyword(name) || is_macro_name(name)) continue;
+      // `Type var(init)` is a declaration, not a call: the name right
+      // before the parens is preceded by another (non-keyword) identifier.
+      if (i > fn.body_begin && tok_ident(f.toks[i - 1]) &&
+          !is_keyword(f.toks[i - 1].text)) {
+        continue;
+      }
+      visit(i, resolve_targets(f, i, fn.klass, corpus));
+    } else if ((tok_is(f.toks[i], ")") || tok_is(f.toks[i], "]")) &&
+               lambda_parens.count(i + 1) == 0) {
+      visit(i + 1, {CallTargets::Kind::kUnresolved, {}});
+    }
+  }
+}
+
+void CallGraph::build(const Corpus& corpus) {
+  stats.decls = corpus.funcs.size();
+  for (const auto& [klass, fns] : corpus.merged) {
+    (void)klass;
+    stats.functions += fns.size();
+  }
+  std::set<std::pair<const MergedFunc*, const MergedFunc*>> seen;
+  for (const FuncDecl& fn : corpus.funcs) {
+    if (!fn.has_body()) continue;
+    stats.bodies += 1;
+    auto ci = corpus.merged.find(fn.klass);
+    if (ci == corpus.merged.end()) continue;
+    auto fi = ci->second.find(fn.name);
+    if (fi == ci->second.end()) continue;
+    const MergedFunc* caller = &fi->second;
+    for_each_call(fn, corpus, [&](std::size_t, const CallTargets& ct) {
+      stats.call_sites += 1;
+      switch (ct.kind) {
+        case CallTargets::Kind::kUnique:
+          stats.resolved_unique += 1;
+          break;
+        case CallTargets::Kind::kOverapprox:
+          stats.resolved_overapprox += 1;
+          break;
+        case CallTargets::Kind::kExternal:
+          stats.external += 1;
+          break;
+        case CallTargets::Kind::kUnresolved:
+          stats.unresolved += 1;
+          break;
+      }
+      for (const MergedFunc* target : ct.targets) {
+        if (seen.insert({caller, target}).second) stats.edges += 1;
+        out[caller].insert(target);
+        if (ct.kind == CallTargets::Kind::kUnique) {
+          out_unique[caller].insert(target);
+        }
+      }
+    });
+  }
+}
+
+std::set<const MergedFunc*> CallGraph::reachable_from(
+    const std::vector<const MergedFunc*>& roots) const {
+  std::set<const MergedFunc*> seen(roots.begin(), roots.end());
+  std::deque<const MergedFunc*> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    const MergedFunc* u = queue.front();
+    queue.pop_front();
+    auto it = out.find(u);
+    if (it == out.end()) continue;
+    for (const MergedFunc* v : it->second) {
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return seen;
+}
+
+}  // namespace ids::analyzer

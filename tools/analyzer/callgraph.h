@@ -1,0 +1,94 @@
+#pragma once
+
+// Whole-program call graph for ids-analyzer. Nodes are MergedFunc entries
+// from the corpus; edges come from scanning every recorded function body
+// for call sites and resolving each one:
+//
+//   unique      typed resolution (member call on a typed receiver, a
+//               Class::qualified call, the current class, or a globally
+//               unique name) — exactly one target.
+//   overapprox  virtual-call over-approximation: an untyped receiver or an
+//               ambiguous free name fans out to every corpus function with
+//               that name whose declared arity admits the argument count.
+//   external    provably outside the corpus: unknown name, a typed
+//               receiver whose class has no such method (smart-pointer
+//               `.get()`, container `.size()`), or an arity-incompatible
+//               name collision.
+//   unresolved  a call through an expression we cannot name — function
+//               pointers, functors, `tasks[i]()` — the honest residue the
+//               resolution ratio reports.
+//
+// The interprocedural rules consume the edge set for fixed-point summary
+// propagation (may-acquire, may-block, reachability) and re-classify call
+// sites token-by-token while walking bodies.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus.h"
+
+namespace ids::analyzer {
+
+struct CallTargets {
+  enum class Kind { kUnique, kOverapprox, kExternal, kUnresolved };
+  Kind kind = Kind::kExternal;
+  std::vector<const MergedFunc*> targets;  // empty for external/unresolved
+};
+
+/// Classifies the call whose callee-name token sits at `idx` (see the
+/// taxonomy above). `idx` must point at an identifier followed by '('.
+CallTargets resolve_targets(const FileData& f, std::size_t idx,
+                            const std::string& cur_class,
+                            const Corpus& corpus);
+
+/// Walks `fn`'s body and invokes `visit(tok, ct)` for every call site:
+/// `tok` is the callee-name token index for named calls, or the index of
+/// the '(' for calls through an expression (ct.kind == kUnresolved).
+/// Lambda introducers and declaration-style `Type var(init)` idents are
+/// not call sites and are skipped.
+void for_each_call(
+    const FuncDecl& fn, const Corpus& corpus,
+    const std::function<void(std::size_t, const CallTargets&)>& visit);
+
+struct CallGraphStats {
+  std::size_t decls = 0;       // FuncDecl records (declarations+definitions)
+  std::size_t functions = 0;   // merged (class, name) entries
+  std::size_t bodies = 0;      // definitions with a body
+  std::size_t call_sites = 0;
+  std::size_t edges = 0;       // distinct caller->callee pairs
+  std::size_t resolved_unique = 0;
+  std::size_t resolved_overapprox = 0;
+  std::size_t external = 0;
+  std::size_t unresolved = 0;
+
+  /// Share of in-corpus-bindable call sites the graph actually bound:
+  /// resolved / (resolved + unresolved). External calls are out of scope
+  /// by construction and do not count against the analyzer.
+  double resolution_ratio() const {
+    const std::size_t resolved = resolved_unique + resolved_overapprox;
+    const std::size_t denom = resolved + unresolved;
+    return denom == 0 ? 1.0 : static_cast<double>(resolved) / denom;
+  }
+};
+
+struct CallGraph {
+  /// caller -> callees, over unique + overapprox resolutions.
+  std::map<const MergedFunc*, std::set<const MergedFunc*>> out;
+  /// Edges from unique resolutions only — the subgraph the lock/blocking
+  /// summaries propagate over (over-approximated edges would manufacture
+  /// un-actionable findings).
+  std::map<const MergedFunc*, std::set<const MergedFunc*>> out_unique;
+  CallGraphStats stats;
+
+  void build(const Corpus& corpus);
+
+  /// Forward reachability over `out` (the over-approximated graph).
+  std::set<const MergedFunc*> reachable_from(
+      const std::vector<const MergedFunc*>& roots) const;
+};
+
+}  // namespace ids::analyzer

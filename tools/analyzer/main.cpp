@@ -1,953 +1,131 @@
 // ids-analyzer: the repository's compiled static checker.
 //
 // No libclang: the binary lexes the given sources itself (lexer.h), builds
-// a corpus-wide symbol table (which functions return Status/Result, which
-// carry IDS_REQUIRES/IDS_EXCLUDES contracts, which members have which
-// class types), and then runs four file-local dataflow rules over every
-// recognized function body:
+// a corpus-wide symbol table plus a whole-program call graph
+// (corpus.{h,cpp}, callgraph.{h,cpp}), and runs two rule families:
 //
-//   [discarded-status]  every Status/Result return value must be consumed
-//                       or explicitly discarded via IDS_IGNORE_ERROR(...);
-//                       a `(void)` cast is not an approved discard.
-//   [unchecked-value]   no Result::value() / .status().message() without a
-//                       dominating ok() check in the same function.
-//   [lock-order]        lock acquisition order must be globally consistent:
-//                       MutexLock acquisitions plus callee IDS_EXCLUDES
-//                       contracts build a lock graph; any cycle fails, as
-//                       does calling a function that IDS_EXCLUDES a lock
-//                       the caller currently holds (self-deadlock).
-//   [bare-assert]       assert( is banned; use IDS_CHECK / IDS_DCHECK or
-//                       return a Status for recoverable conditions.
+// file-local (rules_local.cpp):
+//   [discarded-status]          every Status/Result return value must be
+//                               consumed or wrapped in IDS_IGNORE_ERROR;
+//                               a `(void)` cast is not an approved discard.
+//   [wrapper-discarded-status]  the same, escalated through thin wrappers
+//                               that forward their callee's Status/Result.
+//   [unchecked-value]           no Result::value() / .status().message()
+//                               without a dominating ok() check.
+//   [bare-assert]               assert( is banned; use IDS_CHECK/IDS_DCHECK
+//                               or return a Status.
+//
+// interprocedural (rules_interproc.cpp):
+//   [lock-order]                lock acquisition order must be globally
+//                               consistent (MutexLock + IDS_EXCLUDES +
+//                               propagated acquisition summaries).
+//   [xfile-lock-order]          the same, for chains that cross files.
+//   [blocking-under-lock]       no call transitively reaching a blocking
+//                               sink while a MutexLock is held
+//                               (IDS_MAY_BLOCK escapes).
+//   [wallclock-in-engine]       no wall-clock reads outside src/telemetry/,
+//                               no raw randomness reachable from
+//                               IdsEngine::execute (IDS_WALLCLOCK_OK
+//                               escapes).
 //
 // The analysis is deliberately conservative: a call it cannot resolve
 // (ambiguous name, receiver of unknown type, operator overload) is skipped
 // rather than guessed at, so a finding is always actionable.
 //
-// Exit codes: 0 clean, 1 findings, 2 usage / IO error.
+// Exit codes: 0 clean (or all findings baseline-suppressed), 1 findings,
+// 2 usage / IO error.
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "lexer.h"
+#include "analysis.h"
+#include "callgraph.h"
+#include "corpus.h"
+#include "output.h"
 
 namespace ids::analyzer {
 namespace {
-
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-struct FileData {
-  std::string path;
-  std::vector<Token> toks;
-  std::vector<std::size_t> partner;  // open<->close indices for () {} []
-};
-
-enum class Ret { kOther, kStatus, kResult };
-
-struct FuncDecl {
-  std::string name;
-  std::string klass;  // enclosing class, or "Class" from Class::name; "" = free
-  Ret ret = Ret::kOther;
-  std::vector<std::string> excludes;       // raw IDS_EXCLUDES args
-  std::vector<std::string> requires_held;  // raw IDS_REQUIRES args
-  const FileData* file = nullptr;
-  std::size_t body_begin = 0, body_end = 0;  // token range; begin==end: none
-  int line = 0;
-  bool has_body() const { return body_end > body_begin; }
-};
-
-/// Merged view of all declarations of (class, name): definitions usually
-/// repeat neither the annotations nor the return type spelling of the
-/// header declaration, so resolution wants the union.
-struct MergedFunc {
-  std::string name, klass;
-  bool saw_status = false, saw_result = false, saw_other = false;
-  std::vector<std::string> excludes, requires_held;
-
-  Ret ret() const {
-    // Overload sets that disagree are treated as unresolvable.
-    if (saw_status && !saw_result && !saw_other) return Ret::kStatus;
-    if (saw_result && !saw_status && !saw_other) return Ret::kResult;
-    return Ret::kOther;
-  }
-  bool ambiguous_ret() const {
-    return (saw_status || saw_result) && saw_other;
-  }
-};
-
-struct MemberSpan {
-  std::string klass;
-  const FileData* file = nullptr;
-  std::size_t begin = 0, end = 0;
-};
-
-struct Corpus {
-  std::vector<std::unique_ptr<FileData>> files;
-  std::vector<FuncDecl> funcs;  // one per declaration/definition, in order
-  std::set<std::string> classes;
-  std::vector<MemberSpan> member_spans;
-  // Resolved after all files are parsed:
-  std::map<std::string, std::map<std::string, MergedFunc>> merged;  // class->name
-  std::map<std::string, std::vector<const MergedFunc*>> by_name;
-  std::map<std::string, std::map<std::string, std::string>> members;  // class->member->class
-};
-
-bool is_keyword(const std::string& s) {
-  static const std::set<std::string> kKw = {
-      "if", "while", "for", "switch", "return", "do", "else", "case",
-      "default", "break", "continue", "goto", "co_return", "co_await",
-      "co_yield", "throw", "new", "delete", "sizeof", "alignof", "typeid",
-      "catch", "try", "using", "typedef", "static_assert", "decltype",
-      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
-      "operator", "public", "private", "protected", "this"};
-  return kKw.count(s) != 0;
-}
-
-bool is_macro_name(const std::string& s) {
-  return s.rfind("IDS_", 0) == 0 || s == "RETURN_IF_ERROR" ||
-         s == "ASSIGN_OR_RETURN";
-}
-
-bool tok_is(const Token& t, const char* text) { return t.text == text; }
-bool tok_ident(const Token& t) { return t.kind == Token::Kind::kIdent; }
-
-/// Lock name resolution: a bare `mu_` in class C becomes "C::mu_" so two
-/// classes that both call their lock `mutex_` stay distinct graph nodes.
-std::string qualify_lock(const std::string& lock, const std::string& klass) {
-  if (klass.empty()) return lock;
-  if (lock.find("::") != std::string::npos ||
-      lock.find('.') != std::string::npos ||
-      lock.find("->") != std::string::npos) {
-    return lock;
-  }
-  return klass + "::" + lock;
-}
-
-// ---------------------------------------------------------------------------
-// Parsing: one linear scan per file, recursing into class and namespace
-// bodies, recording function declarations/definitions and class-member
-// declaration spans. Function *bodies* are recorded, not recursed into;
-// the rules walk them later.
-// ---------------------------------------------------------------------------
-
-void compute_partners(FileData& f) {
-  f.partner.assign(f.toks.size(), kNone);
-  std::vector<std::size_t> stack;
-  for (std::size_t i = 0; i < f.toks.size(); ++i) {
-    const std::string& t = f.toks[i].text;
-    if (f.toks[i].kind != Token::Kind::kPunct) continue;
-    if (t == "(" || t == "{" || t == "[") {
-      stack.push_back(i);
-    } else if (t == ")" || t == "}" || t == "]") {
-      const char open = t == ")" ? '(' : (t == "}" ? '{' : '[');
-      // Tolerate mismatches: pop until the matching opener kind.
-      while (!stack.empty() && f.toks[stack.back()].text[0] != open) {
-        stack.pop_back();
-      }
-      if (!stack.empty()) {
-        f.partner[stack.back()] = i;
-        f.partner[i] = stack.back();
-        stack.pop_back();
-      }
-    }
-  }
-}
-
-/// Skips a template parameter list starting at `i` (which may or may not
-/// point at '<'); returns the index after the closing '>'.
-std::size_t skip_template_params(const FileData& f, std::size_t i,
-                                 std::size_t end) {
-  if (i >= end || !tok_is(f.toks[i], "<")) return i;
-  int depth = 0;
-  while (i < end) {
-    const std::string& t = f.toks[i].text;
-    if (t == "<") depth += 1;
-    else if (t == ">") depth -= 1;
-    else if (t == ">>") depth -= 2;
-    ++i;
-    if (depth <= 0) break;
-  }
-  return i;
-}
-
-/// Splits annotation-macro arguments: tokens between the parens, separated
-/// at top-level commas, each joined into a single string ("mu", "a.mu_").
-std::vector<std::string> annotation_args(const FileData& f, std::size_t open) {
-  std::vector<std::string> out;
-  std::size_t close = f.partner[open];
-  if (close == kNone) return out;
-  std::string cur;
-  int depth = 0;
-  for (std::size_t i = open + 1; i < close; ++i) {
-    const std::string& t = f.toks[i].text;
-    if (t == "(") ++depth;
-    if (t == ")") --depth;
-    if (t == "," && depth == 0) {
-      if (!cur.empty()) out.push_back(cur);
-      cur.clear();
-      continue;
-    }
-    cur += t;
-  }
-  if (!cur.empty()) out.push_back(cur);
-  return out;
-}
-
-/// Return-type classification for the declarator whose name token is at
-/// `name_idx`: walk back over `Class::` qualifiers, then look at the token
-/// just before — `Status` or `Result<...>`.
-Ret classify_return(const FileData& f, std::size_t name_idx) {
-  std::size_t q = name_idx;
-  while (q >= 2 && tok_is(f.toks[q - 1], "::") && tok_ident(f.toks[q - 2])) {
-    q -= 2;
-  }
-  if (q == 0) return Ret::kOther;
-  std::size_t k = q - 1;
-  if (tok_is(f.toks[k], "Status")) return Ret::kStatus;
-  if (tok_is(f.toks[k], ">") || tok_is(f.toks[k], ">>")) {
-    int depth = 0;
-    std::size_t m = k;
-    while (true) {
-      const std::string& t = f.toks[m].text;
-      if (t == ">") depth += 1;
-      else if (t == ">>") depth += 2;
-      else if (t == "<") depth -= 1;
-      if (depth <= 0) break;
-      if (m == 0) return Ret::kOther;
-      --m;
-    }
-    if (m >= 1 && tok_is(f.toks[m - 1], "Result")) return Ret::kResult;
-  }
-  return Ret::kOther;
-}
-
-void scan_range(FileData& f, std::size_t begin, std::size_t end,
-                const std::string& cur_class, Corpus& corpus);
-
-/// Parses one function declarator whose name token is at `i` (followed by
-/// '('). Records the FuncDecl and returns the index to resume scanning at.
-std::size_t handle_declarator(FileData& f, std::size_t i, std::size_t end,
-                              const std::string& cur_class, Corpus& corpus) {
-  FuncDecl fn;
-  fn.name = f.toks[i].text;
-  fn.klass = cur_class;
-  fn.file = &f;
-  fn.line = f.toks[i].line;
-  if (i >= 2 && tok_is(f.toks[i - 1], "::") && tok_ident(f.toks[i - 2])) {
-    fn.klass = f.toks[i - 2].text;  // out-of-line Class::name definition
-  }
-  fn.ret = classify_return(f, i);
-
-  std::size_t open = i + 1;
-  if (f.partner[open] == kNone) return i + 2;  // unbalanced; bail
-  std::size_t p = f.partner[open] + 1;
-
-  auto record = [&](std::size_t resume) {
-    corpus.funcs.push_back(fn);
-    return resume;
-  };
-
-  while (p < end) {
-    const Token& t = f.toks[p];
-    if (tok_ident(t)) {
-      if (t.text == "const" || t.text == "override" || t.text == "final" ||
-          t.text == "mutable" || t.text == "volatile") {
-        ++p;
-      } else if (t.text == "noexcept") {
-        if (p + 1 < end && tok_is(f.toks[p + 1], "(") &&
-            f.partner[p + 1] != kNone) {
-          p = f.partner[p + 1] + 1;
-        } else {
-          ++p;
-        }
-      } else if (t.text.rfind("IDS_", 0) == 0) {
-        if (p + 1 < end && tok_is(f.toks[p + 1], "(") &&
-            f.partner[p + 1] != kNone) {
-          auto args = annotation_args(f, p + 1);
-          if (t.text == "IDS_EXCLUDES") {
-            fn.excludes = std::move(args);
-          } else if (t.text == "IDS_REQUIRES" ||
-                     t.text == "IDS_REQUIRES_SHARED") {
-            fn.requires_held = std::move(args);
-          }
-          p = f.partner[p + 1] + 1;
-        } else {
-          ++p;
-        }
-      } else {
-        // Unrecognized trailing ident (e.g. a type we misparsed): record
-        // what we have and let the caller rescan from here.
-        return record(p);
-      }
-    } else if (tok_is(t, "&") || tok_is(t, "&&")) {
-      ++p;
-    } else if (tok_is(t, "[") && f.partner[p] != kNone) {
-      p = f.partner[p] + 1;  // [[attribute]]
-    } else if (tok_is(t, "->")) {
-      ++p;  // trailing return type: skip to '{' or ';'
-      while (p < end && !tok_is(f.toks[p], "{") && !tok_is(f.toks[p], ";")) {
-        if ((tok_is(f.toks[p], "(") || tok_is(f.toks[p], "[")) &&
-            f.partner[p] != kNone) {
-          p = f.partner[p] + 1;
-        } else {
-          ++p;
-        }
-      }
-    } else if (tok_is(t, "=")) {
-      p += 2;  // = default / = delete / = 0
-    } else if (tok_is(t, ":")) {
-      // Constructor init list: member(init) and member{init} items, then
-      // the body brace (whose predecessor is ')' or '}').
-      ++p;
-      while (p < end) {
-        if (tok_is(f.toks[p], "{")) {
-          if (p > 0 && tok_ident(f.toks[p - 1])) {
-            if (f.partner[p] == kNone) return record(p + 1);
-            p = f.partner[p] + 1;  // brace-init of a member
-          } else {
-            break;  // function body
-          }
-        } else if (tok_is(f.toks[p], "(") && f.partner[p] != kNone) {
-          p = f.partner[p] + 1;
-        } else {
-          ++p;
-        }
-      }
-    } else if (tok_is(t, "{")) {
-      if (f.partner[p] == kNone) return record(p + 1);
-      fn.body_begin = p + 1;
-      fn.body_end = f.partner[p];
-      return record(f.partner[p] + 1);
-    } else if (tok_is(t, ";") || tok_is(t, ",")) {
-      return record(p + 1);
-    } else {
-      return record(p);  // something we don't model; stop cleanly
-    }
-  }
-  return record(end);
-}
-
-void handle_class(FileData& f, std::size_t i, std::size_t end,
-                  const std::string& cur_class, Corpus& corpus,
-                  std::size_t* resume) {
-  std::size_t j = i + 1;
-  // Skip [[attributes]], alignas(...), and IDS_* annotation macros between
-  // the class keyword and the name.
-  while (j < end) {
-    const Token& t = f.toks[j];
-    if (tok_is(t, "[") && f.partner[j] != kNone) {
-      j = f.partner[j] + 1;
-    } else if (tok_ident(t) && (t.text.rfind("IDS_", 0) == 0 ||
-                                t.text == "alignas")) {
-      if (j + 1 < end && tok_is(f.toks[j + 1], "(") &&
-          f.partner[j + 1] != kNone) {
-        j = f.partner[j + 1] + 1;
-      } else {
-        ++j;
-      }
-    } else {
-      break;
-    }
-  }
-  std::string name;
-  if (j < end && tok_ident(f.toks[j])) {
-    name = f.toks[j].text;
-    corpus.classes.insert(name);
-    ++j;
-  }
-  std::size_t k = j;
-  while (k < end && !tok_is(f.toks[k], "{") && !tok_is(f.toks[k], ";")) {
-    if ((tok_is(f.toks[k], "(") || tok_is(f.toks[k], "[")) &&
-        f.partner[k] != kNone) {
-      k = f.partner[k] + 1;
-    } else {
-      ++k;
-    }
-  }
-  if (k < end && tok_is(f.toks[k], "{") && f.partner[k] != kNone) {
-    scan_range(f, k + 1, f.partner[k], name.empty() ? cur_class : name,
-               corpus);
-    *resume = f.partner[k] + 1;
-  } else {
-    *resume = k < end ? k + 1 : end;
-  }
-}
-
-void scan_range(FileData& f, std::size_t begin, std::size_t end,
-                const std::string& cur_class, Corpus& corpus) {
-  std::size_t span_start = kNone;
-  auto flush_span = [&](std::size_t span_end) {
-    if (span_start != kNone && !cur_class.empty() && span_end > span_start) {
-      corpus.member_spans.push_back({cur_class, &f, span_start, span_end});
-    }
-    span_start = kNone;
-  };
-  std::size_t i = begin;
-  while (i < end) {
-    const Token& t = f.toks[i];
-    if (tok_ident(t)) {
-      if (t.text == "template") {
-        span_start = kNone;
-        i = skip_template_params(f, i + 1, end);
-        continue;
-      }
-      if (t.text == "namespace") {
-        span_start = kNone;
-        std::size_t j = i + 1;
-        while (j < end && !tok_is(f.toks[j], "{") && !tok_is(f.toks[j], ";")) {
-          ++j;
-        }
-        if (j < end && tok_is(f.toks[j], "{") && f.partner[j] != kNone) {
-          scan_range(f, j + 1, f.partner[j], cur_class, corpus);
-          i = f.partner[j] + 1;
-        } else {
-          i = j < end ? j + 1 : end;
-        }
-        continue;
-      }
-      if (t.text == "class" || t.text == "struct" || t.text == "union") {
-        span_start = kNone;
-        std::size_t resume = i + 1;
-        handle_class(f, i, end, cur_class, corpus, &resume);
-        i = resume;
-        continue;
-      }
-      if (t.text == "enum") {
-        span_start = kNone;
-        std::size_t j = i + 1;
-        while (j < end && !tok_is(f.toks[j], "{") && !tok_is(f.toks[j], ";")) {
-          ++j;
-        }
-        if (j < end && tok_is(f.toks[j], "{") && f.partner[j] != kNone) {
-          i = f.partner[j] + 1;  // enumerators are not members
-        } else {
-          i = j < end ? j + 1 : end;
-        }
-        continue;
-      }
-      if (t.text == "using" || t.text == "typedef" ||
-          t.text == "static_assert") {
-        span_start = kNone;
-        std::size_t j = i + 1;
-        while (j < end && !tok_is(f.toks[j], ";")) {
-          if ((tok_is(f.toks[j], "(") || tok_is(f.toks[j], "{") ||
-               tok_is(f.toks[j], "[")) &&
-              f.partner[j] != kNone) {
-            j = f.partner[j] + 1;
-          } else {
-            ++j;
-          }
-        }
-        i = j < end ? j + 1 : end;
-        continue;
-      }
-      // Function declarator candidate: ident immediately followed by '('.
-      if (i + 1 < end && tok_is(f.toks[i + 1], "(") && !is_keyword(t.text) &&
-          !is_macro_name(t.text)) {
-        span_start = kNone;
-        i = handle_declarator(f, i, end, cur_class, corpus);
-        continue;
-      }
-    } else if (tok_is(t, "{")) {
-      // Block we did not recognize (operator overload body, extern "C",
-      // ...): skip it opaquely.
-      span_start = kNone;
-      if (f.partner[i] != kNone) {
-        i = f.partner[i] + 1;
-      } else {
-        ++i;
-      }
-      continue;
-    } else if (tok_is(t, ";")) {
-      flush_span(i);
-      ++i;
-      continue;
-    }
-    if (span_start == kNone) span_start = i;
-    ++i;
-  }
-}
-
-/// Pass B: resolve member declaration spans into class->member->class once
-/// every class name in the corpus is known.
-void resolve_members(Corpus& corpus) {
-  for (const MemberSpan& s : corpus.member_spans) {
-    const FileData& f = *s.file;
-    std::size_t b = s.begin, e = s.end;
-    // Strip trailing IDS_* annotation groups: `T name_ IDS_GUARDED_BY(mu_)`.
-    while (e > b && tok_is(f.toks[e - 1], ")") && f.partner[e - 1] != kNone) {
-      std::size_t o = f.partner[e - 1];
-      if (o > b && tok_ident(f.toks[o - 1]) &&
-          f.toks[o - 1].text.rfind("IDS_", 0) == 0) {
-        e = o - 1;
-      } else {
-        break;
-      }
-    }
-    bool has_paren = false;
-    for (std::size_t i = b; i < e; ++i) {
-      if (tok_is(f.toks[i], "(")) has_paren = true;
-    }
-    if (has_paren) continue;  // operator decls, function pointers, ...
-    std::string member, klass;
-    for (std::size_t i = b; i < e; ++i) {
-      if (!tok_ident(f.toks[i])) continue;
-      if (klass.empty() && corpus.classes.count(f.toks[i].text)) {
-        klass = f.toks[i].text;
-      }
-      if (!is_keyword(f.toks[i].text)) member = f.toks[i].text;
-    }
-    if (!member.empty() && !klass.empty() && member != klass) {
-      corpus.members[s.klass][member] = klass;
-    }
-  }
-}
-
-void build_merged(Corpus& corpus) {
-  for (const FuncDecl& fn : corpus.funcs) {
-    MergedFunc& m = corpus.merged[fn.klass][fn.name];
-    m.name = fn.name;
-    m.klass = fn.klass;
-    switch (fn.ret) {
-      case Ret::kStatus: m.saw_status = true; break;
-      case Ret::kResult: m.saw_result = true; break;
-      case Ret::kOther: m.saw_other = true; break;
-    }
-    if (!fn.excludes.empty()) m.excludes = fn.excludes;
-    if (!fn.requires_held.empty()) m.requires_held = fn.requires_held;
-  }
-  for (auto& [klass, fns] : corpus.merged) {
-    for (auto& [name, m] : fns) corpus.by_name[name].push_back(&m);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Call resolution shared by the rules.
-// ---------------------------------------------------------------------------
-
-/// Resolves the call whose callee-name token sits at `idx` to a unique
-/// MergedFunc, or nullptr when the analysis cannot be sure (unknown
-/// receiver type, ambiguous overload set across classes).
-const MergedFunc* resolve_call(const FileData& f, std::size_t idx,
-                               const std::string& cur_class,
-                               const Corpus& corpus) {
-  const std::string& name = f.toks[idx].text;
-  auto in_class = [&](const std::string& c) -> const MergedFunc* {
-    auto ci = corpus.merged.find(c);
-    if (ci == corpus.merged.end()) return nullptr;
-    auto fi = ci->second.find(name);
-    return fi == ci->second.end() ? nullptr : &fi->second;
-  };
-  if (idx >= 2 &&
-      (tok_is(f.toks[idx - 1], ".") || tok_is(f.toks[idx - 1], "->"))) {
-    if (!tok_ident(f.toks[idx - 2])) return nullptr;
-    const std::string& recv = f.toks[idx - 2].text;
-    std::string c;
-    if (recv == "this") {
-      c = cur_class;
-    } else {
-      auto mi = corpus.members.find(cur_class);
-      if (mi != corpus.members.end()) {
-        auto ri = mi->second.find(recv);
-        if (ri != mi->second.end()) c = ri->second;
-      }
-    }
-    if (c.empty()) return nullptr;  // receiver of unknown type
-    return in_class(c);
-  }
-  if (idx >= 2 && tok_is(f.toks[idx - 1], "::") && tok_ident(f.toks[idx - 2])) {
-    const std::string& qual = f.toks[idx - 2].text;
-    if (corpus.classes.count(qual)) return in_class(qual);
-    // Namespace qualifier: fall through to the global lookup.
-  } else if (!cur_class.empty()) {
-    if (const MergedFunc* m = in_class(cur_class)) return m;
-  }
-  auto bi = corpus.by_name.find(name);
-  if (bi == corpus.by_name.end() || bi->second.size() != 1) return nullptr;
-  return bi->second[0];
-}
-
-/// Like resolve_call but answers only "what does this call return" —
-/// usable when the call is ambiguous across classes yet every overload
-/// agrees on the return kind.
-Ret resolve_ret(const FileData& f, std::size_t idx,
-                const std::string& cur_class, const Corpus& corpus) {
-  if (const MergedFunc* m = resolve_call(f, idx, cur_class, corpus)) {
-    return m->ambiguous_ret() ? Ret::kOther : m->ret();
-  }
-  // A member call whose receiver we could not type (a local variable, a
-  // nested chain) must not fall back to the global name table: `x.f()` on
-  // an unrelated type would inherit f's corpus-wide return kind.
-  if (idx >= 1 &&
-      (tok_is(f.toks[idx - 1], ".") || tok_is(f.toks[idx - 1], "->"))) {
-    return Ret::kOther;
-  }
-  auto bi = corpus.by_name.find(f.toks[idx].text);
-  if (bi == corpus.by_name.end() || bi->second.empty()) return Ret::kOther;
-  Ret r = bi->second[0]->ret();
-  for (const MergedFunc* m : bi->second) {
-    if (m->ambiguous_ret() || m->ret() != r) return Ret::kOther;
-  }
-  return r;
-}
-
-// ---------------------------------------------------------------------------
-// Rules.
-// ---------------------------------------------------------------------------
-
-struct LockGraph {
-  std::map<std::string, std::set<std::string>> adj;
-  std::map<std::string, std::string> edge_loc;  // "a\0b" -> "file:line"
-
-  void add_edge(const std::string& a, const std::string& b,
-                const std::string& file, int line) {
-    if (a == b) return;
-    adj[a].insert(b);
-    adj[b];  // ensure the node exists for deterministic iteration
-    std::string key = a + '\0' + b;
-    if (!edge_loc.count(key)) {
-      edge_loc[key] = file + ":" + std::to_string(line);
-    }
-  }
-};
-
-struct Analysis {
-  const Corpus* corpus = nullptr;
-  std::vector<std::string> findings;
-  LockGraph locks;
-
-  void report(const FileData& f, int line, const char* rule,
-              const std::string& msg) {
-    findings.push_back(f.path + ":" + std::to_string(line) + ": [" + rule +
-                       "] " + msg);
-  }
-};
-
-/// Statement boundaries inside a body: split at top-level ';' and at every
-/// brace (nested blocks and lambda bodies fall out as their own
-/// statements; an unbalanced tail is tolerated).
-std::vector<std::pair<std::size_t, std::size_t>> statements(
-    const FileData& f, std::size_t begin, std::size_t end) {
-  std::vector<std::pair<std::size_t, std::size_t>> out;
-  std::size_t start = begin;
-  int depth = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const std::string& t = f.toks[i].text;
-    if (f.toks[i].kind == Token::Kind::kPunct) {
-      if (t == "(") ++depth;
-      else if (t == ")") depth = std::max(0, depth - 1);
-      else if (t == "{" || t == "}") {
-        if (i > start) out.emplace_back(start, i);
-        start = i + 1;
-        depth = 0;
-        continue;
-      } else if (t == ";" && depth == 0) {
-        if (i > start) out.emplace_back(start, i);
-        start = i + 1;
-        continue;
-      }
-    }
-  }
-  if (end > start) out.emplace_back(start, end);
-  return out;
-}
-
-/// [discarded-status]: a statement that is exactly a call to a function
-/// known to return Status/Result, with nothing consuming the value.
-void rule_discarded(const FileData& f, const FuncDecl& fn,
-                    const std::string& cur_class, Analysis& a) {
-  for (auto [sb, se] : statements(f, fn.body_begin, fn.body_end)) {
-    std::size_t b = sb;
-    bool void_cast = false;
-    if (se - b >= 3 && tok_is(f.toks[b], "(") && tok_is(f.toks[b + 1], "void") &&
-        tok_is(f.toks[b + 2], ")")) {
-      void_cast = true;
-      b += 3;
-    }
-    if (se <= b) continue;
-    if (tok_ident(f.toks[b]) && is_keyword(f.toks[b].text)) continue;
-    // Assignment anywhere at paren depth 0 consumes the value.
-    {
-      int depth = 0;
-      bool assigned = false;
-      for (std::size_t i = b; i < se; ++i) {
-        const std::string& t = f.toks[i].text;
-        if (f.toks[i].kind != Token::Kind::kPunct) continue;
-        if (t == "(") ++depth;
-        else if (t == ")") --depth;
-        else if (depth == 0 && (t == "=" || t == "+=" || t == "-=" ||
-                                t == "*=" || t == "/=" || t == "%=" ||
-                                t == "&=" || t == "|=" || t == "^=")) {
-          assigned = true;
-          break;
-        }
-      }
-      if (assigned) continue;
-    }
-    // The statement must be exactly `chain(args)`: find the first '(',
-    // require its close to end the statement and the callee chain to start
-    // the statement.
-    std::size_t open = kNone;
-    for (std::size_t i = b; i < se; ++i) {
-      if (tok_is(f.toks[i], "(")) {
-        open = i;
-        break;
-      }
-    }
-    if (open == kNone || open == b) continue;
-    if (f.partner[open] == kNone || f.partner[open] != se - 1) continue;
-    std::size_t name_idx = open - 1;
-    if (!tok_ident(f.toks[name_idx])) continue;
-    // Walk the receiver chain back to the statement start.
-    std::size_t k = name_idx;
-    while (k >= b + 2 &&
-           (tok_is(f.toks[k - 1], ".") || tok_is(f.toks[k - 1], "->") ||
-            tok_is(f.toks[k - 1], "::")) &&
-           tok_ident(f.toks[k - 2])) {
-      k -= 2;
-    }
-    if (k != b) continue;  // something else precedes the call expression
-    const std::string& callee = f.toks[name_idx].text;
-    if (is_macro_name(callee) || is_keyword(callee)) continue;
-    if (resolve_ret(f, name_idx, cur_class, *a.corpus) == Ret::kOther) {
-      continue;
-    }
-    a.report(f, f.toks[name_idx].line, "discarded-status",
-             void_cast
-                 ? "'(void)' is not an approved discard of '" + callee +
-                       "'; wrap the call in IDS_IGNORE_ERROR(...)"
-                 : "return value of '" + callee +
-                       "' (Status/Result) is discarded; consume it or wrap "
-                       "the call in IDS_IGNORE_ERROR(...)");
-  }
-}
-
-/// [unchecked-value]: Result::value() / .status().message() on a variable
-/// initialized from a Result-returning call, with no `v.ok()` appearing
-/// earlier in the function.
-void rule_unchecked_value(const FileData& f, const FuncDecl& fn,
-                          const std::string& cur_class, Analysis& a) {
-  std::map<std::string, bool> tracked;  // var -> ok() seen
-  for (auto [sb, se] : statements(f, fn.body_begin, fn.body_end)) {
-    // Uses and checks first, in token order within the statement.
-    for (std::size_t i = sb; i + 3 < se; ++i) {
-      if (!tok_ident(f.toks[i])) continue;
-      auto ti = tracked.find(f.toks[i].text);
-      if (ti == tracked.end()) continue;
-      if (!tok_is(f.toks[i + 1], ".") && !tok_is(f.toks[i + 1], "->")) {
-        continue;
-      }
-      const std::string& mem = f.toks[i + 2].text;
-      if (!tok_is(f.toks[i + 3], "(")) continue;
-      if (mem == "ok") {
-        ti->second = true;
-      } else if (mem == "value" && !ti->second) {
-        a.report(f, f.toks[i].line, "unchecked-value",
-                 "'" + ti->first +
-                     ".value()' without a dominating '" + ti->first +
-                     ".ok()' check in this function");
-      } else if (mem == "status" && !ti->second) {
-        std::size_t close = f.partner[i + 3];
-        if (close != kNone && close + 2 < se &&
-            tok_is(f.toks[close + 1], ".") &&
-            tok_is(f.toks[close + 2], "message")) {
-          a.report(f, f.toks[i].line, "unchecked-value",
-                   "'" + ti->first + ".status().message()' without a "
-                   "dominating '" + ti->first + ".ok()' check");
-        }
-      }
-    }
-    // Then assignment tracking: `V = <first call returning Result>(...)`.
-    int depth = 0;
-    for (std::size_t i = sb; i < se; ++i) {
-      const std::string& t = f.toks[i].text;
-      if (f.toks[i].kind == Token::Kind::kPunct) {
-        if (t == "(") ++depth;
-        else if (t == ")") depth = std::max(0, depth - 1);
-      }
-      if (depth != 0 || !tok_is(f.toks[i], "=") || i <= sb) continue;
-      if (!tok_ident(f.toks[i - 1]) || is_keyword(f.toks[i - 1].text)) break;
-      const std::string var = f.toks[i - 1].text;
-      for (std::size_t j = i + 1; j + 1 < se; ++j) {
-        if (tok_ident(f.toks[j]) && tok_is(f.toks[j + 1], "(") &&
-            !is_keyword(f.toks[j].text) && !is_macro_name(f.toks[j].text)) {
-          if (resolve_ret(f, j, cur_class, *a.corpus) == Ret::kResult) {
-            tracked[var] = false;  // (re)assigned: check required again
-          }
-          break;  // only the outermost/first call decides
-        }
-      }
-      break;  // one assignment per statement is enough
-    }
-  }
-}
-
-/// [lock-order]: MutexLock acquisitions plus callee IDS_EXCLUDES contracts
-/// build a global lock graph; calling a function that excludes a held lock
-/// is an immediate violation.
-void rule_lock_order(const FileData& f, const FuncDecl& fn,
-                     const std::string& cur_class, Analysis& a) {
-  const Corpus& corpus = *a.corpus;
-  std::set<std::string> held;
-  if (auto ci = corpus.merged.find(fn.klass); ci != corpus.merged.end()) {
-    if (auto fi = ci->second.find(fn.name); fi != ci->second.end()) {
-      for (const std::string& r : fi->second.requires_held) {
-        held.insert(qualify_lock(r, fn.klass));
-      }
-    }
-  }
-  auto resolve_lock = [&](std::size_t open) -> std::string {
-    std::size_t close = f.partner[open];
-    if (close == kNone || close <= open + 1) return "";
-    if (close == open + 2 && tok_ident(f.toks[open + 1])) {
-      return qualify_lock(f.toks[open + 1].text, cur_class);
-    }
-    if (close == open + 4 && tok_ident(f.toks[open + 1]) &&
-        (tok_is(f.toks[open + 2], ".") || tok_is(f.toks[open + 2], "->")) &&
-        tok_ident(f.toks[open + 3])) {
-      const std::string& recv = f.toks[open + 1].text;
-      auto mi = corpus.members.find(cur_class);
-      if (mi != corpus.members.end()) {
-        auto ri = mi->second.find(recv);
-        if (ri != mi->second.end()) {
-          return ri->second + "::" + f.toks[open + 3].text;
-        }
-      }
-    }
-    std::string joined;
-    for (std::size_t i = open + 1; i < close; ++i) joined += f.toks[i].text;
-    return joined;
-  };
-
-  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
-    if (!tok_ident(f.toks[i])) continue;
-    const std::string& name = f.toks[i].text;
-    if (name == "MutexLock" && i + 2 < fn.body_end &&
-        tok_ident(f.toks[i + 1]) && tok_is(f.toks[i + 2], "(")) {
-      std::string node = resolve_lock(i + 2);
-      if (!node.empty()) {
-        for (const std::string& h : held) {
-          a.locks.add_edge(h, node, f.path, f.toks[i].line);
-        }
-        held.insert(node);
-      }
-      if (f.partner[i + 2] != kNone) i = f.partner[i + 2];
-      continue;
-    }
-    if (!tok_is(f.toks[i + 1], "(") || is_keyword(name) ||
-        is_macro_name(name) || name == "MutexLock") {
-      continue;
-    }
-    const MergedFunc* callee = resolve_call(f, i, cur_class, corpus);
-    if (!callee || callee->excludes.empty()) continue;
-    for (const std::string& raw : callee->excludes) {
-      std::string m = qualify_lock(raw, callee->klass);
-      if (held.count(m)) {
-        a.report(f, f.toks[i].line, "lock-order",
-                 "call to '" + callee->klass + "::" + callee->name +
-                     "' which IDS_EXCLUDES '" + m +
-                     "' while '" + m + "' is held (self-deadlock)");
-      } else {
-        for (const std::string& h : held) {
-          a.locks.add_edge(h, m, f.path, f.toks[i].line);
-        }
-      }
-    }
-  }
-}
-
-/// [bare-assert]: any `assert(` token pair, anywhere in the file.
-void rule_bare_assert(const FileData& f, Analysis& a) {
-  for (std::size_t i = 0; i + 1 < f.toks.size(); ++i) {
-    if (tok_ident(f.toks[i]) && f.toks[i].text == "assert" &&
-        tok_is(f.toks[i + 1], "(")) {
-      a.report(f, f.toks[i].line, "bare-assert",
-               "bare assert(); use IDS_CHECK / IDS_DCHECK for invariants or "
-               "return a Status for recoverable conditions");
-    }
-  }
-}
-
-/// Lock-graph cycle detection (iterative DFS, deterministic order).
-void report_lock_cycles(Analysis& a) {
-  const auto& adj = a.locks.adj;
-  std::map<std::string, int> state;  // 0 white, 1 gray, 2 black
-  std::vector<std::string> path;
-  std::set<std::string> reported;
-
-  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
-    state[u] = 1;
-    path.push_back(u);
-    auto it = adj.find(u);
-    if (it != adj.end()) {
-      for (const std::string& v : it->second) {
-        if (state[v] == 1) {
-          auto pos = std::find(path.begin(), path.end(), v);
-          std::vector<std::string> cycle(pos, path.end());
-          // Normalize: rotate so the lexicographically-smallest lock leads.
-          auto mn = std::min_element(cycle.begin(), cycle.end());
-          std::rotate(cycle.begin(), mn, cycle.end());
-          std::string desc;
-          for (const std::string& n : cycle) desc += n + " -> ";
-          desc += cycle.front();
-          if (reported.insert(desc).second) {
-            std::ostringstream msg;
-            msg << "ids-analyzer: [lock-order] inconsistent lock "
-                   "acquisition order: "
-                << desc;
-            for (std::size_t i = 0; i < cycle.size(); ++i) {
-              const std::string& from = cycle[i];
-              const std::string& to = cycle[(i + 1) % cycle.size()];
-              auto li = a.locks.edge_loc.find(from + '\0' + to);
-              if (li != a.locks.edge_loc.end()) {
-                msg << "\n  edge " << from << " -> " << to
-                    << " established at " << li->second;
-              }
-            }
-            a.findings.push_back(msg.str());
-          }
-        } else if (state[v] == 0) {
-          dfs(v);
-        }
-      }
-    }
-    path.pop_back();
-    state[u] = 2;
-  };
-  for (const auto& [node, _] : adj) {
-    if (state[node] == 0) dfs(node);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-// ---------------------------------------------------------------------------
 
 bool analyzable(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
 }
 
+void usage(std::ostream& os) {
+  os << "usage: ids-analyzer [OPTIONS] PATH...\n"
+     << "Analyzes .h/.hpp/.cc/.cpp files (directories are walked "
+        "recursively)\nfor the IDS error-handling, locking, and "
+        "determinism discipline.\n\nOptions:\n"
+     << "  --list-rules          print every rule id + summary and exit 0\n"
+     << "  --rule=ID             run only this rule (repeatable)\n"
+     << "  --format=text|sarif   output format (default: text)\n"
+     << "  --baseline=FILE       suppress findings matching the baseline\n"
+     << "  --write-baseline=FILE write current findings as a baseline\n"
+     << "  --stats               print corpus/call-graph statistics to "
+        "stderr\n\nExit 0 = clean (or fully suppressed), 1 = findings, "
+        "2 = usage/IO error.\n";
+}
+
 int run(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::set<std::string> enabled;
+  std::string format = "text";
+  std::string baseline_path, write_baseline_path;
+  bool want_stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--") continue;
     if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: ids-analyzer PATH...\n"
-                << "Analyzes .h/.hpp/.cc/.cpp files (directories are walked "
-                   "recursively)\nfor the IDS error-handling and locking "
-                   "discipline. Exit 0 = clean,\n1 = findings, 2 = usage/IO "
-                   "error.\n";
+      usage(std::cout);
       return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_table()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--rule=", 0) == 0) {
+      std::string id = arg.substr(7);
+      if (!known_rule(id)) {
+        std::cerr << "ids-analyzer: unknown rule '" << id
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      enabled.insert(id);
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "sarif") {
+        std::cerr << "ids-analyzer: unknown format '" << format
+                  << "' (expected text or sarif)\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg == "--stats") {
+      want_stats = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ids-analyzer: unknown option '" << arg
+                << "' (try --help)\n";
+      return 2;
     }
     paths.push_back(arg);
   }
@@ -990,37 +168,65 @@ int run(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    auto fd = std::make_unique<FileData>();
-    fd->path = path;
-    fd->toks = lex(ss.str());
-    compute_partners(*fd);
-    corpus.files.push_back(std::move(fd));
+    corpus.add_file(path, ss.str());
   }
-  for (auto& fd : corpus.files) {
-    scan_range(*fd, 0, fd->toks.size(), "", corpus);
-  }
-  resolve_members(corpus);
-  build_merged(corpus);
+  corpus.finalize();
+
+  CallGraph graph;
+  graph.build(corpus);
 
   Analysis a;
   a.corpus = &corpus;
-  for (const auto& fd : corpus.files) rule_bare_assert(*fd, a);
-  for (const FuncDecl& fn : corpus.funcs) {
-    if (!fn.has_body()) continue;
-    rule_discarded(*fn.file, fn, fn.klass, a);
-    rule_unchecked_value(*fn.file, fn, fn.klass, a);
-    rule_lock_order(*fn.file, fn, fn.klass, a);
-  }
-  report_lock_cycles(a);
+  a.graph = &graph;
+  a.enabled = enabled;
+  run_local_rules(a);
+  run_interproc_rules(a);
+  sort_findings(a.findings);
 
-  for (const std::string& finding : a.findings) std::cout << finding << "\n";
-  if (!a.findings.empty()) {
-    std::cerr << "ids-analyzer: " << a.findings.size() << " finding(s) in "
-              << corpus.files.size() << " file(s)\n";
+  if (!baseline_path.empty()) {
+    std::set<std::string> keys;
+    if (!load_baseline(baseline_path, &keys)) return 2;
+    apply_baseline(keys, &a.findings);
+  }
+  if (!write_baseline_path.empty()) {
+    if (!write_baseline(write_baseline_path, a.findings)) return 2;
+  }
+
+  if (want_stats) {
+    const CallGraphStats& s = graph.stats;
+    std::fprintf(stderr,
+                 "ids-analyzer stats: files=%zu decls=%zu functions=%zu "
+                 "bodies=%zu\n"
+                 "  call-sites=%zu edges=%zu resolved-unique=%zu "
+                 "resolved-overapprox=%zu external=%zu unresolved=%zu\n"
+                 "  resolution-ratio=%.4f (resolved / (resolved + "
+                 "unresolved))\n",
+                 corpus.files.size(), s.decls, s.functions, s.bodies,
+                 s.call_sites, s.edges, s.resolved_unique,
+                 s.resolved_overapprox, s.external, s.unresolved,
+                 s.resolution_ratio());
+  }
+
+  if (format == "sarif") {
+    print_sarif(std::cout, a.findings);
+  } else {
+    print_text(std::cout, a.findings);
+  }
+
+  std::size_t active = 0, suppressed = 0;
+  for (const Finding& fd : a.findings) {
+    (fd.suppressed ? suppressed : active) += 1;
+  }
+  if (active > 0) {
+    std::cerr << "ids-analyzer: " << active << " finding(s)";
+    if (suppressed > 0) std::cerr << " (+" << suppressed << " suppressed)";
+    std::cerr << " in " << corpus.files.size() << " file(s)\n";
     return 1;
   }
   std::cerr << "ids-analyzer: OK (" << corpus.files.size() << " files, "
-            << corpus.funcs.size() << " functions)\n";
+            << corpus.funcs.size() << " functions";
+  if (suppressed > 0) std::cerr << ", " << suppressed << " suppressed";
+  std::cerr << ")\n";
   return 0;
 }
 

@@ -1,0 +1,41 @@
+#pragma once
+
+// Finding emission for ids-analyzer: human text, SARIF 2.1.0 JSON, and
+// the baseline/suppression workflow. A baseline entry is
+// `rule|path|message` with every digit run squashed to '#' so line-number
+// drift does not invalidate it; `--baseline=FILE` marks matching findings
+// suppressed (exit 0 when everything is suppressed), `--write-baseline=`
+// emits the current findings in that format.
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace ids::analyzer {
+
+/// Baseline key for a finding (digit runs in path/message squashed).
+std::string baseline_key(const Finding& fd);
+
+/// Loads baseline keys from `path` ('#'-comment and blank lines skipped).
+/// Returns false (with a message on stderr) when the file cannot be read.
+bool load_baseline(const std::string& path, std::set<std::string>* keys);
+
+/// Marks findings whose key appears in `keys` as suppressed.
+void apply_baseline(const std::set<std::string>& keys,
+                    std::vector<Finding>* findings);
+
+/// Writes the deduplicated keys of all (unsuppressed) findings to `path`.
+bool write_baseline(const std::string& path,
+                    const std::vector<Finding>& findings);
+
+void print_text(std::ostream& os, const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0: one run, tool.driver.rules metadata for every rule in
+/// rule_table(), one result per unsuppressed finding (suppressed findings
+/// are emitted with suppressions[].kind = "external").
+void print_sarif(std::ostream& os, const std::vector<Finding>& findings);
+
+}  // namespace ids::analyzer

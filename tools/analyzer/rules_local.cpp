@@ -1,0 +1,186 @@
+// File-local rules: [discarded-status] / [wrapper-discarded-status],
+// [unchecked-value], [bare-assert]. These need only the corpus symbol
+// tables, not the call graph; the interprocedural escalation of the
+// discard rule happens through the corpus's wrapper return-kind inference
+// (corpus.cpp) — a discarded call whose Status-ness was *inferred* through
+// a thin forwarding wrapper is attributed to [wrapper-discarded-status].
+
+#include <algorithm>
+#include <map>
+
+#include "analysis.h"
+
+namespace ids::analyzer {
+namespace {
+
+/// [discarded-status]: a statement that is exactly a call to a function
+/// known to return Status/Result, with nothing consuming the value.
+void rule_discarded(const FileData& f, const FuncDecl& fn,
+                    const std::string& cur_class, Analysis& a) {
+  for (auto [sb, se] : statements(f, fn.body_begin, fn.body_end)) {
+    std::size_t b = sb;
+    bool void_cast = false;
+    if (se - b >= 3 && tok_is(f.toks[b], "(") &&
+        tok_is(f.toks[b + 1], "void") && tok_is(f.toks[b + 2], ")")) {
+      void_cast = true;
+      b += 3;
+    }
+    if (se <= b) continue;
+    if (tok_ident(f.toks[b]) && is_keyword(f.toks[b].text)) continue;
+    // Assignment anywhere at paren depth 0 consumes the value.
+    {
+      int depth = 0;
+      bool assigned = false;
+      for (std::size_t i = b; i < se; ++i) {
+        const std::string& t = f.toks[i].text;
+        if (f.toks[i].kind != Token::Kind::kPunct) continue;
+        if (t == "(") ++depth;
+        else if (t == ")") --depth;
+        else if (depth == 0 && (t == "=" || t == "+=" || t == "-=" ||
+                                t == "*=" || t == "/=" || t == "%=" ||
+                                t == "&=" || t == "|=" || t == "^=")) {
+          assigned = true;
+          break;
+        }
+      }
+      if (assigned) continue;
+    }
+    // The statement must be exactly `chain(args)`: find the first '(',
+    // require its close to end the statement and the callee chain to start
+    // the statement.
+    std::size_t open = kNone;
+    for (std::size_t i = b; i < se; ++i) {
+      if (tok_is(f.toks[i], "(")) {
+        open = i;
+        break;
+      }
+    }
+    if (open == kNone || open == b) continue;
+    if (f.partner[open] == kNone || f.partner[open] != se - 1) continue;
+    std::size_t name_idx = open - 1;
+    if (!tok_ident(f.toks[name_idx])) continue;
+    // Walk the receiver chain back to the statement start.
+    std::size_t k = name_idx;
+    while (k >= b + 2 &&
+           (tok_is(f.toks[k - 1], ".") || tok_is(f.toks[k - 1], "->") ||
+            tok_is(f.toks[k - 1], "::")) &&
+           tok_ident(f.toks[k - 2])) {
+      k -= 2;
+    }
+    if (k != b) continue;  // something else precedes the call expression
+    const std::string& callee = f.toks[name_idx].text;
+    if (is_macro_name(callee) || is_keyword(callee)) continue;
+    bool inferred = false;
+    if (resolve_ret(f, name_idx, cur_class, *a.corpus, &inferred) ==
+        Ret::kOther) {
+      continue;
+    }
+    const std::string rule =
+        inferred ? "wrapper-discarded-status" : "discarded-status";
+    std::string msg;
+    if (void_cast) {
+      msg = "'(void)' is not an approved discard of '" + callee +
+            "'; wrap the call in IDS_IGNORE_ERROR(...)";
+    } else if (inferred) {
+      msg = "return value of '" + callee +
+            "' is discarded; it forwards a Status/Result from its callee — "
+            "consume it or wrap the call in IDS_IGNORE_ERROR(...)";
+    } else {
+      msg = "return value of '" + callee +
+            "' (Status/Result) is discarded; consume it or wrap the call "
+            "in IDS_IGNORE_ERROR(...)";
+    }
+    a.report(rule, f, f.toks[name_idx].line, std::move(msg));
+  }
+}
+
+/// [unchecked-value]: Result::value() / .status().message() on a variable
+/// initialized from a Result-returning call, with no `v.ok()` appearing
+/// earlier in the function.
+void rule_unchecked_value(const FileData& f, const FuncDecl& fn,
+                          const std::string& cur_class, Analysis& a) {
+  std::map<std::string, bool> tracked;  // var -> ok() seen
+  for (auto [sb, se] : statements(f, fn.body_begin, fn.body_end)) {
+    // Uses and checks first, in token order within the statement.
+    for (std::size_t i = sb; i + 3 < se; ++i) {
+      if (!tok_ident(f.toks[i])) continue;
+      auto ti = tracked.find(f.toks[i].text);
+      if (ti == tracked.end()) continue;
+      if (!tok_is(f.toks[i + 1], ".") && !tok_is(f.toks[i + 1], "->")) {
+        continue;
+      }
+      const std::string& mem = f.toks[i + 2].text;
+      if (!tok_is(f.toks[i + 3], "(")) continue;
+      if (mem == "ok") {
+        ti->second = true;
+      } else if (mem == "value" && !ti->second) {
+        a.report("unchecked-value", f, f.toks[i].line,
+                 "'" + ti->first + ".value()' without a dominating '" +
+                     ti->first + ".ok()' check in this function");
+      } else if (mem == "status" && !ti->second) {
+        std::size_t close = f.partner[i + 3];
+        if (close != kNone && close + 2 < se &&
+            tok_is(f.toks[close + 1], ".") &&
+            tok_is(f.toks[close + 2], "message")) {
+          a.report("unchecked-value", f, f.toks[i].line,
+                   "'" + ti->first + ".status().message()' without a "
+                   "dominating '" + ti->first + ".ok()' check");
+        }
+      }
+    }
+    // Then assignment tracking: `V = <first call returning Result>(...)`.
+    int depth = 0;
+    for (std::size_t i = sb; i < se; ++i) {
+      const std::string& t = f.toks[i].text;
+      if (f.toks[i].kind == Token::Kind::kPunct) {
+        if (t == "(") ++depth;
+        else if (t == ")") depth = std::max(0, depth - 1);
+      }
+      if (depth != 0 || !tok_is(f.toks[i], "=") || i <= sb) continue;
+      if (!tok_ident(f.toks[i - 1]) || is_keyword(f.toks[i - 1].text)) break;
+      const std::string var = f.toks[i - 1].text;
+      for (std::size_t j = i + 1; j + 1 < se; ++j) {
+        if (tok_ident(f.toks[j]) && tok_is(f.toks[j + 1], "(") &&
+            !is_keyword(f.toks[j].text) && !is_macro_name(f.toks[j].text)) {
+          if (resolve_ret(f, j, cur_class, *a.corpus) == Ret::kResult) {
+            tracked[var] = false;  // (re)assigned: check required again
+          }
+          break;  // only the outermost/first call decides
+        }
+      }
+      break;  // one assignment per statement is enough
+    }
+  }
+}
+
+/// [bare-assert]: any `assert(` token pair, anywhere in the file.
+void rule_bare_assert(const FileData& f, Analysis& a) {
+  for (std::size_t i = 0; i + 1 < f.toks.size(); ++i) {
+    if (tok_ident(f.toks[i]) && f.toks[i].text == "assert" &&
+        tok_is(f.toks[i + 1], "(")) {
+      a.report("bare-assert", f, f.toks[i].line,
+               "bare assert(); use IDS_CHECK / IDS_DCHECK for invariants or "
+               "return a Status for recoverable conditions");
+    }
+  }
+}
+
+}  // namespace
+
+void run_local_rules(Analysis& a) {
+  const Corpus& corpus = *a.corpus;
+  if (a.rule_enabled("bare-assert")) {
+    for (const auto& fd : corpus.files) rule_bare_assert(*fd, a);
+  }
+  const bool discard = a.rule_enabled("discarded-status") ||
+                       a.rule_enabled("wrapper-discarded-status");
+  const bool unchecked = a.rule_enabled("unchecked-value");
+  if (!discard && !unchecked) return;
+  for (const FuncDecl& fn : corpus.funcs) {
+    if (!fn.has_body()) continue;
+    if (discard) rule_discarded(*fn.file, fn, fn.klass, a);
+    if (unchecked) rule_unchecked_value(*fn.file, fn, fn.klass, a);
+  }
+}
+
+}  // namespace ids::analyzer

@@ -1,0 +1,38 @@
+// Fixture (negative): blocking work inside a critical section. Two
+// shapes ids-analyzer must flag under [blocking-under-lock]:
+//   1. Store::flush calls write_file while holding Store::mu_, and
+//      write_file transitively blocks (it opens a std::ofstream) — the
+//      interprocedural summary carries the sink to the call site.
+//   2. Store::nap sleeps directly (std::this_thread::sleep_for is an
+//      external blocking sink) while holding the same lock.
+
+namespace fixture {
+
+class Mutex {};
+
+void write_file(const char* path, const char* data) {
+  std::ofstream out(path);  // blocking sink: file open
+  out << data;
+}
+
+class Store {
+ public:
+  void flush() IDS_EXCLUDES(mu_);
+  void nap() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  const char* pending_;
+};
+
+void Store::flush() {
+  MutexLock lock(mu_);
+  write_file("/tmp/store.dat", pending_);  // BAD: blocks while mu_ held
+}
+
+void Store::nap() {
+  MutexLock lock(mu_);
+  std::this_thread::sleep_for(backoff());  // BAD: sleeps while mu_ held
+}
+
+}  // namespace fixture

@@ -1,0 +1,56 @@
+// Fixture (positive): the three sanctioned ways to combine locks and
+// blocking work, all of which ids-analyzer must accept:
+//   1. Store::flush snapshots state under the lock, then does the file
+//      I/O after the guard's scope closes (the hoist the rule asks for).
+//   2. Store::drain is annotated IDS_MAY_BLOCK — the author accepted the
+//      blocking, and callers see the function as a sink instead.
+//   3. Store::wait_idle blocks in cv_.wait(mu_, ...) — a condition-variable
+//      wait that *releases* the held mutex is not a deadlock.
+
+namespace fixture {
+
+class Mutex {};
+class CondVar {
+ public:
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred);
+};
+
+void write_file(const char* path, const char* data) {
+  std::ofstream out(path);  // blocking sink: file open
+  out << data;
+}
+
+class Store {
+ public:
+  void flush() IDS_EXCLUDES(mu_);
+  void drain() IDS_EXCLUDES(mu_) IDS_MAY_BLOCK;
+  void wait_idle() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  const char* pending_;
+  int backlog_;
+};
+
+void Store::flush() {
+  const char* snapshot;
+  {
+    MutexLock lock(mu_);
+    snapshot = pending_;  // copy out under the lock...
+  }
+  write_file("/tmp/store.dat", snapshot);  // ...block outside it
+}
+
+void Store::drain() {
+  MutexLock lock(mu_);
+  write_file("/tmp/store.dat", pending_);  // accepted via IDS_MAY_BLOCK
+}
+
+void Store::wait_idle() {
+  MutexLock lock(mu_);
+  cv_.wait(mu_, [this] { return backlog_ == 0; });  // releases mu_ while waiting
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture (negative): nondeterminism reachable from the engine. Both
+// shapes ids-analyzer must flag under [wallclock-in-engine]:
+//   1. stamp() reads std::chrono::system_clock — a wall-clock read outside
+//      src/telemetry/, and reachable from IdsEngine::execute to boot, so
+//      modeled time silently depends on the host.
+//   2. jitter() seeds a std::mt19937 — raw randomness on the execute path
+//      instead of the deterministic ids::Rng.
+
+namespace fixture {
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // BAD
+}
+
+long jitter() {
+  std::mt19937 gen(12345);  // BAD: raw RNG on the execute path
+  return static_cast<long>(gen());
+}
+
+class IdsEngine {
+ public:
+  long execute();
+};
+
+long IdsEngine::execute() {
+  return stamp() + jitter();
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture (positive): the deterministic counterparts ids-analyzer must
+// accept. stamp() still reads the wall clock but is annotated
+// IDS_WALLCLOCK_OK (a sanctioned host-side measurement that never feeds
+// modeled time), and jitter() draws from the seeded ids::Rng stand-in
+// instead of a raw std engine, so the execute path is replayable.
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long seed);
+  unsigned long next_u64();
+};
+
+long stamp() IDS_WALLCLOCK_OK {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long jitter() {
+  Rng rng(12345);  // deterministic: same seed, same stream
+  return static_cast<long>(rng.next_u64());
+}
+
+class IdsEngine {
+ public:
+  long execute();
+};
+
+long IdsEngine::execute() {
+  return stamp() + jitter();
+}
+
+}  // namespace fixture

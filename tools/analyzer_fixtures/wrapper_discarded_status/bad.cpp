@@ -1,0 +1,27 @@
+// Fixture (negative): a Status discarded through a thin forwarding
+// wrapper. flush_soon()'s declared return type is the alias FlushOutcome,
+// which the textual return classifier cannot recognize — but its body is
+// exactly `return flush_now(...);` and flush_now returns Status, so the
+// wrapper inference marks it Status-returning. Dropping its result must
+// be flagged under [wrapper-discarded-status].
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+using FlushOutcome = Status;
+
+Status flush_now(int fd);
+
+FlushOutcome flush_soon(int fd) {
+  return flush_now(fd);  // thin wrapper: forwards the callee's Status
+}
+
+void checkpoint(int fd) {
+  flush_soon(fd);  // BAD: the forwarded Status is silently discarded
+}
+
+}  // namespace fixture

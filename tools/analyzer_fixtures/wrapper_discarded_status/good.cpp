@@ -1,0 +1,29 @@
+// Fixture (positive): the same alias-returning wrapper as bad.cpp, but
+// every call site consumes the forwarded Status — by assignment, by a
+// control-flow test, or via the explicit IDS_IGNORE_ERROR escape hatch.
+// ids-analyzer must accept this file.
+
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+using FlushOutcome = Status;
+
+Status flush_now(int fd);
+
+FlushOutcome flush_soon(int fd) {
+  return flush_now(fd);  // thin wrapper: forwards the callee's Status
+}
+
+int checkpoint(int fd) {
+  FlushOutcome st = flush_soon(fd);     // consumed: assignment
+  if (!st.ok()) return -1;
+  if (!flush_soon(fd).ok()) return -1;  // consumed: condition
+  IDS_IGNORE_ERROR(flush_soon(fd));     // consumed: sanctioned discard
+  return 0;
+}
+
+}  // namespace fixture

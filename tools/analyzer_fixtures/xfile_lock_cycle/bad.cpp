@@ -1,0 +1,34 @@
+// Fixture (negative, analyzed together with bad_peer.cpp): a lock-order
+// cycle whose edges span translation units. Scheduler::submit (this file)
+// holds Scheduler::mu_ and calls Worker::steal, whose own mutex lives in
+// bad_peer.cpp — so the edge Scheduler::mu_ -> Worker::mu_ is established
+// against an acquisition in *another file*. bad_peer.cpp closes the cycle
+// the other way round. No single-file analysis can see this deadlock;
+// ids-analyzer must reject the pair under [xfile-lock-order] with a
+// "cross-TU" message.
+
+namespace fixture {
+
+class Mutex {};
+class Worker;
+
+class Scheduler {
+ public:
+  void submit() IDS_EXCLUDES(mu_);
+  void drain() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  Worker* worker_;
+};
+
+void Scheduler::submit() {
+  MutexLock lock(mu_);
+  worker_->steal();  // acquires Worker::mu_ (bad_peer.cpp) under our lock
+}
+
+void Scheduler::drain() {
+  MutexLock lock(mu_);
+}
+
+}  // namespace fixture

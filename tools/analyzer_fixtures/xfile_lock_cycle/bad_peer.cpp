@@ -1,0 +1,25 @@
+// Fixture (negative, second TU of the xfile_lock_cycle pair — see
+// bad.cpp). Worker::steal holds Worker::mu_ and calls back into
+// Scheduler::drain, which acquires Scheduler::mu_ in the *other* file:
+// the cross-TU edge Worker::mu_ -> Scheduler::mu_ completes the cycle.
+
+namespace fixture {
+
+class Mutex {};
+class Scheduler;
+
+class Worker {
+ public:
+  void steal() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  Scheduler* boss_;
+};
+
+void Worker::steal() {
+  MutexLock lock(mu_);
+  boss_->drain();  // acquires Scheduler::mu_ (bad.cpp) — cycle closed
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture (positive, analyzed together with good_peer.cpp): the same
+// two-TU shape as the bad pair, but with a consistent hierarchy —
+// Scheduler::mu_ is always acquired before Worker::mu_, and the worker
+// never calls back into the scheduler while holding its lock. The
+// cross-file edge Scheduler::mu_ -> Worker::mu_ exists, but the graph is
+// acyclic, so ids-analyzer must accept the pair.
+
+namespace fixture {
+
+class Mutex {};
+class Worker;
+
+class Scheduler {
+ public:
+  void submit() IDS_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  Worker* worker_;
+};
+
+void Scheduler::submit() {
+  MutexLock lock(mu_);
+  worker_->steal();  // Scheduler::mu_ -> Worker::mu_, the only ordering
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture (positive, second TU of the xfile_lock_cycle good pair — see
+// good.cpp). Worker::steal is a leaf critical section: it acquires only
+// its own mutex and calls nothing that locks, so no back-edge exists.
+
+namespace fixture {
+
+class Mutex {};
+
+class Worker {
+ public:
+  void steal() IDS_EXCLUDES(mu_);
+  int backlog() const;
+
+ private:
+  Mutex mu_;
+};
+
+void Worker::steal() {
+  MutexLock lock(mu_);
+  // Leaf critical section: no calls that acquire other locks.
+}
+
+}  // namespace fixture

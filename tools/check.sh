@@ -22,13 +22,31 @@ cd "$repo"
 echo "==> lint"
 tools/lint.sh
 
-echo "==> ids-analyzer (src/)"
+echo "==> ids-analyzer (src/, SARIF, gated on tools/analyzer_baseline.txt)"
 cmake -B build-analyze -S . > build-analyze-configure.log 2>&1 || {
   cat build-analyze-configure.log >&2; exit 1
 }
 rm -f build-analyze-configure.log
 cmake --build build-analyze --target ids-analyzer -j "$jobs"
-build-analyze/tools/analyzer/ids-analyzer src
+analyzer=build-analyze/tools/analyzer/ids-analyzer
+# SARIF lands next to the build so CI can archive it; findings outside the
+# committed baseline fail the gate.
+"$analyzer" --format=sarif --stats --baseline=tools/analyzer_baseline.txt src \
+  > build-analyze/ids-analyzer.sarif
+# Baseline drift: a fixed finding must also be removed from the baseline,
+# so regenerating it has to reproduce the committed file byte-for-byte.
+fresh_baseline=$(mktemp)
+"$analyzer" --write-baseline="$fresh_baseline" src > /dev/null || true
+if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
+  rm -f "$fresh_baseline"
+  echo "check: tools/analyzer_baseline.txt is stale; regenerate with" >&2
+  echo "  $analyzer --write-baseline=tools/analyzer_baseline.txt src" >&2
+  exit 1
+fi
+rm -f "$fresh_baseline"
+
+echo "==> ids-analyzer self-test (dogfood + resolution ratio)"
+bash tests/analyzer_selftest.sh "$analyzer"
 
 echo "==> trace smoke (ncnpr_workflow --trace/--metrics)"
 cmake --build build-analyze --target ncnpr_workflow -j "$jobs"

@@ -13,10 +13,24 @@ cd "$repo"
 echo "==> lint"
 tools/lint.sh
 
-echo "==> ids-analyzer (src/)"
+echo "==> ids-analyzer (src/, SARIF, gated on tools/analyzer_baseline.txt)"
 cmake -B build-ci-analyze -S . > /dev/null
 cmake --build build-ci-analyze --target ids-analyzer -j "$jobs"
-build-ci-analyze/tools/analyzer/ids-analyzer src
+analyzer=build-ci-analyze/tools/analyzer/ids-analyzer
+"$analyzer" --format=sarif --stats --baseline=tools/analyzer_baseline.txt src \
+  > build-ci-analyze/ids-analyzer.sarif
+fresh_baseline=$(mktemp)
+"$analyzer" --write-baseline="$fresh_baseline" src > /dev/null || true
+if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
+  rm -f "$fresh_baseline"
+  echo "ci: tools/analyzer_baseline.txt is stale; regenerate with" >&2
+  echo "  $analyzer --write-baseline=tools/analyzer_baseline.txt src" >&2
+  exit 1
+fi
+rm -f "$fresh_baseline"
+
+echo "==> ids-analyzer self-test (dogfood + resolution ratio)"
+bash tests/analyzer_selftest.sh "$analyzer"
 
 run_config() {  # $1 = build dir, $2... = extra cmake args
   local dir="$1"

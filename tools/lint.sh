@@ -22,6 +22,13 @@
 #      own the process. src/telemetry/ is exempt (it renders the export
 #      formats); snprintf and fprintf(stderr, ...) are always fine. A
 #      deliberate use opts out with a trailing `// lint:allow-stdout`.
+#   8. std::this_thread::sleep_for / sleep_until in src/ outside src/sim/ —
+#      time in the engine is *modeled* (sim::VirtualClock); a host-side
+#      sleep stalls a real thread without advancing modeled time and makes
+#      tests wall-clock dependent. Only the simulation layer may pace real
+#      time. tools/analyzer's [blocking-under-lock] catches the worst case
+#      (sleeping under a mutex) interprocedurally; this regex rule bans the
+#      primitive outright.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -164,6 +171,23 @@ while IFS= read -r f; do
            | grep -vE '^[0-9]+:[[:space:]]*//')
   if [ -n "$hits" ]; then
     fail "raw stdout write in $f (log via IDS_LOG, return strings from exporters, or mark a deliberate use with // lint:allow-stdout):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 8. host-side sleeps in src/ outside src/sim/ -----------------------
+# Modeled code advances sim::VirtualClock; it never stalls the host. The
+# simulation layer itself may pace real time (e.g. when bridging to a
+# live process) and is exempt.
+while IFS= read -r f; do
+  case "$f" in
+    src/sim/*) continue ;;
+    src/*) ;;
+    *) continue ;;
+  esac
+  hits=$(grep -nE 'std::this_thread::sleep_(for|until)' "$f")
+  if [ -n "$hits" ]; then
+    fail "host-side sleep in $f (advance the sim::VirtualClock instead; only src/sim/ may pace real time):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

@@ -1,0 +1,14 @@
+// Negative fixture for lint rule 8: a host-side sleep in modeled code.
+// Stalling the OS thread does not advance the sim::VirtualClock, so the
+// retry loop below costs nothing in modeled time while making every test
+// that exercises it wall-clock dependent and slow.
+#include <chrono>
+#include <thread>
+
+bool try_reserve_slot();
+
+void reserve_slot_with_backoff() {
+  while (!try_reserve_slot()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
