@@ -58,7 +58,7 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 }
 
 std::string human_bytes(std::uint64_t bytes) {
-  static const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  static constexpr const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
   double v = static_cast<double>(bytes);
   int u = 0;
   while (v >= 1000.0 && u < 5) {

@@ -97,6 +97,17 @@
 /// timestamps). Suppresses [wallclock-in-engine] for the function.
 #define IDS_WALLCLOCK_OK
 
+/// Waives one declaration from the shared-state certificate
+/// (`ids-analyzer --certify=concurrent-exec`): the annotated member,
+/// static, or global is mutable shared state that is only sound while the
+/// engine serves ONE query at a time (e.g. ingest-time mutation that is
+/// frozen before serving). The reason is an identifier-style tag, e.g.
+/// `IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_before_serve)`, and the
+/// set of waivers doubles as the worklist for concurrent query serving
+/// (ROADMAP item 1). Trails the declarator like IDS_GUARDED_BY; expands to
+/// nothing on every compiler.
+#define IDS_SINGLE_QUERY_ONLY(reason)
+
 namespace ids {
 
 /// std::mutex with the capability annotation. Satisfies BasicLockable /

@@ -106,7 +106,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool;  // lint:allow-global: internally synchronized
   return pool;
 }
 

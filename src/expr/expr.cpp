@@ -92,7 +92,7 @@ std::string Expr::to_string() const {
     case ExprKind::kFeature:
       return children_[0]->to_string() + "." + name_;
     case ExprKind::kCompare: {
-      static const char* ops[] = {"==", "!=", "<", "<=", ">", ">="};
+      static constexpr const char* ops[] = {"==", "!=", "<", "<=", ">", ">="};
       return "(" + children_[0]->to_string() + " " +
              ops[static_cast<int>(cmp_)] + " " + children_[1]->to_string() + ")";
     }
@@ -103,7 +103,7 @@ std::string Expr::to_string() const {
              ")";
     }
     case ExprKind::kArith: {
-      static const char* ops[] = {"+", "-", "*", "/"};
+      static constexpr const char* ops[] = {"+", "-", "*", "/"};
       return "(" + children_[0]->to_string() + " " +
              ops[static_cast<int>(arith_)] + " " + children_[1]->to_string() +
              ")";

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "graph/dictionary.h"
 #include "graph/shard.h"
 
@@ -47,7 +48,10 @@ class TripleStore {
 
  private:
   Dictionary dict_;
-  std::vector<GraphShard> shards_;
+  // Shards mutate during ingest (add/finalize) and are frozen before
+  // scans; concurrent serving needs ingest/query phasing (ROADMAP item 1).
+  std::vector<GraphShard> shards_
+      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_by_finalize);
 };
 
 }  // namespace ids::graph

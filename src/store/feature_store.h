@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "graph/dictionary.h"
 
 namespace ids::store {
@@ -76,9 +77,14 @@ class FeatureStore {
   FeatureId intern_feature(std::string_view name);
   std::optional<FeatureId> lookup_feature(std::string_view name) const;
 
-  std::vector<Shard> shards_;
-  std::unordered_map<std::string, FeatureId> feature_ids_;
-  std::vector<std::string> feature_names_;
+  // All three mutate only while ingesting feature pairs; interning is
+  // frozen before queries run (ROADMAP item 1 tracks concurrent phasing).
+  std::vector<Shard> shards_
+      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_before_serving);
+  std::unordered_map<std::string, FeatureId> feature_ids_
+      IDS_SINGLE_QUERY_ONLY(ingest_interning_frozen_before_serving);
+  std::vector<std::string> feature_names_
+      IDS_SINGLE_QUERY_ONLY(ingest_interning_frozen_before_serving);
 };
 
 }  // namespace ids::store

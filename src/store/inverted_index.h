@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "graph/dictionary.h"
 
 namespace ids::store {
@@ -45,9 +46,14 @@ class InvertedIndex {
   /// Sorts and dedups all posting lists; done lazily before reads.
   void ensure_prepared() const;
 
-  mutable std::unordered_map<std::string, std::vector<graph::TermId>> postings_;
-  mutable bool prepared_ = true;
-  std::size_t documents_ = 0;
+  // ensure_prepared() sorts lazily on the first read after ingest — a
+  // mutation under const access paths that is only sound single-query.
+  mutable std::unordered_map<std::string, std::vector<graph::TermId>> postings_
+      IDS_SINGLE_QUERY_ONLY(lazy_prepare_mutates_on_read);
+  mutable bool prepared_ IDS_SINGLE_QUERY_ONLY(lazy_prepare_mutates_on_read) =
+      true;
+  std::size_t documents_
+      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_before_serving) = 0;
 };
 
 }  // namespace ids::store

@@ -91,6 +91,52 @@ check "wrapper-forwarded discard flagged" 1 \
 check "consumed wrapper results accepted" 0 'ids-analyzer: OK' \
       "$fixtures/wrapper_discarded_status/good.cpp"
 
+# --- concurrency rules -------------------------------------------------------
+
+check "mixed-lock write flagged" 1 'guarded-by' \
+      "$fixtures/guarded_by/bad.cpp"
+check "mixed-lock message cites the locked site" 1 \
+      'written with .Counter::mu_. held at .* but with no lock here' \
+      "$fixtures/guarded_by/bad.cpp"
+check "unannotated locked write flagged" 1 \
+      'without an IDS_GUARDED_BY annotation' \
+      "$fixtures/guarded_by/bad.cpp"
+check "annotated and locked writes accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/guarded_by/good.cpp"
+
+check "by-ref capture escape flagged" 1 \
+      'thread-escape.*mutates by-reference capture' \
+      "$fixtures/thread_escape/bad.cpp"
+check "captured-this member escape flagged" 1 \
+      "mutates member 'Indexer::count_' .* through captured 'this'" \
+      "$fixtures/thread_escape/bad.cpp"
+check "atomic / per-rank / locked tasks accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/thread_escape/good.cpp"
+
+# --- shared-state certificate ------------------------------------------------
+
+check "certify flags execute-path shared state" 1 'shared-state' \
+      --certify=concurrent-exec "$fixtures/shared_state/bad.cpp"
+check "certify flags function-local statics" 1 'function-local static' \
+      --certify=concurrent-exec "$fixtures/shared_state/bad.cpp"
+check "certify flags namespace-scope globals" 1 \
+      'namespace-scope global .g_queries.' \
+      --certify=concurrent-exec "$fixtures/shared_state/bad.cpp"
+check "shared-state is certify-only" 0 'ids-analyzer: OK' \
+      "$fixtures/shared_state/bad.cpp"
+check "certify accepts guarded/atomic/waived engine" 0 'certificate OK' \
+      --certify=concurrent-exec "$fixtures/shared_state/good.cpp"
+check "certify inventory carries the waiver reason" 0 \
+      'fixture_scratch_reuse' \
+      --certify=concurrent-exec "$fixtures/shared_state/good.cpp"
+check "certify without engine root is an error" 2 \
+      'found no IdsEngine::execute' \
+      --certify=concurrent-exec "$fixtures/guarded_by/good.cpp"
+check "unknown certificate is a usage error" 2 'unknown certificate' \
+      --certify=no-such-cert "$fixtures/shared_state/good.cpp"
+check "live tree passes the certificate" 0 'certificate OK' \
+      --certify=concurrent-exec "$repo/src"
+
 # --- CLI surface -------------------------------------------------------------
 
 check "no input paths is a usage error" 2 'no input paths'
@@ -107,6 +153,45 @@ check "--rule keeps the selected rule" 1 'discarded-status' \
       --rule=discarded-status "$fixtures/discarded_status/bad.cpp"
 check "--stats reports the resolution ratio" 0 'resolution-ratio=' \
       --stats "$fixtures/lock_order_cycle/good.cpp"
+check "--stats reports parse timing and jobs" 0 \
+      'parse-seconds=.*\(jobs=1\)' --stats "$fixtures/lock_order_cycle/good.cpp"
+check "--stats breaks findings down per rule" 1 \
+      'rule guarded-by *active=2' --stats "$fixtures/guarded_by/bad.cpp"
+check "bad --jobs value is a usage error" 2 'bad --jobs' --jobs=many \
+      "$fixtures/bare_assert/good.cpp"
+
+# Parallel lexing must be invisible in the results: byte-identical output.
+serial=$("$analyzer" "$repo/src" 2>&1)
+parallel=$("$analyzer" --jobs=4 "$repo/src" 2>&1)
+if [ "$serial" = "$parallel" ]; then
+  echo "ok   [--jobs=4 output matches serial]"
+else
+  echo "FAIL [--jobs=4 output matches serial]" >&2
+  failed=1
+fi
+
+# --- stats JSON --------------------------------------------------------------
+
+tmp_stats="$(mktemp)"
+check "--stats-json runs clean" 0 'ids-analyzer: OK' \
+      --stats-json="$tmp_stats" "$fixtures/guarded_by/good.cpp"
+if command -v python3 >/dev/null 2>&1; then
+  if python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("files", "functions", "resolution_ratio", "jobs",
+            "parse_seconds", "analyze_seconds", "findings", "per_rule"):
+    assert key in doc, "missing key: " + key
+assert "guarded-by" in doc["per_rule"], "per_rule misses guarded-by"
+assert "thread-escape" in doc["per_rule"], "per_rule misses thread-escape"
+' "$tmp_stats"; then
+    echo "ok   [stats JSON validates]"
+  else
+    echo "FAIL [stats JSON validates]" >&2
+    failed=1
+  fi
+fi
+rm -f "$tmp_stats"
 
 # --- SARIF -------------------------------------------------------------------
 
@@ -130,7 +215,8 @@ run = doc["runs"][0]
 rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
 for rid in ("discarded-status", "unchecked-value", "lock-order",
             "bare-assert", "xfile-lock-order", "blocking-under-lock",
-            "wallclock-in-engine", "wrapper-discarded-status"):
+            "wallclock-in-engine", "wrapper-discarded-status",
+            "guarded-by", "thread-escape", "shared-state"):
     assert rid in rules, "missing rule metadata: " + rid
 for res in run["results"]:
     assert res["ruleId"] in rules

@@ -1,0 +1,147 @@
+// Stress tests pinning the single-threaded contracts of the flat
+// open-addressing containers (src/common/flat_map.h).
+//
+// Both containers are query-local scratch structures: FlatGroupIndex is
+// build-once (probe-only after the constructor) and FlatTermSet mutates
+// on insert, including wholesale rehashes — neither is safe to share
+// across threads, and the engine never does (each operator builds its
+// own). These tests pin the properties that make the single-threaded
+// usage correct: rehashes must not lose or duplicate keys, probe results
+// must be stable across unrelated probes, and duplicate-heavy input —
+// the open-addressing analogue of a tombstone-laden table, where probe
+// chains run long because most slots repeat the same few keys — must
+// neither grow the table nor corrupt the chains.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+
+namespace ids {
+namespace {
+
+TEST(FlatTermSet, RehashPreservesEveryKeyAtEachGrowth) {
+  // Start at the minimum capacity and push through ~10 doublings,
+  // re-checking every previously inserted key whenever the table is about
+  // to rehash. An element lost (or resurrected) by grow() fails here at
+  // the exact boundary that broke it.
+  Rng rng(91);
+  FlatTermSet set(0);
+  std::vector<std::uint64_t> inserted;
+  std::size_t next_check = 8;
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t k = rng.next_u64();
+    if (set.insert(k)) inserted.push_back(k);
+    if (inserted.size() >= next_check) {
+      for (std::uint64_t old : inserted) {
+        ASSERT_TRUE(set.contains(old)) << "lost key after rehash near size "
+                                       << inserted.size();
+      }
+      next_check *= 2;
+    }
+  }
+  EXPECT_EQ(set.size(), inserted.size());
+}
+
+TEST(FlatTermSet, DuplicateHeavyWorkloadStaysBounded) {
+  // 100k inserts over 17 distinct keys: the table must absorb the
+  // duplicates without growing past the handful of live slots, and every
+  // duplicate insert must report "already present".
+  FlatTermSet set(0);
+  std::size_t fresh = 0;
+  for (int round = 0; round < 100000; ++round) {
+    std::uint64_t k = static_cast<std::uint64_t>(round % 17) * 0x9e3779b9ull;
+    if (set.insert(k)) ++fresh;
+  }
+  EXPECT_EQ(fresh, 17u);
+  EXPECT_EQ(set.size(), 17u);
+  for (int i = 0; i < 17; ++i) {
+    EXPECT_TRUE(set.contains(static_cast<std::uint64_t>(i) * 0x9e3779b9ull));
+  }
+}
+
+TEST(FlatTermSet, ClusteredKeysSurviveLongProbeChains) {
+  // Sequential keys cluster under any multiplicative hash; with the edge
+  // keys 0 and ~0 mixed in, the linear probe chains get as long as the
+  // engine will ever see. Mirror against std::set through interleaved
+  // insert/contains.
+  FlatTermSet flat(2);
+  std::set<std::uint64_t> ref;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    std::uint64_t k = (i % 2 == 0) ? i / 2 : ~0ull - i / 2;
+    EXPECT_EQ(flat.insert(k), ref.insert(k).second);
+    // Immediately re-query both the new key and its cluster neighbour.
+    EXPECT_TRUE(flat.contains(k));
+    EXPECT_EQ(flat.contains(k + 1), ref.count(k + 1) != 0);
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+}
+
+TEST(FlatGroupIndex, ProbeSpansStableAcrossUnrelatedProbes) {
+  // probe() is const and the grouped rows live in storage owned by the
+  // index — a span handed out must stay valid and bit-identical no matter
+  // how many other probes run between reads. This is the property that
+  // lets the join kernel hold a group span across its inner loop.
+  Rng rng(92);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.next_u64() % 64);
+  FlatGroupIndex index(keys);
+
+  auto first = index.probe(7);
+  std::vector<std::uint32_t> snapshot(first.begin(), first.end());
+  for (std::uint64_t k = 0; k < 100; ++k) (void)index.probe(k);
+  auto second = index.probe(7);
+  ASSERT_EQ(second.size(), snapshot.size());
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), second.begin()));
+  EXPECT_EQ(first.data(), second.data());  // same underlying storage
+}
+
+TEST(FlatGroupIndex, DuplicateHeavyBuildKeepsGroupsDisjointAndComplete) {
+  // One dominant key (90% of rows) plus a tail of singletons: group
+  // extents must partition the row space exactly, each group must be
+  // ascending, and membership must round-trip.
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 9000; ++i) keys.push_back(42);
+  for (int i = 0; i < 1000; ++i) {
+    keys.push_back(1000 + static_cast<std::uint64_t>(i));
+  }
+  FlatGroupIndex index(keys);
+  EXPECT_EQ(index.num_rows(), keys.size());
+  EXPECT_EQ(index.num_keys(), 1001u);
+
+  auto big = index.probe(42);
+  ASSERT_EQ(big.size(), 9000u);
+  EXPECT_TRUE(std::is_sorted(big.begin(), big.end()));
+  for (std::uint32_t r : big) EXPECT_EQ(keys[r], 42u);
+
+  std::size_t covered = big.size();
+  for (int i = 0; i < 1000; ++i) {
+    auto g = index.probe(1000 + static_cast<std::uint64_t>(i));
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(keys[g[0]], 1000 + static_cast<std::uint64_t>(i));
+    covered += g.size();
+  }
+  EXPECT_EQ(covered, keys.size());
+  EXPECT_TRUE(index.probe(999).empty());
+}
+
+TEST(FlatGroupIndex, EmptyAndSingletonBuilds) {
+  FlatGroupIndex empty({});
+  EXPECT_EQ(empty.num_rows(), 0u);
+  EXPECT_EQ(empty.num_keys(), 0u);
+  EXPECT_TRUE(empty.probe(0).empty());
+
+  std::vector<std::uint64_t> one = {7};
+  FlatGroupIndex single(one);
+  EXPECT_EQ(single.num_rows(), 1u);
+  ASSERT_EQ(single.probe(7).size(), 1u);
+  EXPECT_EQ(single.probe(7)[0], 0u);
+}
+
+}  // namespace
+}  // namespace ids

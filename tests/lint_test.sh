@@ -43,5 +43,9 @@ check "raw stdout flagged" 1 'raw stdout write' \
       --root "$repo/tools/lint_fixtures/raw_stdout"
 check "host-side sleep flagged" 1 'host-side sleep' \
       --root "$repo/tools/lint_fixtures/sleep_in_src"
+check "mutable static flagged" 1 'mutable static state' \
+      --root "$repo/tools/lint_fixtures/global_state"
+check "mutable global flagged" 1 'mutable namespace-scope global' \
+      --root "$repo/tools/lint_fixtures/global_state"
 
 exit $failed

@@ -7,6 +7,7 @@
 // output.cpp.
 
 #include <cstddef>
+#include <iosfwd>
 #include <set>
 #include <string>
 #include <vector>
@@ -63,6 +64,18 @@ void run_local_rules(Analysis& a);
 /// [xfile-lock-order] (whole-program acquisition-order cycles and
 /// self-deadlock), [blocking-under-lock], [wallclock-in-engine].
 void run_interproc_rules(Analysis& a);
+
+/// Concurrency-readiness rules: [guarded-by] inference over per-field
+/// write-site × held-lock summaries, and [thread-escape] tracking of
+/// by-reference captures mutated inside ThreadPool tasks.
+void run_concurrency_rules(Analysis& a);
+
+/// --certify=concurrent-exec: walks everything transitively reachable
+/// from IdsEngine::execute, writes the machine-readable shared-state
+/// inventory to `os`, and reports one [shared-state] finding per
+/// violation. Returns the violation count; sets *root_found to false
+/// (and emits nothing) when the corpus has no IdsEngine::execute.
+std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found);
 
 /// Stable ordering for output and baselines: path, line, rule, message.
 void sort_findings(std::vector<Finding>& findings);

@@ -152,6 +152,8 @@ std::size_t handle_declarator(FileData& f, std::size_t i, std::size_t end,
   std::size_t open = i + 1;
   if (f.partner[open] == kNone) return i + 2;  // unbalanced; bail
   declared_arity(f, open, &fn.min_args, &fn.max_args);
+  fn.params_begin = open + 1;
+  fn.params_end = f.partner[open];
   std::size_t p = f.partner[open] + 1;
 
   auto record = [&](std::size_t resume) {
@@ -164,6 +166,7 @@ std::size_t handle_declarator(FileData& f, std::size_t i, std::size_t end,
     if (tok_ident(t)) {
       if (t.text == "const" || t.text == "override" || t.text == "final" ||
           t.text == "mutable" || t.text == "volatile") {
+        if (t.text == "const") fn.is_const_method = true;
         ++p;
       } else if (t.text == "noexcept") {
         if (p + 1 < end && tok_is(f.toks[p + 1], "(") &&
@@ -292,8 +295,14 @@ void scan_range(FileData& f, std::size_t begin, std::size_t end,
                 const std::string& cur_class, Corpus& corpus) {
   std::size_t span_start = kNone;
   auto flush_span = [&](std::size_t span_end) {
-    if (span_start != kNone && !cur_class.empty() && span_end > span_start) {
-      corpus.member_spans.push_back({cur_class, &f, span_start, span_end});
+    if (span_start != kNone && span_end > span_start) {
+      if (!cur_class.empty()) {
+        corpus.member_spans.push_back({cur_class, &f, span_start, span_end});
+      } else {
+        // Namespace-scope declaration: a global-variable candidate for the
+        // shared-state certificate (field_access.cpp classifies it).
+        corpus.global_spans.push_back({"", &f, span_start, span_end});
+      }
     }
     span_start = kNone;
   };
@@ -389,7 +398,22 @@ void resolve_members(Corpus& corpus) {
   for (const MemberSpan& s : corpus.member_spans) {
     const FileData& f = *s.file;
     std::size_t b = s.begin, e = s.end;
-    // Strip trailing IDS_* annotation groups: `T name_ IDS_GUARDED_BY(mu_)`.
+    // Only the declarator matters: `T name_ = make_default();` carries its
+    // initializer's parens, so cut at the first top-level '=' before the
+    // function-pointer/operator screen below.
+    for (std::size_t i = b; i < e; ++i) {
+      if (tok_is(f.toks[i], "=")) {
+        e = i;
+        break;
+      }
+      if ((tok_is(f.toks[i], "(") || tok_is(f.toks[i], "{") ||
+           tok_is(f.toks[i], "[")) &&
+          f.partner[i] != kNone && f.partner[i] < e) {
+        i = f.partner[i];
+      }
+    }
+    // Strip trailing IDS_* annotation groups: `T name_ IDS_GUARDED_BY(mu_)`
+    // (after the '='-cut, so an initializer does not hide them).
     while (e > b && tok_is(f.toks[e - 1], ")") && f.partner[e - 1] != kNone) {
       std::size_t o = f.partner[e - 1];
       if (o > b && tok_ident(f.toks[o - 1]) &&
@@ -624,11 +648,20 @@ Ret resolve_ret(const FileData& f, std::size_t idx,
   return r;
 }
 
-void Corpus::add_file(std::string path, const std::string& src) {
+std::unique_ptr<FileData> make_file_data(std::string path,
+                                         const std::string& src) {
   auto fd = std::make_unique<FileData>();
   fd->path = std::move(path);
   fd->toks = lex(src);
   compute_partners(*fd);
+  return fd;
+}
+
+void Corpus::add_file(std::string path, const std::string& src) {
+  files.push_back(make_file_data(std::move(path), src));
+}
+
+void Corpus::adopt_file(std::unique_ptr<FileData> fd) {
   files.push_back(std::move(fd));
 }
 

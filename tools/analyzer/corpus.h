@@ -40,9 +40,12 @@ struct FuncDecl {
   std::vector<std::string> requires_held;  // raw IDS_REQUIRES args
   bool may_block = false;                  // IDS_MAY_BLOCK on this decl
   bool wallclock_ok = false;               // IDS_WALLCLOCK_OK on this decl
+  bool is_const_method = false;            // trailing const qualifier
   std::size_t min_args = 0, max_args = 0;  // declared parameter-count range
   const FileData* file = nullptr;
   std::size_t body_begin = 0, body_end = 0;  // token range; begin==end: none
+  /// Parameter-list token range (between the declarator's parens).
+  std::size_t params_begin = 0, params_end = 0;
   int line = 0;
   bool has_body() const { return body_end > body_begin; }
 };
@@ -81,13 +84,22 @@ struct MergedFunc {
     if (min_args == kVariadic) return true;  // no parsed declaration
     return n >= min_args && (max_args == kVariadic || n <= max_args);
   }
+  /// Every declaration carries a trailing const qualifier — calling the
+  /// method cannot mutate the receiver (mutable members excepted; the
+  /// concurrency layer accounts for those separately).
+  bool all_const() const {
+    for (const FuncDecl* d : decls) {
+      if (!d->is_const_method) return false;
+    }
+    return !decls.empty();
+  }
   std::string qualified() const {
     return klass.empty() ? name : klass + "::" + name;
   }
 };
 
 struct MemberSpan {
-  std::string klass;
+  std::string klass;  // "" for namespace-scope (global) declarations
   const FileData* file = nullptr;
   std::size_t begin = 0, end = 0;
 };
@@ -97,6 +109,10 @@ struct Corpus {
   std::vector<FuncDecl> funcs;  // one per declaration/definition, in order
   std::set<std::string> classes;
   std::vector<MemberSpan> member_spans;
+  /// Namespace-scope declaration spans (global variables, extern decls):
+  /// raw token runs the concurrency layer classifies for the shared-state
+  /// certificate.
+  std::vector<MemberSpan> global_spans;
   // Resolved after all files are parsed:
   std::map<std::string, std::map<std::string, MergedFunc>> merged;  // class->name
   std::map<std::string, std::vector<MergedFunc*>> by_name;
@@ -104,10 +120,19 @@ struct Corpus {
 
   /// Lexes `src` as `path` and queues it for parsing.
   void add_file(std::string path, const std::string& src);
+  /// Queues an already-lexed file (see make_file_data) — the --jobs=N
+  /// path, where lexing happens on worker threads and adoption restores
+  /// the deterministic file order.
+  void adopt_file(std::unique_ptr<FileData> fd);
   /// Parses every queued file and builds the merged/member tables plus the
   /// wrapper return-kind inference. Call exactly once, after all add_file.
   void finalize();
 };
+
+/// Lexes `src` as `path` into a FileData with partner indices computed.
+/// Pure function of its arguments — safe to call from multiple threads.
+std::unique_ptr<FileData> make_file_data(std::string path,
+                                         const std::string& src);
 
 // --- token helpers shared by the rules --------------------------------------
 

@@ -106,7 +106,12 @@ inline std::vector<Token> lex(const std::string& src) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t b = i;
+      // A '\'' between digits is a C++14 digit separator (50'000), not a
+      // char-literal opener — mistaking it for one swallows source until
+      // the next quote and collapses every scope in between.
       while (i < n && (is_ident_char(src[i]) || src[i] == '.' ||
+                       (src[i] == '\'' && i + 1 < n &&
+                        is_ident_char(src[i + 1])) ||
                        ((src[i] == '+' || src[i] == '-') && i > b &&
                         (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
         ++i;

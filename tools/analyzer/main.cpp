@@ -28,6 +28,20 @@
 //                               IdsEngine::execute (IDS_WALLCLOCK_OK
 //                               escapes).
 //
+// concurrency (rules_concurrency.cpp, field_access.cpp, escape.cpp):
+//   [guarded-by]                fields of mutex-owning classes written
+//                               without a consistent held-lock set or an
+//                               IDS_GUARDED_BY annotation.
+//   [thread-escape]             by-reference captures (or members via a
+//                               captured `this`) mutated inside tasks
+//                               handed to ThreadPool::submit/parallel_for.
+//   [shared-state]              only under --certify=concurrent-exec: the
+//                               shared-state certificate rooted at
+//                               IdsEngine::execute (inventory on stdout,
+//                               findings on stderr; IDS_SINGLE_QUERY_ONLY
+//                               waives an entry and records the worklist
+//                               for concurrent serving).
+//
 // The analysis is deliberately conservative: a call it cannot resolve
 // (ambiguous name, receiver of unknown type, operator overload) is skipped
 // rather than guessed at, so a finding is always actionable.
@@ -36,12 +50,18 @@
 // 2 usage / IO error.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis.h"
@@ -49,8 +69,20 @@
 #include "corpus.h"
 #include "output.h"
 
+// The analyzer dogfoods itself (tests/analyzer_selftest.sh): the marker
+// below sanctions the --stats timing reads for [wallclock-in-engine] while
+// expanding to nothing for the compiler.
+#define IDS_WALLCLOCK_OK
+
 namespace ids::analyzer {
 namespace {
+
+/// Wall-clock timing for --stats only; never feeds analysis results.
+double wall_seconds() IDS_WALLCLOCK_OK {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool analyzable(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
@@ -67,8 +99,23 @@ void usage(std::ostream& os) {
      << "  --format=text|sarif   output format (default: text)\n"
      << "  --baseline=FILE       suppress findings matching the baseline\n"
      << "  --write-baseline=FILE write current findings as a baseline\n"
-     << "  --stats               print corpus/call-graph statistics to "
-        "stderr\n\nExit 0 = clean (or fully suppressed), 1 = findings, "
+     << "  --jobs=N              lex/load files on N threads (0 = all "
+        "cores)\n"
+     << "  --certify=concurrent-exec\n"
+     << "                        emit the shared-state certificate rooted "
+        "at\n"
+     << "                        IdsEngine::execute (inventory JSON on "
+        "stdout,\n"
+     << "                        [shared-state] findings on stderr; the\n"
+     << "                        baseline does not apply)\n"
+     << "  --stats               print corpus/call-graph statistics, parse "
+        "and\n"
+     << "                        analysis wall time, and per-rule finding\n"
+     << "                        counts to stderr\n"
+     << "  --stats-json=FILE     also write the statistics as JSON (for "
+        "CI\n"
+     << "                        artifact archiving)\n"
+     << "\nExit 0 = clean (or fully suppressed), 1 = findings, "
         "2 = usage/IO error.\n";
 }
 
@@ -77,7 +124,9 @@ int run(int argc, char** argv) {
   std::set<std::string> enabled;
   std::string format = "text";
   std::string baseline_path, write_baseline_path;
+  std::string certify, stats_json_path;
   bool want_stats = false;
+  long jobs = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--") continue;
@@ -122,6 +171,32 @@ int run(int argc, char** argv) {
       want_stats = true;
       continue;
     }
+    if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path = arg.substr(13);
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      jobs = std::strtol(arg.c_str() + 7, &end, 10);
+      if (end == nullptr || *end != '\0' || jobs < 0) {
+        std::cerr << "ids-analyzer: bad --jobs value '" << arg.substr(7)
+                  << "' (expected a non-negative integer)\n";
+        return 2;
+      }
+      if (jobs == 0) {
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+      }
+      continue;
+    }
+    if (arg.rfind("--certify=", 0) == 0) {
+      certify = arg.substr(10);
+      if (certify != "concurrent-exec") {
+        std::cerr << "ids-analyzer: unknown certificate '" << certify
+                  << "' (expected concurrent-exec)\n";
+        return 2;
+      }
+      continue;
+    }
     if (arg.rfind("--", 0) == 0) {
       std::cerr << "ids-analyzer: unknown option '" << arg
                 << "' (try --help)\n";
@@ -159,18 +234,57 @@ int run(int argc, char** argv) {
     return 2;
   }
 
+  const double parse_start = wall_seconds();
   Corpus corpus;
-  for (const std::string& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::cerr << "ids-analyzer: cannot open '" << path << "'\n";
+  if (jobs <= 1 || files.size() < 2) {
+    for (const std::string& path : files) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "ids-analyzer: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      corpus.add_file(path, ss.str());
+    }
+  } else {
+    // Read + lex on worker threads (make_file_data is a pure function);
+    // adopt in input order so the corpus — and every downstream table,
+    // finding, and baseline key — is byte-identical to a serial run.
+    std::vector<std::unique_ptr<FileData>> slots(files.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> io_error{false};
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), files.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t idx = next.fetch_add(1);
+          if (idx >= slots.size()) return;
+          std::ifstream in(files[idx], std::ios::binary);
+          if (!in) {
+            io_error.store(true);
+            return;
+          }
+          std::ostringstream ss;
+          ss << in.rdbuf();
+          slots[idx] = make_file_data(files[idx], ss.str());
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    if (io_error.load()) {
+      std::cerr << "ids-analyzer: cannot open an input file (--jobs run)\n";
       return 2;
     }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    corpus.add_file(path, ss.str());
+    for (std::unique_ptr<FileData>& fd : slots) {
+      corpus.adopt_file(std::move(fd));
+    }
   }
   corpus.finalize();
+  const double parse_seconds = wall_seconds() - parse_start;
 
   CallGraph graph;
   graph.build(corpus);
@@ -179,17 +293,50 @@ int run(int argc, char** argv) {
   a.corpus = &corpus;
   a.graph = &graph;
   a.enabled = enabled;
-  run_local_rules(a);
-  run_interproc_rules(a);
-  sort_findings(a.findings);
 
-  if (!baseline_path.empty()) {
-    std::set<std::string> keys;
-    if (!load_baseline(baseline_path, &keys)) return 2;
-    apply_baseline(keys, &a.findings);
+  const double analyze_start = wall_seconds();
+  std::size_t cert_violations = 0;
+  if (!certify.empty()) {
+    // Certificate mode: only the [shared-state] walk runs; stdout carries
+    // the inventory, findings go to stderr, the baseline does not apply.
+    bool root_found = false;
+    cert_violations = run_certificate(a, std::cout, &root_found);
+    if (!root_found) {
+      std::cerr << "ids-analyzer: --certify=" << certify
+                << " found no IdsEngine::execute in the corpus\n";
+      return 2;
+    }
+    sort_findings(a.findings);
+  } else {
+    run_local_rules(a);
+    run_interproc_rules(a);
+    run_concurrency_rules(a);
+    sort_findings(a.findings);
+
+    if (!baseline_path.empty()) {
+      std::set<std::string> keys;
+      if (!load_baseline(baseline_path, &keys)) return 2;
+      apply_baseline(keys, &a.findings);
+    }
+    if (!write_baseline_path.empty()) {
+      if (!write_baseline(write_baseline_path, a.findings)) return 2;
+    }
   }
-  if (!write_baseline_path.empty()) {
-    if (!write_baseline(write_baseline_path, a.findings)) return 2;
+  const double analyze_seconds = wall_seconds() - analyze_start;
+
+  // Per-rule counts: every known rule appears (zeros included) so the CI
+  // archive is a stable schema.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> per_rule;
+  for (const RuleInfo& r : rule_table()) per_rule[r.id];
+  std::size_t active = 0, suppressed = 0;
+  for (const Finding& fd : a.findings) {
+    if (fd.suppressed) {
+      ++suppressed;
+      per_rule[fd.rule].second += 1;
+    } else {
+      ++active;
+      per_rule[fd.rule].first += 1;
+    }
   }
 
   if (want_stats) {
@@ -200,11 +347,73 @@ int run(int argc, char** argv) {
                  "  call-sites=%zu edges=%zu resolved-unique=%zu "
                  "resolved-overapprox=%zu external=%zu unresolved=%zu\n"
                  "  resolution-ratio=%.4f (resolved / (resolved + "
-                 "unresolved))\n",
+                 "unresolved))\n"
+                 "  parse-seconds=%.3f (jobs=%ld) analyze-seconds=%.3f\n",
                  corpus.files.size(), s.decls, s.functions, s.bodies,
                  s.call_sites, s.edges, s.resolved_unique,
                  s.resolved_overapprox, s.external, s.unresolved,
-                 s.resolution_ratio());
+                 s.resolution_ratio(), parse_seconds, jobs, analyze_seconds);
+    for (const auto& [rule, counts] : per_rule) {
+      if (counts.first == 0 && counts.second == 0) continue;
+      std::fprintf(stderr, "  rule %-24s active=%zu suppressed=%zu\n",
+                   rule.c_str(), counts.first, counts.second);
+    }
+  }
+  if (!stats_json_path.empty()) {
+    std::ofstream js(stats_json_path, std::ios::trunc);
+    if (!js) {
+      std::cerr << "ids-analyzer: cannot write stats JSON '"
+                << stats_json_path << "'\n";
+      return 2;
+    }
+    const CallGraphStats& s = graph.stats;
+    char ratio[32], psec[32], asec[32];
+    std::snprintf(ratio, sizeof(ratio), "%.4f", s.resolution_ratio());
+    std::snprintf(psec, sizeof(psec), "%.3f", parse_seconds);
+    std::snprintf(asec, sizeof(asec), "%.3f", analyze_seconds);
+    js << "{\n"
+       << "  \"files\": " << corpus.files.size() << ",\n"
+       << "  \"decls\": " << s.decls << ",\n"
+       << "  \"functions\": " << s.functions << ",\n"
+       << "  \"bodies\": " << s.bodies << ",\n"
+       << "  \"call_sites\": " << s.call_sites << ",\n"
+       << "  \"edges\": " << s.edges << ",\n"
+       << "  \"resolved_unique\": " << s.resolved_unique << ",\n"
+       << "  \"resolved_overapprox\": " << s.resolved_overapprox << ",\n"
+       << "  \"external\": " << s.external << ",\n"
+       << "  \"unresolved\": " << s.unresolved << ",\n"
+       << "  \"resolution_ratio\": " << ratio << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"parse_seconds\": " << psec << ",\n"
+       << "  \"analyze_seconds\": " << asec << ",\n"
+       << "  \"findings\": {\"active\": " << active << ", \"suppressed\": "
+       << suppressed << "},\n"
+       << "  \"per_rule\": {\n";
+    std::size_t k = 0;
+    for (const auto& [rule, counts] : per_rule) {
+      js << "    \"" << rule << "\": {\"active\": " << counts.first
+         << ", \"suppressed\": " << counts.second << "}"
+         << (++k == per_rule.size() ? "" : ",") << "\n";
+    }
+    js << "  }\n}\n";
+    if (!js.flush()) {
+      std::cerr << "ids-analyzer: cannot write stats JSON '"
+                << stats_json_path << "'\n";
+      return 2;
+    }
+  }
+
+  if (!certify.empty()) {
+    print_text(std::cerr, a.findings);
+    if (cert_violations > 0) {
+      std::cerr << "ids-analyzer: certificate FAILED: " << cert_violations
+                << " shared-state violation(s) in " << corpus.files.size()
+                << " file(s)\n";
+      return 1;
+    }
+    std::cerr << "ids-analyzer: certificate OK (" << corpus.files.size()
+              << " files)\n";
+    return 0;
   }
 
   if (format == "sarif") {
@@ -213,10 +422,6 @@ int run(int argc, char** argv) {
     print_text(std::cout, a.findings);
   }
 
-  std::size_t active = 0, suppressed = 0;
-  for (const Finding& fd : a.findings) {
-    (fd.suppressed ? suppressed : active) += 1;
-  }
   if (active > 0) {
     std::cerr << "ids-analyzer: " << active << " finding(s)";
     if (suppressed > 0) std::cerr << " (+" << suppressed << " suppressed)";

@@ -38,6 +38,20 @@ const std::vector<RuleInfo>& rule_table() {
        "Discarding the result of a thin wrapper that forwards its "
        "callee's Status/Result is as bad as discarding the Status "
        "itself."},
+      {"guarded-by",
+       "Fields of classes that own an ids::Mutex must hold the lock "
+       "consistently at every write and carry IDS_GUARDED_BY (or be "
+       "atomic/const/IDS_SINGLE_QUERY_ONLY-waived)."},
+      {"thread-escape",
+       "State captured by reference (or via 'this') in a task handed to "
+       "ThreadPool::submit/parallel_for must not be mutated without a "
+       "guarding MutexLock or atomic type; indexed writes into disjoint "
+       "per-rank slots are the sanctioned pattern."},
+      {"shared-state",
+       "--certify=concurrent-exec: every static, global, and member "
+       "transitively reachable from IdsEngine::execute must be immutable, "
+       "guarded, atomic, internally synchronized, or "
+       "IDS_SINGLE_QUERY_ONLY-waived."},
   };
   return kTable;
 }

@@ -1,0 +1,32 @@
+// Fixture (negative): racy writes in a mutex-owning class. Two shapes
+// ids-analyzer must flag under [guarded-by]:
+//   1. Counter::hit_rate_ is written with mu_ held in record() but with
+//      no lock at all in reset() — inconsistent locking on one field.
+//   2. Counter::total_ is only ever written under the lock, but carries
+//      no IDS_GUARDED_BY annotation, so Clang's thread-safety analysis
+//      cannot check any of its accesses.
+
+namespace fixture {
+
+class Counter {
+ public:
+  void record(double v);
+  void reset();
+
+ private:
+  Mutex mu_;
+  double hit_rate_ = 0.0;
+  long total_ = 0;
+};
+
+void Counter::record(double v) {
+  MutexLock lock(mu_);
+  hit_rate_ = v;  // BAD shape 1: locked here...
+  total_ += 1;    // BAD shape 2: no IDS_GUARDED_BY on total_
+}
+
+void Counter::reset() {
+  hit_rate_ = 0.0;  // BAD shape 1: ...but not here
+}
+
+}  // namespace fixture

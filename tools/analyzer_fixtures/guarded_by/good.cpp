@@ -1,0 +1,32 @@
+// Fixture (positive): the same shape with the locking contract declared.
+// hit_rate_ and total_ are annotated IDS_GUARDED_BY(mu_) — exercising the
+// annotation-plus-initializer declarator parse — and every write takes
+// the lock; hits_ is atomic and needs no lock at all.
+
+namespace fixture {
+
+class Counter {
+ public:
+  void record(double v);
+  void reset();
+
+ private:
+  Mutex mu_;
+  double hit_rate_ IDS_GUARDED_BY(mu_) = 0.0;
+  long total_ IDS_GUARDED_BY(mu_) = 0;
+  std::atomic<long> hits_{0};
+};
+
+void Counter::record(double v) {
+  MutexLock lock(mu_);
+  hit_rate_ = v;
+  total_ += 1;
+  hits_.fetch_add(1);
+}
+
+void Counter::reset() {
+  MutexLock lock(mu_);
+  hit_rate_ = 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture (negative): shared mutable state on the execute path. Three
+// shapes `--certify=concurrent-exec` must flag under [shared-state]:
+//   1. IdsEngine::served_ is a plain member written during execute().
+//   2. execute() keeps a mutable function-local static cursor.
+//   3. g_queries is a mutable namespace-scope global.
+// None of these fire in default mode — [shared-state] is certify-only.
+
+namespace fixture {
+
+long g_queries = 0;
+
+class IdsEngine {
+ public:
+  int execute();
+
+ private:
+  long served_ = 0;
+};
+
+int IdsEngine::execute() {
+  static int cursor = 0;
+  ++cursor;
+  served_ += 1;
+  g_queries += 1;
+  return cursor;
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture (positive): everything execute() reaches is immutable, guarded,
+// atomic, or explicitly waived — the certificate passes, and the waiver
+// lands in the inventory as the concurrent-serving worklist entry.
+
+namespace fixture {
+
+const long kQueryLimit = 64;
+
+class IdsEngine {
+ public:
+  int execute();
+
+ private:
+  Mutex mu_;
+  long served_ IDS_GUARDED_BY(mu_) = 0;
+  std::atomic<long> ticks_{0};
+  std::vector<int> scratch_ IDS_SINGLE_QUERY_ONLY(fixture_scratch_reuse);
+};
+
+int IdsEngine::execute() {
+  static constexpr int kBatch = 8;
+  {
+    MutexLock lock(mu_);
+    served_ += 1;
+  }
+  ticks_.fetch_add(1);
+  scratch_.push_back(kBatch);
+  return static_cast<int>(kQueryLimit);
+}
+
+}  // namespace fixture

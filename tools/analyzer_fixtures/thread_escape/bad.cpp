@@ -1,0 +1,39 @@
+// Fixture (negative): state escaping into pool tasks. Two shapes
+// ids-analyzer must flag under [thread-escape]:
+//   1. tally() hands parallel_for a task that mutates the by-reference
+//      captured local `total` — every worker shares the one slot.
+//   2. Indexer::build hands submit() a task that bumps member count_
+//      through the captured `this` without taking a lock.
+
+namespace fixture {
+
+class ThreadPool {
+ public:
+  void submit(const std::function<void()>& fn);
+};
+
+void parallel_for(int n, const std::function<void(int)>& fn);
+
+long tally(int n) {
+  long total = 0;
+  parallel_for(n, [&](int i) {
+    total += i;  // BAD: by-ref capture mutated by every worker
+  });
+  return total;
+}
+
+class Indexer {
+ public:
+  void build(ThreadPool& pool);
+
+ private:
+  long count_ = 0;
+};
+
+void Indexer::build(ThreadPool& pool) {
+  pool.submit([this] {
+    count_ += 1;  // BAD: member mutated through captured this, no lock
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture (positive): tasks that share state safely. Per-rank slots are
+// written through disjoint subscripts, cross-task counters are atomic or
+// locked inside the task, and by-value captures copy into each task.
+
+namespace fixture {
+
+class ThreadPool {
+ public:
+  void submit(const std::function<void()>& fn);
+};
+
+void parallel_for(int n, const std::function<void(int)>& fn);
+
+void consume(long v);
+
+long tally(ThreadPool& pool, int n) {
+  std::vector<long> per_rank(static_cast<std::size_t>(n), 0);
+  std::atomic<long> total{0};
+  parallel_for(n, [&](int i) {
+    per_rank[i] += i;    // per-rank slot: disjoint by construction
+    total.fetch_add(i);  // atomic: safe to share by reference
+  });
+  long base = 7;
+  pool.submit([base] { consume(base + 1); });  // by-value copy
+  return total.load();
+}
+
+class Indexer {
+ public:
+  void build(ThreadPool& pool);
+
+ private:
+  Mutex mu_;
+  long count_ IDS_GUARDED_BY(mu_) = 0;
+};
+
+void Indexer::build(ThreadPool& pool) {
+  pool.submit([this] {
+    MutexLock lock(mu_);
+    count_ += 1;  // lock taken inside the task
+  });
+}
+
+}  // namespace fixture

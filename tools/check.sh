@@ -29,9 +29,11 @@ cmake -B build-analyze -S . > build-analyze-configure.log 2>&1 || {
 rm -f build-analyze-configure.log
 cmake --build build-analyze --target ids-analyzer -j "$jobs"
 analyzer=build-analyze/tools/analyzer/ids-analyzer
-# SARIF lands next to the build so CI can archive it; findings outside the
-# committed baseline fail the gate.
-"$analyzer" --format=sarif --stats --baseline=tools/analyzer_baseline.txt src \
+# SARIF and the stats JSON land next to the build so CI can archive them;
+# findings outside the committed baseline fail the gate.
+"$analyzer" --format=sarif --stats \
+  --stats-json=build-analyze/ids-analyzer-stats.json \
+  --baseline=tools/analyzer_baseline.txt src \
   > build-analyze/ids-analyzer.sarif
 # Baseline drift: a fixed finding must also be removed from the baseline,
 # so regenerating it has to reproduce the committed file byte-for-byte.
@@ -44,6 +46,19 @@ if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
   exit 1
 fi
 rm -f "$fresh_baseline"
+
+echo "==> ids-analyzer certify (concurrent-exec shared-state certificate)"
+# The certificate must pass (exit 0) AND match the committed inventory, so
+# every newly waived or reclassified entry shows up in review.
+fresh_cert=$(mktemp)
+"$analyzer" --certify=concurrent-exec src > "$fresh_cert"
+if ! diff -u tools/concurrency_certificate.json "$fresh_cert"; then
+  rm -f "$fresh_cert"
+  echo "check: tools/concurrency_certificate.json is stale; regenerate with" >&2
+  echo "  $analyzer --certify=concurrent-exec src > tools/concurrency_certificate.json" >&2
+  exit 1
+fi
+rm -f "$fresh_cert"
 
 echo "==> ids-analyzer self-test (dogfood + resolution ratio)"
 bash tests/analyzer_selftest.sh "$analyzer"

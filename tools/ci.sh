@@ -17,7 +17,9 @@ echo "==> ids-analyzer (src/, SARIF, gated on tools/analyzer_baseline.txt)"
 cmake -B build-ci-analyze -S . > /dev/null
 cmake --build build-ci-analyze --target ids-analyzer -j "$jobs"
 analyzer=build-ci-analyze/tools/analyzer/ids-analyzer
-"$analyzer" --format=sarif --stats --baseline=tools/analyzer_baseline.txt src \
+"$analyzer" --format=sarif --stats \
+  --stats-json=build-ci-analyze/ids-analyzer-stats.json \
+  --baseline=tools/analyzer_baseline.txt src \
   > build-ci-analyze/ids-analyzer.sarif
 fresh_baseline=$(mktemp)
 "$analyzer" --write-baseline="$fresh_baseline" src > /dev/null || true
@@ -28,6 +30,17 @@ if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
   exit 1
 fi
 rm -f "$fresh_baseline"
+
+echo "==> ids-analyzer certify (concurrent-exec shared-state certificate)"
+fresh_cert=$(mktemp)
+"$analyzer" --certify=concurrent-exec src > "$fresh_cert"
+if ! diff -u tools/concurrency_certificate.json "$fresh_cert"; then
+  rm -f "$fresh_cert"
+  echo "ci: tools/concurrency_certificate.json is stale; regenerate with" >&2
+  echo "  $analyzer --certify=concurrent-exec src > tools/concurrency_certificate.json" >&2
+  exit 1
+fi
+rm -f "$fresh_cert"
 
 echo "==> ids-analyzer self-test (dogfood + resolution ratio)"
 bash tests/analyzer_selftest.sh "$analyzer"

@@ -29,6 +29,15 @@
 #      time. tools/analyzer's [blocking-under-lock] catches the worst case
 #      (sleeping under a mutex) interprocedurally; this regex rule bans the
 #      primitive outright.
+#   9. Mutable static/global state in src/: `static` locals that are not
+#      const/constexpr/atomic/thread_local, and namespace-scope `g_*`
+#      globals that are not const/atomic/sync — hidden shared state that
+#      defeats the concurrent-serving certificate (`ids-analyzer
+#      --certify=concurrent-exec` walks the same territory with token
+#      fidelity; this regex rule keeps the signal in plain `lint`).
+#      src/telemetry/ and src/common/logging.cpp are exempt (process-wide
+#      registries and the log level are global by design); a deliberate
+#      use opts out with a trailing `// lint:allow-global`.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -188,6 +197,39 @@ while IFS= read -r f; do
   hits=$(grep -nE 'std::this_thread::sleep_(for|until)' "$f")
   if [ -n "$hits" ]; then
     fail "host-side sleep in $f (advance the sim::VirtualClock instead; only src/sim/ may pace real time):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 9. mutable static/global state in src/ -----------------------------
+# Two shapes: (a) `static` declarations that are neither immutable
+# (const/constexpr), synchronized (atomic/Mutex/CondVar), nor per-thread
+# (thread_local) — lines with '(' are skipped, which screens out static
+# member-function declarations and statics initialized from calls (the
+# analyzer's [shared-state] certificate classifies those with full token
+# fidelity); (b) declarations of g_-prefixed namespace-scope globals (the
+# repo's naming convention for them) lacking the same protections.
+while IFS= read -r f; do
+  case "$f" in
+    src/telemetry/*|src/common/logging.cpp) continue ;;
+    src/*) ;;
+    *) continue ;;
+  esac
+  # Blank out opted-out lines wholesale, then strip //-comment tails, so
+  # neither prose mentioning "static" nor the escape marker itself match.
+  hits=$(sed -e '/lint:allow-global/s/.*//' -e 's|//.*||' "$f" \
+           | grep -nE '(^|[[:space:]])static[[:space:]]' \
+           | grep -vE 'const|constexpr|atomic|thread_local|Mutex|CondVar|\(')
+  if [ -n "$hits" ]; then
+    fail "mutable static state in $f (make it const/atomic, guard it, or mark a deliberate use with // lint:allow-global):
+$hits"
+  fi
+  hits=$(sed -e '/lint:allow-global/s/.*//' -e 's|//.*||' "$f" \
+           | grep -nE '^[A-Za-z_][A-Za-z0-9_:<>,&* ]*[[:space:]]g_[a-z0-9_]+[[:space:]]*[={;]' \
+           | grep -vE 'const|atomic|Mutex|CondVar' \
+           | grep -vE '^[0-9]+:[[:space:]]*(return|if|while|for|case|delete|throw)\b')
+  if [ -n "$hits" ]; then
+    fail "mutable namespace-scope global in $f (make it const/atomic/internally synchronized, or mark a deliberate use with // lint:allow-global):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

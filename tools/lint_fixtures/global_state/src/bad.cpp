@@ -1,0 +1,15 @@
+// Negative fixture for lint rule 9: mutable static/global state in
+// library code. Both shapes planted here are invisible to callers but
+// shared by every query the process serves — exactly what the
+// concurrent-serving certificate exists to flush out.
+
+namespace ids {
+
+long g_request_count = 0;  // BAD: mutable namespace-scope global
+
+int next_ticket() {
+  static int ticket = 0;  // BAD: mutable function-local static
+  return ++ticket;
+}
+
+}  // namespace ids
