@@ -13,7 +13,7 @@
 #include "cache/manager.h"
 #include "common/flat_map.h"
 #include "common/rng.h"
-#include "common/vector_ops.h"
+#include "common/simd.h"
 #include "datagen/lifesci.h"
 #include "graph/solution.h"
 #include "graph/triple_store.h"
@@ -29,6 +29,24 @@ namespace {
 
 using namespace ids;
 
+/// Pins the SIMD dispatch level for one benchmark's scope (build + timed
+/// loop) and restores the previous level on exit. The *Scalar benchmark
+/// variants use this so one BENCH_kernels.json recording carries the
+/// scalar-vs-dispatched claim directly.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level)
+      : prev_(simd::active_level()) {
+    simd::set_level(level);
+  }
+  ~ScopedSimdLevel() { simd::set_level(prev_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  simd::Level prev_;
+};
+
 void BM_SmithWaterman(benchmark::State& state) {
   Rng rng(1);
   const auto len = static_cast<int>(state.range(0));
@@ -41,6 +59,20 @@ void BM_SmithWaterman(benchmark::State& state) {
   state.counters["cells"] = static_cast<double>(len) * len;
 }
 BENCHMARK(BM_SmithWaterman)->Arg(128)->Arg(350)->Arg(1024);
+
+void BM_SmithWatermanScalar(benchmark::State& state) {
+  ScopedSimdLevel scoped(simd::Level::kScalar);
+  Rng rng(1);
+  const auto len = static_cast<int>(state.range(0));
+  std::string a = datagen::random_protein_sequence(rng, len);
+  std::string b = datagen::random_protein_sequence(rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::smith_waterman(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cells"] = static_cast<double>(len) * len;
+}
+BENCHMARK(BM_SmithWatermanScalar)->Arg(128)->Arg(350)->Arg(1024);
 
 void BM_SwNormalizedSimilarity(benchmark::State& state) {
   Rng rng(2);
@@ -246,7 +278,7 @@ void BM_DotKernel(benchmark::State& state) {
   auto a = random_floats(dim, 21);
   auto b = random_floats(dim, 22);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dot_kernel(a.data(), b.data(), dim));
+    benchmark::DoNotOptimize(simd::dot(a.data(), b.data(), dim));
   }
   state.SetItemsProcessed(state.iterations() * dim);
 }
@@ -268,11 +300,64 @@ void BM_L2Kernel(benchmark::State& state) {
   auto a = random_floats(dim, 23);
   auto b = random_floats(dim, 24);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(l2sq_kernel(a.data(), b.data(), dim));
+    benchmark::DoNotOptimize(simd::l2sq(a.data(), b.data(), dim));
   }
   state.SetItemsProcessed(state.iterations() * dim);
 }
 BENCHMARK(BM_L2Kernel)->Arg(128)->Arg(512);
+
+// ---- Batched multi-row scan kernels (ISSUE 7) ---------------------------
+// One query against a contiguous row-major candidate block — the
+// VectorStore::topk_shard / IvfIndex inner loop. The *Scalar variants pin
+// the dispatch level so the recording carries scalar-vs-SIMD directly.
+
+constexpr std::size_t kBatchRows = 4096;
+
+void run_dot_batch(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto rows = random_floats(kBatchRows * dim, 25);
+  auto q = random_floats(dim, 26);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    simd::dot_batch(q.data(), rows.data(), kBatchRows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatchRows * dim));
+}
+
+void BM_DotBatch(benchmark::State& state) { run_dot_batch(state); }
+BENCHMARK(BM_DotBatch)->Arg(128)->Arg(512);
+
+void BM_DotBatchScalar(benchmark::State& state) {
+  ScopedSimdLevel scoped(simd::Level::kScalar);
+  run_dot_batch(state);
+}
+BENCHMARK(BM_DotBatchScalar)->Arg(128)->Arg(512);
+
+void run_l2_batch(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  auto rows = random_floats(kBatchRows * dim, 27);
+  auto q = random_floats(dim, 28);
+  std::vector<float> out(kBatchRows);
+  for (auto _ : state) {
+    simd::l2sq_batch(q.data(), rows.data(), kBatchRows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatchRows * dim));
+}
+
+void BM_L2Batch(benchmark::State& state) { run_l2_batch(state); }
+BENCHMARK(BM_L2Batch)->Arg(128)->Arg(512);
+
+void BM_L2BatchScalar(benchmark::State& state) {
+  ScopedSimdLevel scoped(simd::Level::kScalar);
+  run_l2_batch(state);
+}
+BENCHMARK(BM_L2BatchScalar)->Arg(128)->Arg(512);
 
 /// A solution table shaped like the engine's mid-query state: three id
 /// columns, one numeric column.
@@ -380,6 +465,50 @@ void BM_JoinIndexFlat(benchmark::State& state) {
 }
 BENCHMARK(BM_JoinIndexFlat)->Arg(1 << 14)->Arg(1 << 17);
 
+// Probe-side only (index built outside the timed loop): the group-scan
+// metadata walk is the measured path, at the dispatched vs scalar level.
+void run_flat_group_probe(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> build, probe;
+  make_join_keys(n, &build, &probe);
+  FlatGroupIndex index(build);
+  for (auto _ : state) {
+    std::size_t produced = 0;
+    for (std::uint64_t key : probe) {
+      for (std::uint32_t row : index.probe(key)) produced += row;
+    }
+    benchmark::DoNotOptimize(produced);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_FlatGroupProbe(benchmark::State& state) { run_flat_group_probe(state); }
+BENCHMARK(BM_FlatGroupProbe)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_FlatGroupProbeScalar(benchmark::State& state) {
+  ScopedSimdLevel scoped(simd::Level::kScalar);
+  run_flat_group_probe(state);
+}
+BENCHMARK(BM_FlatGroupProbeScalar)->Arg(1 << 14)->Arg(1 << 17);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef IDS_BENCH_BUILD_TYPE
+#define IDS_BENCH_BUILD_TYPE "unspecified"
+#endif
+
+// Custom main instead of BENCHMARK_MAIN(): stamps provenance (build type,
+// SIMD dispatch level) into the JSON context, so a committed
+// BENCH_kernels.json can always be traced to the binary that produced it.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("ids_build_type", IDS_BENCH_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "ids_simd_level", ids::simd::level_name(ids::simd::active_level()));
+  benchmark::AddCustomContext(
+      "ids_simd_detected", ids::simd::level_name(ids::simd::detected_level()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

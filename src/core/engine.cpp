@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/flat_map.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "common/rng.h"
 #include "core/planner.h"
 #include "expr/chain.h"
@@ -86,6 +87,10 @@ class QueryExecution {
     if (tracer_ != nullptr) {
       root_span_ =
           tracer_->begin_span("query", "query", telemetry::kNoSpan, -1, 0);
+      // Stamp the active SIMD dispatch level so every trace records which
+      // kernel variants produced it (simd.cpp exports the matching gauge).
+      tracer_->add_attr(root_span_, "simd_level",
+                        simd::level_name(simd::active_level()));
       stage_wall_start_ = telemetry::Tracer::wall_now_ns();
     }
 

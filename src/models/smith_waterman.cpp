@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace ids::models {
 
 namespace {
@@ -66,6 +68,22 @@ constexpr std::array<std::array<int, 21>, 21> build_padded_matrix() {
 
 constexpr std::array<std::array<int, 21>, 21> kB62Padded = build_padded_matrix();
 
+/// The padded matrix flattened to int8 for the striped SIMD kernel (every
+/// BLOSUM62 entry fits comfortably; the kernel widens to int16).
+constexpr std::array<std::int8_t, 21 * 21> build_padded_matrix_i8() {
+  std::array<std::int8_t, 21 * 21> m{};
+  for (int i = 0; i < 21; ++i) {
+    for (int j = 0; j < 21; ++j) {
+      m[static_cast<std::size_t>(i * 21 + j)] = static_cast<std::int8_t>(
+          kB62Padded[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+  }
+  return m;
+}
+
+constexpr std::array<std::int8_t, 21 * 21> kB62PaddedI8 =
+    build_padded_matrix_i8();
+
 }  // namespace
 
 int residue_index(char c) { return kResidueTable[static_cast<unsigned char>(c)]; }
@@ -83,6 +101,38 @@ SwResult smith_waterman(std::string_view a, std::string_view b,
   const int m = static_cast<int>(a.size());
   const int n = static_cast<int>(b.size());
   if (m == 0 || n == 0) return result;
+  result.cells = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
+
+  // Fast path: striped (Farrar) saturating-int16 SIMD kernel. Integer DP,
+  // so when it runs it returns the exact scalar scores and end positions;
+  // it declines (used_simd=false) at the scalar dispatch level and flags
+  // overflow when the true score exceeds int16 — both fall through to the
+  // int32 scalar loop below, which stays the reference implementation.
+  // The modeled cost (cells) is m*n either way, so dispatch level can
+  // never leak into the virtual-clock goldens.
+  {
+    std::vector<std::uint8_t> a_idx(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      int ia = residue_index(a[static_cast<std::size_t>(i)]);
+      a_idx[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(ia >= 0 ? ia : kUnknown);
+    }
+    std::vector<std::uint8_t> b_idx8(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      int ib = residue_index(b[static_cast<std::size_t>(j)]);
+      b_idx8[static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>(ib >= 0 ? ib : kUnknown);
+    }
+    const simd::SwScore fast = simd::sw_striped_i16(
+        a_idx.data(), m, b_idx8.data(), n, kB62PaddedI8.data(), 21,
+        params.gap_open, params.gap_extend);
+    if (fast.used_simd && !fast.overflow) {
+      result.score = fast.score;
+      result.end_a = fast.end_a;
+      result.end_b = fast.end_b;
+      return result;
+    }
+  }
 
   // Gotoh affine-gap DP over int32 rows:
   //   H[i][j] = best score of local alignment ending at (i, j)
@@ -134,7 +184,6 @@ SwResult smith_waterman(std::string_view a, std::string_view b,
   result.score = best;
   result.end_a = best_i;
   result.end_b = best_j;
-  result.cells = static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
   return result;
 }
 

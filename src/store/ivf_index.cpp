@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
-#include "common/vector_ops.h"
+#include "common/simd.h"
 
 namespace ids::store {
 
@@ -13,11 +13,14 @@ IvfIndex::IvfIndex(const VectorStore& store, int shard, Params params)
   const std::size_t n = store.shard_size(shard);
   const int kc = std::max(1, std::min<int>(params.num_clusters,
                                            static_cast<int>(n > 0 ? n : 1)));
+  num_clusters_ = kc;
+  const auto dim = static_cast<std::size_t>(dim_);
 
-  // Initialize centroids from evenly spaced, deterministic samples.
+  // Initialize centroids from evenly spaced, deterministic samples. The
+  // centroid matrix is contiguous row-major so both the k-means assignment
+  // step and the query-time cluster ranking run the batched l2sq kernel.
   Rng rng(params.seed);
-  centroids_.assign(static_cast<std::size_t>(kc),
-                    std::vector<float>(static_cast<std::size_t>(dim_), 0.0f));
+  centroids_.assign(static_cast<std::size_t>(kc) * dim, 0.0f);
   if (n == 0) {
     members_.assign(static_cast<std::size_t>(kc), {});
     return;
@@ -25,49 +28,51 @@ IvfIndex::IvfIndex(const VectorStore& store, int shard, Params params)
   for (int c = 0; c < kc; ++c) {
     std::size_t pick = (n * static_cast<std::size_t>(c)) / static_cast<std::size_t>(kc);
     auto v = store.shard_vector(shard, pick);
-    std::copy(v.begin(), v.end(), centroids_[static_cast<std::size_t>(c)].begin());
+    std::copy(v.begin(), v.end(),
+              centroids_.begin() +
+                  static_cast<std::ptrdiff_t>(static_cast<std::size_t>(c) * dim));
   }
 
+  const float* rows = store.shard_data(shard);
   std::vector<int> assign(n, 0);
+  std::vector<float> dists(static_cast<std::size_t>(kc));
   for (int iter = 0; iter < params.kmeans_iters; ++iter) {
-    // Assignment step.
+    // Assignment step: one batched scan of the centroid matrix per point;
+    // the ascending-c strict-< argmin reproduces the per-row loop exactly.
     for (std::size_t i = 0; i < n; ++i) {
-      auto v = store.shard_vector(shard, i);
+      simd::l2sq_batch(rows + i * dim, centroids_.data(),
+                       static_cast<std::size_t>(kc), dim, dists.data());
       float best = std::numeric_limits<float>::max();
       int best_c = 0;
       for (int c = 0; c < kc; ++c) {
-        float d = l2sq_kernel(v, centroids_[static_cast<std::size_t>(c)]);
-        if (d < best) {
-          best = d;
+        if (dists[static_cast<std::size_t>(c)] < best) {
+          best = dists[static_cast<std::size_t>(c)];
           best_c = c;
         }
       }
       assign[i] = best_c;
     }
     // Update step.
-    std::vector<std::vector<float>> sums(
-        static_cast<std::size_t>(kc),
-        std::vector<float>(static_cast<std::size_t>(dim_), 0.0f));
+    std::vector<float> sums(static_cast<std::size_t>(kc) * dim, 0.0f);
     std::vector<std::size_t> counts(static_cast<std::size_t>(kc), 0);
     for (std::size_t i = 0; i < n; ++i) {
-      auto v = store.shard_vector(shard, i);
-      auto c = static_cast<std::size_t>(assign[i]);
-      for (int d = 0; d < dim_; ++d) sums[c][static_cast<std::size_t>(d)] += v[static_cast<std::size_t>(d)];
-      ++counts[c];
+      const float* v = rows + i * dim;
+      float* sum = sums.data() + static_cast<std::size_t>(assign[i]) * dim;
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += v[d];
+      ++counts[static_cast<std::size_t>(assign[i])];
     }
     for (int c = 0; c < kc; ++c) {
       auto cc = static_cast<std::size_t>(c);
+      float* centroid = centroids_.data() + cc * dim;
       if (counts[cc] == 0) {
         // Re-seed an empty cluster with a deterministic random point.
         std::size_t pick = rng.next_below(n);
         auto v = store.shard_vector(shard, pick);
-        std::copy(v.begin(), v.end(), centroids_[cc].begin());
+        std::copy(v.begin(), v.end(), centroid);
         continue;
       }
-      for (int d = 0; d < dim_; ++d) {
-        centroids_[cc][static_cast<std::size_t>(d)] =
-            sums[cc][static_cast<std::size_t>(d)] /
-            static_cast<float>(counts[cc]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroid[d] = sums[cc * dim + d] / static_cast<float>(counts[cc]);
       }
     }
   }
@@ -83,22 +88,35 @@ std::vector<VectorHit> IvfIndex::topk(std::span<const float> query,
                                       int nprobe) const {
   const int kc = num_clusters();
   nprobe = std::max(1, std::min(nprobe, kc));
+  const auto dim = static_cast<std::size_t>(dim_);
 
-  // Rank clusters by centroid distance to the query.
+  // Rank clusters by centroid distance to the query (batched scan; the
+  // (distance, cluster) pair sort keeps the deterministic tie-break).
+  std::vector<float> dists(static_cast<std::size_t>(kc));
+  simd::l2sq_batch(query.data(), centroids_.data(),
+                   static_cast<std::size_t>(kc), dim, dists.data());
   std::vector<std::pair<float, int>> order;
   order.reserve(static_cast<std::size_t>(kc));
   for (int c = 0; c < kc; ++c) {
-    order.emplace_back(l2sq_kernel(query, centroids_[static_cast<std::size_t>(c)]), c);
+    order.emplace_back(dists[static_cast<std::size_t>(c)], c);
   }
   std::sort(order.begin(), order.end());
 
   std::vector<VectorHit> hits;
   auto ids = store_.shard_ids(shard_);
+  const float* rows = store_.shard_data(shard_);
+  std::vector<float> scores;
   for (int p = 0; p < nprobe; ++p) {
-    for (std::size_t idx : members_[static_cast<std::size_t>(order[static_cast<std::size_t>(p)].second)]) {
-      auto v = store_.shard_vector(shard_, idx);
-      hits.push_back(
-          VectorHit{ids[idx], VectorStore::similarity(query, v, metric)});
+    const auto& mem =
+        members_[static_cast<std::size_t>(order[static_cast<std::size_t>(p)].second)];
+    if (mem.empty()) continue;
+    // Gathered batch over the probed cluster's members; scores are
+    // bit-identical to the exact scan's (recall tests rely on this).
+    scores.resize(mem.size());
+    VectorStore::score_rows_indexed(query, rows, dim, mem.data(), mem.size(),
+                                    metric, scores.data());
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+      hits.push_back(VectorHit{ids[mem[i]], scores[i]});
     }
   }
   auto better = [](const VectorHit& a, const VectorHit& b) {

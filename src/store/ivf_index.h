@@ -31,7 +31,7 @@ class IvfIndex {
   std::vector<VectorHit> topk(std::span<const float> query, std::size_t k,
                               Metric metric, int nprobe) const;
 
-  int num_clusters() const { return static_cast<int>(centroids_.size()); }
+  int num_clusters() const { return num_clusters_; }
 
   /// Fraction of shard vectors scanned for a given nprobe (cost proxy).
   double scan_fraction(int nprobe) const;
@@ -43,7 +43,8 @@ class IvfIndex {
   const VectorStore& store_;
   int shard_;
   int dim_;
-  std::vector<std::vector<float>> centroids_;
+  int num_clusters_ = 0;
+  std::vector<float> centroids_;  // row-major, num_clusters_ x dim
   std::vector<std::vector<std::size_t>> members_;  // per-cluster vector idxs
 };
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "common/vector_ops.h"
+#include "common/simd.h"
 
 #include "common/check.h"
 namespace ids::store {
@@ -12,7 +12,7 @@ namespace ids::store {
 namespace {
 
 float norm(std::span<const float> a) {
-  return std::sqrt(dot_kernel(a, a));
+  return std::sqrt(simd::dot(a.data(), a.data(), a.size()));
 }
 
 }  // namespace
@@ -21,17 +21,71 @@ float VectorStore::similarity(std::span<const float> a,
                               std::span<const float> b, Metric metric) {
   switch (metric) {
     case Metric::kDot:
-      return dot_kernel(a, b);
+      return simd::dot(a.data(), b.data(), a.size());
     case Metric::kCosine: {
       float na = norm(a);
       float nb = norm(b);
       if (na == 0.0f || nb == 0.0f) return 0.0f;
-      return dot_kernel(a, b) / (na * nb);
+      return simd::dot(a.data(), b.data(), a.size()) / (na * nb);
     }
     case Metric::kL2:
-      return -std::sqrt(l2sq_kernel(a, b));
+      return -std::sqrt(simd::l2sq(a.data(), b.data(), a.size()));
   }
   return 0.0f;
+}
+
+// Both batched entry points reproduce similarity() expression-for-
+// expression (same kernels, same norm/divide order), so batch scores are
+// bit-identical to the per-row calls they replace.
+
+void VectorStore::score_rows(std::span<const float> query, const float* rows,
+                             std::size_t num_rows, std::size_t dim,
+                             Metric metric, float* out) {
+  switch (metric) {
+    case Metric::kDot:
+      simd::dot_batch(query.data(), rows, num_rows, dim, out);
+      return;
+    case Metric::kCosine: {
+      const float na = norm(query);
+      simd::dot_batch(query.data(), rows, num_rows, dim, out);
+      std::vector<float> self(num_rows);
+      simd::self_dot_batch(rows, num_rows, dim, self.data());
+      for (std::size_t r = 0; r < num_rows; ++r) {
+        const float nb = std::sqrt(self[r]);
+        out[r] = (na == 0.0f || nb == 0.0f) ? 0.0f : out[r] / (na * nb);
+      }
+      return;
+    }
+    case Metric::kL2:
+      simd::l2sq_batch(query.data(), rows, num_rows, dim, out);
+      for (std::size_t r = 0; r < num_rows; ++r) out[r] = -std::sqrt(out[r]);
+      return;
+  }
+}
+
+void VectorStore::score_rows_indexed(std::span<const float> query,
+                                     const float* base, std::size_t dim,
+                                     const std::size_t* idx, std::size_t num,
+                                     Metric metric, float* out) {
+  switch (metric) {
+    case Metric::kDot:
+      simd::dot_batch_indexed(query.data(), base, dim, idx, num, out);
+      return;
+    case Metric::kCosine: {
+      const float na = norm(query);
+      simd::dot_batch_indexed(query.data(), base, dim, idx, num, out);
+      for (std::size_t r = 0; r < num; ++r) {
+        const float* row = base + idx[r] * dim;
+        const float nb = std::sqrt(simd::dot(row, row, dim));
+        out[r] = (na == 0.0f || nb == 0.0f) ? 0.0f : out[r] / (na * nb);
+      }
+      return;
+    }
+    case Metric::kL2:
+      simd::l2sq_batch_indexed(query.data(), base, dim, idx, num, out);
+      for (std::size_t r = 0; r < num; ++r) out[r] = -std::sqrt(out[r]);
+      return;
+  }
 }
 
 VectorStore::VectorStore(int num_shards, int dim)
@@ -74,13 +128,16 @@ std::vector<VectorHit> VectorStore::topk_shard(int shard,
                                                std::size_t k,
                                                Metric metric) const {
   const auto& s = shards_[static_cast<std::size_t>(shard)];
+  const std::size_t n = s.ids.size();
+  // One batched scan over the contiguous shard matrix replaces n per-row
+  // span calls; scores are bit-identical to the per-row path.
+  std::vector<float> scores(n);
+  score_rows(query, s.data.data(), n, static_cast<std::size_t>(dim_), metric,
+             scores.data());
   std::vector<VectorHit> hits;
-  hits.reserve(s.ids.size());
-  for (std::size_t i = 0; i < s.ids.size(); ++i) {
-    std::span<const float> v{
-        s.data.data() + i * static_cast<std::size_t>(dim_),
-        static_cast<std::size_t>(dim_)};
-    hits.push_back(VectorHit{s.ids[i], similarity(query, v, metric)});
+  hits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hits.push_back(VectorHit{s.ids[i], scores[i]});
   }
   auto better = [](const VectorHit& a, const VectorHit& b) {
     if (a.score != b.score) return a.score > b.score;

@@ -71,6 +71,11 @@ class VectorStore {
     const auto& s = shards_[static_cast<std::size_t>(shard)];
     return s.ids;
   }
+  /// Base pointer of a shard's row-major embedding matrix
+  /// (shard_size(shard) x dim) — the batched-scan entry point.
+  const float* shard_data(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].data.data();
+  }
   std::span<const float> shard_vector(int shard, std::size_t idx) const {
     const auto& s = shards_[static_cast<std::size_t>(shard)];
     return {s.data.data() + idx * static_cast<std::size_t>(dim_),
@@ -85,6 +90,21 @@ class VectorStore {
 
   static float similarity(std::span<const float> a, std::span<const float> b,
                           Metric metric);
+
+  /// Batched scoring of one query against `num_rows` contiguous row-major
+  /// vectors: out[r] is bit-identical to similarity(query, row_r, metric)
+  /// at every SIMD dispatch level (the exact-vs-IVF recall tests compare
+  /// these scores directly).
+  static void score_rows(std::span<const float> query, const float* rows,
+                         std::size_t num_rows, std::size_t dim, Metric metric,
+                         float* out);
+
+  /// Batched scoring of scattered rows: out[i] scores base + idx[i]*dim —
+  /// the IVF cluster-member path. Same bit-identity contract.
+  static void score_rows_indexed(std::span<const float> query,
+                                 const float* base, std::size_t dim,
+                                 const std::size_t* idx, std::size_t num,
+                                 Metric metric, float* out);
 
  private:
   struct Shard {

@@ -47,5 +47,17 @@ check "mutable static flagged" 1 'mutable static state' \
       --root "$repo/tools/lint_fixtures/global_state"
 check "mutable global flagged" 1 'mutable namespace-scope global' \
       --root "$repo/tools/lint_fixtures/global_state"
+check "raw intrinsics flagged" 1 'raw SIMD intrinsics' \
+      --root "$repo/tools/lint_fixtures/raw_intrinsics"
+
+# Rule 10's escape hatch: the fixture's lint:allow-intrinsics line must not
+# appear among the findings (the include and the unmarked _mm calls must).
+out=$("$lint" --root "$repo/tools/lint_fixtures/raw_intrinsics" 2>&1)
+if echo "$out" | grep -q 'prefetch'; then
+  echo "FAIL [intrinsics escape hatch]: lint:allow-intrinsics line was flagged" >&2
+  failed=1
+else
+  echo "ok   [intrinsics escape hatch]"
+fi
 
 exit $failed

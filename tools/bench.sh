@@ -2,12 +2,18 @@
 # Runs the kernel microbenchmarks (google-benchmark) and writes the JSON
 # report to BENCH_kernels.json at the repository root — the perf trajectory
 # data referenced by ROADMAP.md. Numbers are only meaningful from a Release
-# build; the script configures/builds one itself if needed.
+# build, so the script refuses any other build type unless --allow-debug is
+# given (smoke runs in CI use it); the binary itself stamps the build type
+# and the active SIMD dispatch level into the JSON context, so a recording's
+# provenance is auditable after the fact.
 #
-# Usage: tools/bench.sh [--smoke] [--build-dir DIR] [--out FILE] [--filter RE]
+# Usage: tools/bench.sh [--smoke] [--allow-debug] [--build-dir DIR]
+#                       [--out FILE] [--filter RE]
 #   --smoke       cap per-benchmark min time at 0.01s (CI smoke signal: the
 #                 harness runs end to end and emits valid JSON; timings are
 #                 noisy and must not be checked in)
+#   --allow-debug run even when the build dir is not CMAKE_BUILD_TYPE=Release
+#                 (the stamped context still records the real build type)
 #   --build-dir   Release build directory (default: build-release)
 #   --out         output path (default: <repo>/BENCH_kernels.json)
 #   --filter      benchmark regex (default: all)
@@ -19,14 +25,16 @@ build_dir="$repo/build-release"
 out="$repo/BENCH_kernels.json"
 min_time=0.1
 filter='.*'
+allow_debug=0
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) min_time=0.01; shift ;;
+    --allow-debug) allow_debug=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     --filter) filter="$2"; shift 2 ;;
-    *) echo "usage: $0 [--smoke] [--build-dir DIR] [--out FILE] [--filter RE]" >&2
+    *) echo "usage: $0 [--smoke] [--allow-debug] [--build-dir DIR] [--out FILE] [--filter RE]" >&2
        exit 2 ;;
   esac
 done
@@ -35,6 +43,16 @@ if [ ! -x "$build_dir/bench/bench_kernels" ]; then
   echo "==> configuring Release build in $build_dir"
   cmake -S "$repo" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 fi
+
+# Provenance gate: recordings from non-Release builds are noise, not data.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+if [ "$build_type" != "Release" ] && [ "$allow_debug" -ne 1 ]; then
+  echo "error: $build_dir is CMAKE_BUILD_TYPE='${build_type:-<unset>}', not Release." >&2
+  echo "       Benchmark recordings must come from a Release build; pass" >&2
+  echo "       --allow-debug to run anyway (e.g. for a CI smoke check)." >&2
+  exit 1
+fi
+
 echo "==> building bench_kernels"
 cmake --build "$build_dir" --target bench_kernels -j "$(nproc 2>/dev/null || echo 2)"
 
@@ -46,4 +64,4 @@ echo "==> running benchmarks (min_time=${min_time}s, filter=$filter)"
   --benchmark_out="$out" \
   --benchmark_out_format=json
 
-echo "==> wrote $out"
+echo "==> wrote $out (build_type=$build_type)"

@@ -91,8 +91,14 @@ build_and_test() {  # $1 = build dir, $2 = IDS_SANITIZE value
   mkdir -p "$1"
   cmake -B "$1" -S . -DIDS_SANITIZE="$2" -DIDS_WERROR=ON > "$1/configure.log"
   cmake --build "$1" -j "$jobs"
-  echo "==> $2 ctest"
+  # Two passes: auto-detected SIMD dispatch, then the forced-scalar
+  # kernels. Both must be green under the sanitizer — the scalar run is
+  # what non-x86 hosts would execute, and divergence between the passes
+  # means the determinism contract (DESIGN.md §11) is broken.
+  echo "==> $2 ctest (IDS_SIMD_LEVEL=auto)"
   (cd "$1" && ctest --output-on-failure -j "$jobs")
+  echo "==> $2 ctest (IDS_SIMD_LEVEL=scalar)"
+  (cd "$1" && IDS_SIMD_LEVEL=scalar ctest --output-on-failure -j "$jobs")
 }
 
 build_and_test build-tsan thread

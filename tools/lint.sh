@@ -38,6 +38,12 @@
 #      src/telemetry/ and src/common/logging.cpp are exempt (process-wide
 #      registries and the log level are global by design); a deliberate
 #      use opts out with a trailing `// lint:allow-global`.
+#  10. Raw SIMD intrinsics outside src/common/simd.* — #include
+#      <immintrin.h> (or the narrower *mmintrin headers) and _mm/_mm256
+#      calls. Every kernel goes through the dispatched ids::simd layer so
+#      the scalar fallback, the determinism contract, and the
+#      IDS_SIMD_LEVEL override stay in one place. A deliberate use opts
+#      out with a trailing `// lint:allow-intrinsics`.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -230,6 +236,24 @@ $hits"
            | grep -vE '^[0-9]+:[[:space:]]*(return|if|while|for|case|delete|throw)\b')
   if [ -n "$hits" ]; then
     fail "mutable namespace-scope global in $f (make it const/atomic/internally synchronized, or mark a deliberate use with // lint:allow-global):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 10. raw SIMD intrinsics outside src/common/simd.* ------------------
+# The dispatch layer is the only place intrinsics may live: everything
+# else calls ids::simd, which owns the scalar fallback and the
+# cross-level determinism contract. Matches the umbrella and per-ISA
+# intrinsic headers plus _mm*/_mm256*/_mm512* calls; comment tails are
+# stripped so prose about intrinsics stays legal.
+while IFS= read -r f; do
+  case "$f" in
+    src/common/simd.h|src/common/simd.cpp) continue ;;
+  esac
+  hits=$(sed -e '/lint:allow-intrinsics/s/.*//' -e 's|//.*||' "$f" \
+           | grep -nE '#[[:space:]]*include[[:space:]]*<(immintrin|[a-z]{3}mmintrin|avxintrin|avx2intrin)\.h>|(^|[^_[:alnum:]])_mm(256|512)?_[a-z0-9_]+[[:space:]]*\(')
+  if [ -n "$hits" ]; then
+    fail "raw SIMD intrinsics in $f (route through ids::simd in common/simd.h, or mark a deliberate use with // lint:allow-intrinsics):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

@@ -1,0 +1,20 @@
+// Negative fixture for lint rule 10: raw SIMD intrinsics outside
+// src/common/simd.*. Hand-rolled intrinsics bypass the dispatch layer's
+// scalar fallback and cross-level determinism contract; this file must be
+// flagged on both the include and the _mm call. The opted-out line at the
+// bottom must NOT be flagged.
+#include <immintrin.h>
+
+float sum8(const float* p) {
+  __m256 v = _mm256_loadu_ps(p);
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_hadd_ps(s, s);
+  s = _mm_hadd_ps(s, s);
+  return _mm_cvtss_f32(s);
+}
+
+void prefetch_ok(const char* p) {
+  _mm_prefetch(p, _MM_HINT_T0);  // lint:allow-intrinsics
+}
