@@ -24,6 +24,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/simd.h"
+#include "common/thread_annotations.h"
 
 namespace ids {
 
@@ -159,7 +160,9 @@ class FlatTermSet {
     group_mask_ = cap / simd::kGroupWidth - 1;
   }
 
-  bool insert(std::uint64_t key) {
+  /// Crossing the 70% load factor rehashes into fresh storage: pointers
+  /// and spans into the key array do not survive an insert.
+  bool insert(std::uint64_t key) IDS_INVALIDATES(keys_) {
     if ((size_ + 1) * 10 > keys_.size() * 7) grow();
     const std::uint64_t h = mix64(key);
     const auto tag = static_cast<std::uint8_t>(h >> 57);
@@ -206,8 +209,12 @@ class FlatTermSet {
 
   std::size_t size() const { return size_; }
 
+  /// Slot count before the next rehash moves storage; lets tests (and
+  /// callers holding spans over keys_) prove an insert will not grow.
+  std::size_t capacity() const { return keys_.size() * 7 / 10; }
+
  private:
-  void grow() {
+  void grow() IDS_INVALIDATES(keys_) {
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
     const std::size_t cap = old_keys.size() * 2;

@@ -108,6 +108,29 @@
 /// nothing on every compiler.
 #define IDS_SINGLE_QUERY_ONLY(reason)
 
+/// Declares that calling this method may invalidate views (spans,
+/// string_views, references, pointers, iterators) previously derived from
+/// the named container — input for the [view-invalidation] summaries when
+/// the inference cannot see it (storage behind an opaque handle, body in a
+/// TU the analyzer is not given). Trails the declarator, e.g.
+/// `void compact() IDS_INVALIDATES(rows_);`. Expands to nothing.
+#define IDS_INVALIDATES(container)
+
+/// Declares that a mutating method preserves existing views into the
+/// object (deque-style stable storage, arena append, node-based rehash).
+/// The [view-invalidation] summary inference drops the method, so calling
+/// it between a view's derivation and use is not a finding. Expands to
+/// nothing.
+#define IDS_STABLE_STORAGE
+
+/// Audited waiver for the lifetime rule family ([view-invalidation],
+/// [dangling-return], [temporary-bound-view], [task-outlives-capture]):
+/// suppresses those findings inside the annotated function. The reason is
+/// an identifier-style tag recorded in the finding notes, e.g.
+/// `IDS_VIEW_OK(span_rederived_after_every_mutation)`. Trails the
+/// declarator; expands to nothing on every compiler.
+#define IDS_VIEW_OK(reason)
+
 namespace ids {
 
 /// std::mutex with the capability annotation. Satisfies BasicLockable /

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "graph/dictionary.h"
 
 namespace ids::graph {
@@ -45,16 +46,18 @@ class SolutionTable {
                             : id_cols_[0].size();
   }
 
-  void reserve(std::size_t rows);
+  void reserve(std::size_t rows) IDS_INVALIDATES(id_cols_);
 
   /// Appends one row; `ids` and `nums` must match the schema arity.
-  void append_row(std::span<const TermId> ids, std::span<const double> nums = {});
+  void append_row(std::span<const TermId> ids, std::span<const double> nums = {})
+      IDS_INVALIDATES(id_cols_);
 
   /// Appends all rows of `other` (same schema required).
-  void append_table(const SolutionTable& other);
+  void append_table(const SolutionTable& other) IDS_INVALIDATES(id_cols_);
 
   /// Appends row `row` of `other` (same schema required).
-  void append_row_from(const SolutionTable& other, std::size_t row);
+  void append_row_from(const SolutionTable& other, std::size_t row)
+      IDS_INVALIDATES(id_cols_);
 
   // ---- Batch kernels ------------------------------------------------------
   // Column-at-a-time row movement: one pass per column instead of one
@@ -64,12 +67,13 @@ class SolutionTable {
   /// Gather-appends `other`'s rows at the given positions, in order (same
   /// schema required). Equivalent to append_row_from in a loop.
   void append_rows_from(const SolutionTable& other,
-                        std::span<const RowIndex> rows);
+                        std::span<const RowIndex> rows)
+      IDS_INVALIDATES(id_cols_);
 
   /// Bulk-appends the contiguous row range [begin, end) of `other` (same
   /// schema required); each column is one range insert.
   void append_row_range_from(const SolutionTable& other, std::size_t begin,
-                             std::size_t end);
+                             std::size_t end) IDS_INVALIDATES(id_cols_);
 
   /// Gather-appends only the columns `other` shares with this table:
   /// other's id variables must be a *prefix* of this table's id variables
@@ -78,7 +82,8 @@ class SolutionTable {
   /// must append to them via id_col_mut() until all columns are equal
   /// length again.
   void append_prefix_from(const SolutionTable& other,
-                          std::span<const RowIndex> rows);
+                          std::span<const RowIndex> rows)
+      IDS_INVALIDATES(id_cols_);
 
   /// Splits row positions by destination: partition_rows(dst, p)[d] lists
   /// the rows r (ascending) with dst[r] == d. The index lists feed
@@ -114,7 +119,7 @@ class SolutionTable {
 
   /// Adds a new numeric column (filled with 0.0 for existing rows) and
   /// returns its index; used when a FILTER stage materializes a score.
-  int add_num_var(std::string name);
+  int add_num_var(std::string name) IDS_INVALIDATES(num_cols_);
 
   void set_num(std::size_t row, int var_idx, double v) {
     num_cols_[static_cast<std::size_t>(var_idx)][row] = v;
@@ -122,10 +127,10 @@ class SolutionTable {
 
   /// Keeps only the rows whose flag is true (stable). flags.size() must
   /// equal num_rows().
-  void filter_rows(const std::vector<char>& keep);
+  void filter_rows(const std::vector<char>& keep) IDS_INVALIDATES(id_cols_);
 
   /// Keeps only the first n rows (no-op if n >= num_rows()).
-  void truncate(std::size_t n);
+  void truncate(std::size_t n) IDS_INVALIDATES(id_cols_);
 
   /// Extracts the given rows into a new table with the same schema.
   SolutionTable take_rows(std::span<const std::size_t> rows) const;
@@ -133,7 +138,7 @@ class SolutionTable {
   /// An empty table with the same schema.
   SolutionTable empty_like() const;
 
-  void clear();
+  void clear() IDS_INVALIDATES(id_cols_);
 
   /// Modeled size of one row in bytes, for communication costing.
   std::size_t row_bytes() const {

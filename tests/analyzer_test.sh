@@ -113,6 +113,55 @@ check "captured-this member escape flagged" 1 \
 check "atomic / per-rank / locked tasks accepted" 0 'ids-analyzer: OK' \
       "$fixtures/thread_escape/good.cpp"
 
+# --- lifetime rules ----------------------------------------------------------
+
+check "view invalidated by direct mutation flagged" 1 \
+      "view-invalidation.*view 'p'.*'names.push_back\(\)'" \
+      "$fixtures/view_invalidation/bad.cpp"
+check "view invalidated through method summary flagged" 1 \
+      "view 'base'.*'grow\(\)' \(ids_.resize\)" \
+      "$fixtures/view_invalidation/bad.cpp"
+check "view invalidated by reassignment flagged" 1 \
+      "being reassigned" \
+      "$fixtures/view_invalidation/bad.cpp"
+check "re-derived / stable-storage views accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/view_invalidation/good.cpp"
+
+check "returned reference to local flagged" 1 \
+      'dangling-return.*local' \
+      "$fixtures/dangling_return/bad.cpp"
+check "returned view of by-value param flagged" 1 \
+      "dangling-return.*by-value parameter" \
+      "$fixtures/dangling_return/bad.cpp"
+check "member / parameter-referent returns accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/dangling_return/good.cpp"
+
+check "view bound to substr temporary flagged" 1 \
+      "temporary-bound-view.*'substr\(...\)' result" \
+      "$fixtures/temporary_bound_view/bad.cpp"
+check "view member initialized from temporary flagged" 1 \
+      "string_view member 'Header::title_'" \
+      "$fixtures/temporary_bound_view/bad.cpp"
+check "views of named owners accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/temporary_bound_view/good.cpp"
+
+check "unjoined by-ref task capture flagged" 1 \
+      "task-outlives-capture.*captures 'rows' by reference.*never joins" \
+      "$fixtures/task_outlives_capture/bad.cpp"
+check "unjoined this capture flagged" 1 \
+      "task-outlives-capture.*'this'" \
+      "$fixtures/task_outlives_capture/bad.cpp"
+check "joined / by-value / waived tasks accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/task_outlives_capture/good.cpp"
+
+# --- lexer raw strings -------------------------------------------------------
+
+check "raw string contents produce no findings" 0 'ids-analyzer: OK' \
+      "$fixtures/lexer_raw_string/good.cpp"
+check "lexer recovers after a raw string" 1 \
+      'lexer_raw_string/bad.cpp:11:.*bare-assert' \
+      "$fixtures/lexer_raw_string/bad.cpp"
+
 # --- shared-state certificate ------------------------------------------------
 
 check "certify flags execute-path shared state" 1 'shared-state' \
@@ -142,6 +191,8 @@ check "live tree passes the certificate" 0 'certificate OK' \
 check "no input paths is a usage error" 2 'no input paths'
 check "missing path is an IO error" 2 'cannot read' /no/such/path
 check "--list-rules names every rule" 0 'xfile-lock-order' --list-rules
+check "--list-rules names the lifetime rules" 0 'task-outlives-capture' \
+      --list-rules
 check "unknown --rule is a usage error" 2 'unknown rule' --rule=no-such-rule
 check "unknown --format is a usage error" 2 'unknown format' --format=xml \
       "$fixtures/bare_assert/good.cpp"
@@ -154,7 +205,11 @@ check "--rule keeps the selected rule" 1 'discarded-status' \
 check "--stats reports the resolution ratio" 0 'resolution-ratio=' \
       --stats "$fixtures/lock_order_cycle/good.cpp"
 check "--stats reports parse timing and jobs" 0 \
-      'parse-seconds=.*\(jobs=1\)' --stats "$fixtures/lock_order_cycle/good.cpp"
+      'parse-seconds=.*\(jobs=1\)' --stats --jobs=1 \
+      "$fixtures/lock_order_cycle/good.cpp"
+check "--stats reports per-phase wall time" 0 \
+      'phase-seconds: lex=.* corpus=.* callgraph=.* rules=.* total=' \
+      --stats "$fixtures/lock_order_cycle/good.cpp"
 check "--stats breaks findings down per rule" 1 \
       'rule guarded-by *active=2' --stats "$fixtures/guarded_by/bad.cpp"
 check "bad --jobs value is a usage error" 2 'bad --jobs' --jobs=many \
@@ -180,10 +235,16 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 doc = json.load(open(sys.argv[1]))
 for key in ("files", "functions", "resolution_ratio", "jobs",
-            "parse_seconds", "analyze_seconds", "findings", "per_rule"):
+            "parse_seconds", "analyze_seconds", "findings", "per_rule",
+            "phase_seconds"):
     assert key in doc, "missing key: " + key
+for key in ("lex", "corpus", "callgraph", "rules", "total"):
+    assert key in doc["phase_seconds"], "missing phase: " + key
+    assert doc["phase_seconds"][key] >= 0
 assert "guarded-by" in doc["per_rule"], "per_rule misses guarded-by"
 assert "thread-escape" in doc["per_rule"], "per_rule misses thread-escape"
+assert "view-invalidation" in doc["per_rule"], "per_rule misses view-invalidation"
+assert "dangling-return" in doc["per_rule"], "per_rule misses dangling-return"
 ' "$tmp_stats"; then
     echo "ok   [stats JSON validates]"
   else
@@ -216,7 +277,9 @@ rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
 for rid in ("discarded-status", "unchecked-value", "lock-order",
             "bare-assert", "xfile-lock-order", "blocking-under-lock",
             "wallclock-in-engine", "wrapper-discarded-status",
-            "guarded-by", "thread-escape", "shared-state"):
+            "guarded-by", "thread-escape", "shared-state",
+            "view-invalidation", "dangling-return", "temporary-bound-view",
+            "task-outlives-capture"):
     assert rid in rules, "missing rule metadata: " + rid
 for res in run["results"]:
     assert res["ruleId"] in rules

@@ -48,6 +48,32 @@ TEST(FlatTermSet, RehashPreservesEveryKeyAtEachGrowth) {
   EXPECT_EQ(set.size(), inserted.size());
 }
 
+TEST(FlatTermSet, CapacityMarksTheExactRehashBoundary) {
+  // insert() is annotated IDS_INVALIDATES(keys_): crossing the load factor
+  // rehashes into fresh storage, so pointers into the table die there.
+  // capacity() is the observable contract — while size() < capacity() an
+  // insert must not move storage (capacity unchanged), and the insert that
+  // reaches capacity() must grow it. Callers holding spans over the keys
+  // rely on exactly this boundary.
+  Rng rng(17);
+  FlatTermSet set(0);
+  std::size_t rehashes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t cap_before = set.capacity();
+    const bool stable = set.size() + 1 < cap_before;
+    set.insert(rng.next_u64());
+    if (stable) {
+      ASSERT_EQ(set.capacity(), cap_before)
+          << "storage moved below the advertised capacity, at size "
+          << set.size();
+    } else if (set.capacity() > cap_before) {
+      ++rehashes;
+    }
+  }
+  EXPECT_GE(rehashes, 5u);  // ~10 doublings from the minimum table
+  EXPECT_GE(set.capacity(), set.size());
+}
+
 TEST(FlatTermSet, DuplicateHeavyWorkloadStaysBounded) {
   // 100k inserts over 17 distinct keys: the table must absorb the
   // duplicates without growing past the handful of live slots, and every

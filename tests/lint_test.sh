@@ -49,6 +49,18 @@ check "mutable global flagged" 1 'mutable namespace-scope global' \
       --root "$repo/tools/lint_fixtures/global_state"
 check "raw intrinsics flagged" 1 'raw SIMD intrinsics' \
       --root "$repo/tools/lint_fixtures/raw_intrinsics"
+check "unknown escape tag flagged" 1 'unknown lint:allow-\* tag' \
+      --root "$repo/tools/lint_fixtures/unknown_escape"
+
+# Rule 11 bans only tags outside the closed set: the fixture's real
+# lint:allow-global waiver must not appear among its findings.
+out=$("$lint" --root "$repo/tools/lint_fixtures/unknown_escape" 2>&1)
+if echo "$out" | grep -q 'lint:allow-global'; then
+  echo "FAIL [known escape tag spared]: lint:allow-global was flagged" >&2
+  failed=1
+else
+  echo "ok   [known escape tag spared]"
+fi
 
 # Rule 10's escape hatch: the fixture's lint:allow-intrinsics line must not
 # appear among the findings (the include and the unmarked _mm calls must).

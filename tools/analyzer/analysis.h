@@ -70,6 +70,13 @@ void run_interproc_rules(Analysis& a);
 /// by-reference captures mutated inside ThreadPool tasks.
 void run_concurrency_rules(Analysis& a);
 
+/// Lifetime rules over the corpus + invalidation summaries (lifetime.h):
+/// [view-invalidation] uses of container views after a may-invalidate
+/// mutation, [dangling-return] refs/pointers/views into frame storage,
+/// [temporary-bound-view] string_view/span bound to rvalue temporaries,
+/// [task-outlives-capture] by-ref/this captures handed to detached tasks.
+void run_lifetime_rules(Analysis& a);
+
 /// --certify=concurrent-exec: walks everything transitively reachable
 /// from IdsEngine::execute, writes the machine-readable shared-state
 /// inventory to `os`, and reports one [shared-state] finding per

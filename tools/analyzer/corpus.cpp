@@ -101,6 +101,48 @@ Ret classify_return(const FileData& f, std::size_t name_idx) {
   return Ret::kOther;
 }
 
+/// Head token of the return declarator for FuncDecl::ret_head: walk back
+/// over `Class::` qualifiers from the name, then classify the token just
+/// before it — "&"/"*" for references and pointers, the template head for
+/// `std::vector<T>`/`std::span<T>` ("vector", "span"), otherwise the type
+/// ident itself. "" when nothing parseable precedes the name (constructors,
+/// macros, operators).
+std::string compute_ret_head(const FileData& f, std::size_t name_idx) {
+  std::size_t q = name_idx;
+  while (q >= 2 && tok_is(f.toks[q - 1], "::") && tok_ident(f.toks[q - 2])) {
+    q -= 2;
+  }
+  if (q == 0) return "";
+  std::size_t k = q - 1;
+  const std::string& prev = f.toks[k].text;
+  if (prev == "&" || prev == "&&") return "&";
+  if (prev == "*") return "*";
+  if (prev == ">" || prev == ">>") {
+    // Template type: walk back to the matching '<', the ident before it is
+    // the head ("vector", "span", "unique_ptr", ...).
+    int depth = 0;
+    std::size_t m = k;
+    while (true) {
+      const std::string& t = f.toks[m].text;
+      if (t == ">") depth += 1;
+      else if (t == ">>") depth += 2;
+      else if (t == "<") depth -= 1;
+      if (depth <= 0) break;
+      if (m == 0) return "";
+      --m;
+    }
+    if (m >= 1 && tok_ident(f.toks[m - 1])) return f.toks[m - 1].text;
+    return "";
+  }
+  if (tok_ident(f.toks[k]) && !is_keyword(prev) && prev != "const" &&
+      prev != "constexpr" && prev != "inline" && prev != "static" &&
+      prev != "virtual" && prev != "explicit" && prev != "friend" &&
+      !is_macro_name(prev)) {
+    return prev;
+  }
+  return "";
+}
+
 /// Parameter-count range [min, max] for the parameter list at `open`
 /// (top-level comma count; '=' defaults lower the minimum; "..." makes the
 /// maximum unbounded).
@@ -148,6 +190,7 @@ std::size_t handle_declarator(FileData& f, std::size_t i, std::size_t end,
     fn.klass = f.toks[i - 2].text;  // out-of-line Class::name definition
   }
   fn.ret = classify_return(f, i);
+  fn.ret_head = compute_ret_head(f, i);
 
   std::size_t open = i + 1;
   if (f.partner[open] == kNone) return i + 2;  // unbalanced; bail
@@ -184,12 +227,18 @@ std::size_t handle_declarator(FileData& f, std::size_t i, std::size_t end,
           } else if (t.text == "IDS_REQUIRES" ||
                      t.text == "IDS_REQUIRES_SHARED") {
             fn.requires_held = std::move(args);
+          } else if (t.text == "IDS_INVALIDATES") {
+            fn.invalidates = true;
+            fn.invalidates_args = std::move(args);
+          } else if (t.text == "IDS_VIEW_OK") {
+            fn.view_ok = args.empty() ? "unspecified" : args.front();
           }
           p = f.partner[p + 1] + 1;
         } else {
           // Paren-less contract markers (see common/thread_annotations.h).
           if (t.text == "IDS_MAY_BLOCK") fn.may_block = true;
           if (t.text == "IDS_WALLCLOCK_OK") fn.wallclock_ok = true;
+          if (t.text == "IDS_STABLE_STORAGE") fn.stable_storage = true;
           ++p;
         }
       } else {
@@ -366,10 +415,29 @@ void scan_range(FileData& f, std::size_t begin, std::size_t end,
         continue;
       }
       // Function declarator candidate: ident immediately followed by '('.
+      // Not one when an '=' already opened an initializer in this span —
+      // `T name_ = make_default();` is a member with a call initializer,
+      // and the span must survive intact for the lifetime rules.
       if (i + 1 < end && tok_is(f.toks[i + 1], "(") && !is_keyword(t.text) &&
           !is_macro_name(t.text)) {
-        span_start = kNone;
-        i = handle_declarator(f, i, end, cur_class, corpus);
+        bool in_initializer = false;
+        for (std::size_t q = span_start == kNone ? i : span_start; q < i;
+             ++q) {
+          if (tok_is(f.toks[q], "=")) {
+            in_initializer = true;
+            break;
+          }
+        }
+        if (!in_initializer) {
+          span_start = kNone;
+          i = handle_declarator(f, i, end, cur_class, corpus);
+          continue;
+        }
+        // Skip the initializer call opaquely so its arguments cannot look
+        // like declarators of their own.
+        i = f.partner[i + 1] != kNone && f.partner[i + 1] < end
+                ? f.partner[i + 1] + 1
+                : i + 2;
         continue;
       }
     } else if (tok_is(t, "{")) {
@@ -456,6 +524,16 @@ void build_merged(Corpus& corpus) {
     if (!fn.requires_held.empty()) m.requires_held = fn.requires_held;
     m.may_block = m.may_block || fn.may_block;
     m.wallclock_ok = m.wallclock_ok || fn.wallclock_ok;
+    m.invalidates = m.invalidates || fn.invalidates;
+    for (const std::string& a : fn.invalidates_args) {
+      if (std::find(m.invalidates_args.begin(), m.invalidates_args.end(), a) ==
+          m.invalidates_args.end()) {
+        m.invalidates_args.push_back(a);
+      }
+    }
+    m.stable_storage = m.stable_storage || fn.stable_storage;
+    if (m.view_ok.empty()) m.view_ok = fn.view_ok;
+    if (m.ret_head.empty()) m.ret_head = fn.ret_head;
     m.min_args = std::min(m.min_args, fn.min_args);
     if (m.max_args != kVariadic) {
       m.max_args = fn.max_args == kVariadic ? kVariadic

@@ -40,6 +40,16 @@ struct FuncDecl {
   std::vector<std::string> requires_held;  // raw IDS_REQUIRES args
   bool may_block = false;                  // IDS_MAY_BLOCK on this decl
   bool wallclock_ok = false;               // IDS_WALLCLOCK_OK on this decl
+  bool invalidates = false;                // IDS_INVALIDATES on this decl
+  std::vector<std::string> invalidates_args;  // raw IDS_INVALIDATES args
+  bool stable_storage = false;             // IDS_STABLE_STORAGE on this decl
+  std::string view_ok;                     // IDS_VIEW_OK reason; "" = none
+  /// Head token of the return declarator, walking back from the name over
+  /// `Class::` qualifiers: "&" / "*" for references and pointers, the
+  /// template head for `std::vector<T>` / `std::span<T>` ("vector",
+  /// "span"), otherwise the type ident itself ("Status", "string_view",
+  /// "void", "auto", ...). "" when nothing parseable precedes the name.
+  std::string ret_head;
   bool is_const_method = false;            // trailing const qualifier
   std::size_t min_args = 0, max_args = 0;  // declared parameter-count range
   const FileData* file = nullptr;
@@ -60,6 +70,11 @@ struct MergedFunc {
   std::vector<std::string> excludes, requires_held;
   bool may_block = false;
   bool wallclock_ok = false;
+  bool invalidates = false;                   // any decl has IDS_INVALIDATES
+  std::vector<std::string> invalidates_args;  // union over declarations
+  bool stable_storage = false;                // any decl has IDS_STABLE_STORAGE
+  std::string view_ok;  // IDS_VIEW_OK reason from any decl; "" = none
+  std::string ret_head;  // first nonempty FuncDecl::ret_head
   std::size_t min_args = kVariadic, max_args = 0;  // union over declarations
   /// Return kind inferred through thin forwarding wrappers
   /// (`X f() { return g(); }` where g returns Status and X is an alias the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lifetime.h"
+
 namespace ids::analyzer {
 namespace {
 
@@ -298,15 +300,117 @@ std::size_t analyze_lambda(const FuncDecl& fn, const Corpus& corpus,
   return body_end;  // the closing brace: the lambda's full extent
 }
 
-}  // namespace
+/// A wait point that pins the submitted task's lifetime to the frame:
+/// once the body reaches one after the submit, the captures outlive the
+/// task and [task-outlives-capture] stays quiet.
+bool is_join_name(const std::string& n) {
+  static const std::set<std::string> kJoins = {
+      "wait",      "get",        "join",           "wait_all",
+      "wait_idle", "drain",      "wait_for_tasks", "wait_until_idle",
+      "sync"};
+  return kJoins.count(n) != 0;
+}
 
-std::set<const MergedFunc*> compute_spawners(const Corpus& corpus) {
+/// One lambda handed to an async spawner in a frame with no later join:
+/// flags by-ref captures of frame state, [&]-implicit references, and an
+/// escaping `this`. Returns the closing body-brace index (skip extent).
+std::size_t check_task_lambda(const FuncDecl& fn, const Corpus& corpus,
+                              const std::string& spawn_name,
+                              std::size_t cap_open, std::size_t call_close,
+                              std::vector<EscapeFinding>* out) {
+  const FileData& f = *fn.file;
+  std::size_t cap_close = f.partner[cap_open];
+  if (cap_close == kNone || cap_close >= call_close) return cap_open;
+  Captures caps = parse_captures(f, cap_open, cap_close);
+  const int line = f.toks[cap_open].line;
+
+  std::set<std::string> task_locals;
+  std::size_t p = cap_close + 1;
+  if (p < call_close && tok_is(f.toks[p], "(") && f.partner[p] != kNone) {
+    for (std::size_t k = p + 1; k < f.partner[p]; ++k) {
+      if (tok_ident(f.toks[k])) task_locals.insert(f.toks[k].text);
+    }
+    p = f.partner[p] + 1;
+  }
+  while (p < call_close && !tok_is(f.toks[p], "{")) {
+    if ((tok_is(f.toks[p], "(") || tok_is(f.toks[p], "[")) &&
+        f.partner[p] != kNone) {
+      p = f.partner[p] + 1;
+    } else {
+      ++p;
+    }
+  }
+  if (p >= call_close || f.partner[p] == kNone) return cap_close;
+  const std::size_t body_begin = p + 1, body_end = f.partner[p];
+  collect_locals(f, body_begin, body_end, &task_locals);
+
+  // Frame state the capture can dangle on: locals declared before the
+  // lambda plus by-value parameters. Reference parameters stay out — their
+  // referent belongs to the caller, whose lifetime this frame cannot see.
+  std::set<std::string> frame;
+  collect_locals(f, fn.body_begin, cap_open, &frame);
+  for (const auto& [pn, head] : by_value_params_typed(fn)) frame.insert(pn);
+
+  auto report = [&](const std::string& what, const std::string& how) {
+    out->push_back(
+        {f.path, line,
+         "task passed to '" + spawn_name + "' captures " + what + " " + how +
+             " but '" + fn.name + "' never joins it; the capture dangles "
+             "if the task outlives the frame — capture by value, "
+             "wait/join before returning, or annotate the function "
+             "IDS_VIEW_OK(reason)"});
+  };
+  std::set<std::string> flagged;
+  for (const std::string& nm : caps.by_ref) {
+    if (frame.count(nm) != 0 && flagged.insert(nm).second) {
+      report("'" + nm + "'", "by reference");
+    }
+  }
+  if (caps.default_ref) {
+    for (std::size_t k = body_begin; k < body_end; ++k) {
+      if (!tok_ident(f.toks[k]) || is_keyword(f.toks[k].text)) continue;
+      const std::string& nm = f.toks[k].text;
+      if (k > body_begin && (tok_is(f.toks[k - 1], ".") ||
+                             tok_is(f.toks[k - 1], "->") ||
+                             tok_is(f.toks[k - 1], "::"))) {
+        continue;
+      }
+      if (k + 1 < body_end && tok_is(f.toks[k + 1], "(")) continue;  // call
+      if (frame.count(nm) == 0 || task_locals.count(nm) != 0) continue;
+      if (caps.by_val.count(nm) != 0 || caps.by_ref.count(nm) != 0) continue;
+      if (flagged.insert(nm).second) {
+        report("'" + nm + "'", "by reference (via [&])");
+      }
+    }
+  }
+  bool this_escapes = caps.this_cap;
+  if (!this_escapes && (caps.default_ref || caps.default_val)) {
+    for (std::size_t k = body_begin; k < body_end && !this_escapes; ++k) {
+      if (tok_is(f.toks[k], "this")) this_escapes = true;
+    }
+  }
+  if (this_escapes && !caps.this_by_val && !fn.klass.empty()) {
+    report("'this'", "by pointer");
+  }
+  return body_end;
+}
+
+/// The shared spawner fixed point: seed by name, then absorb every
+/// function that forwards one of its own parameters into a spawner call.
+std::set<const MergedFunc*> spawner_fixed_point(
+    const Corpus& corpus, const std::vector<const char*>& seeds) {
   std::set<const MergedFunc*> spawners;
-  for (const char* s : {"parallel_for", "submit"}) {
+  for (const char* s : seeds) {
     auto it = corpus.by_name.find(s);
     if (it == corpus.by_name.end()) continue;
     for (MergedFunc* m : it->second) spawners.insert(m);
   }
+  auto name_is_seed = [&](const std::string& n) {
+    for (const char* s : seeds) {
+      if (n == s) return true;
+    }
+    return false;
+  };
   for (bool changed = true; changed;) {
     changed = false;
     for (const FuncDecl& fn : corpus.funcs) {
@@ -322,7 +426,10 @@ std::set<const MergedFunc*> compute_spawners(const Corpus& corpus) {
         if (!tok_ident(f.toks[i]) || !tok_is(f.toks[i + 1], "(")) continue;
         const std::string& n = f.toks[i].text;
         if (is_keyword(n) || is_macro_name(n)) continue;
-        if (!call_spawns(f, i, fn, corpus, spawners)) continue;
+        if (!name_is_seed(n)) {
+          const MergedFunc* target = resolve_call(f, i, fn.klass, corpus);
+          if (target == nullptr || spawners.count(target) == 0) continue;
+        }
         std::size_t close = f.partner[i + 1];
         if (close == kNone || close > fn.body_end) continue;
         for (std::size_t k = i + 2; k < close; ++k) {
@@ -341,6 +448,16 @@ std::set<const MergedFunc*> compute_spawners(const Corpus& corpus) {
     }
   }
   return spawners;
+}
+
+}  // namespace
+
+std::set<const MergedFunc*> compute_spawners(const Corpus& corpus) {
+  return spawner_fixed_point(corpus, {"parallel_for", "submit"});
+}
+
+std::set<const MergedFunc*> compute_async_spawners(const Corpus& corpus) {
+  return spawner_fixed_point(corpus, {"submit"});
 }
 
 std::vector<EscapeFinding> find_escapes(
@@ -372,6 +489,58 @@ std::vector<EscapeFinding> find_escapes(
           continue;
         }
         k = analyze_lambda(fn, corpus, fields, n, k, close, &out);
+      }
+      i = close;
+    }
+  }
+  return out;
+}
+
+std::vector<EscapeFinding> find_task_lifetime(
+    const Corpus& corpus, const std::set<const MergedFunc*>& async_spawners) {
+  std::vector<EscapeFinding> out;
+  for (const FuncDecl& fn : corpus.funcs) {
+    if (!fn.has_body()) continue;
+    const MergedFunc* self = merged_of(corpus, fn);
+    if (self != nullptr && !self->view_ok.empty()) continue;  // audited
+    const FileData& f = *fn.file;
+    for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+      if (!tok_ident(f.toks[i]) || !tok_is(f.toks[i + 1], "(")) continue;
+      const std::string& n = f.toks[i].text;
+      if (is_keyword(n) || is_macro_name(n)) continue;
+      if (i > fn.body_begin && tok_ident(f.toks[i - 1]) &&
+          !is_keyword(f.toks[i - 1].text)) {
+        continue;  // `Type var(init)` declaration
+      }
+      bool spawns = n == "submit";
+      if (!spawns) {
+        const MergedFunc* target = resolve_call(f, i, fn.klass, corpus);
+        spawns = target != nullptr && async_spawners.count(target) != 0;
+      }
+      if (!spawns) continue;
+      std::size_t close = f.partner[i + 1];
+      if (close == kNone || close > fn.body_end) continue;
+      // A later wait/join in the same body pins the task to the frame.
+      bool joined = false;
+      for (std::size_t k = close; k + 1 < fn.body_end && !joined; ++k) {
+        if (tok_ident(f.toks[k]) && is_join_name(f.toks[k].text) &&
+            tok_is(f.toks[k + 1], "(")) {
+          joined = true;
+        }
+      }
+      if (joined) {
+        i = close;
+        continue;
+      }
+      for (std::size_t k = i + 2; k < close; ++k) {
+        if (!tok_is(f.toks[k], "[") || f.partner[k] == kNone ||
+            f.partner[k] >= close) {
+          continue;
+        }
+        if (!tok_is(f.toks[k - 1], "(") && !tok_is(f.toks[k - 1], ",")) {
+          continue;
+        }
+        k = check_task_lambda(fn, corpus, n, k, close, &out);
       }
       i = close;
     }

@@ -32,6 +32,12 @@ namespace ids::analyzer {
 /// ThreadPool definition in the corpus.
 std::set<const MergedFunc*> compute_spawners(const Corpus& corpus);
 
+/// Like compute_spawners but seeded with `submit` only — the detached-task
+/// entry points whose callable may outlive the submitting frame.
+/// parallel_for stays out: it joins before returning, so its captures
+/// cannot dangle. Feeds [task-outlives-capture].
+std::set<const MergedFunc*> compute_async_spawners(const Corpus& corpus);
+
 struct EscapeFinding {
   std::string path;
   int line = 0;
@@ -43,5 +49,14 @@ struct EscapeFinding {
 std::vector<EscapeFinding> find_escapes(
     const Corpus& corpus, const FieldTable& fields,
     const std::set<const MergedFunc*>& spawners);
+
+/// Scans every function body for lambdas handed to an *async* spawner
+/// (compute_async_spawners) in a frame that never joins the task — no
+/// wait/get/join/drain call between the submit and the end of the body.
+/// By-reference and `this` captures of such a task dangle if the task
+/// outlives the frame; each one becomes a finding. IDS_VIEW_OK(reason) on
+/// the submitting function waives it. Feeds [task-outlives-capture].
+std::vector<EscapeFinding> find_task_lifetime(
+    const Corpus& corpus, const std::set<const MergedFunc*>& async_spawners);
 
 }  // namespace ids::analyzer

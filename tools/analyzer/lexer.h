@@ -82,9 +82,9 @@ inline std::vector<Token> lex(const std::string& src) {
       continue;
     }
     if (c == '"' || c == '\'') {
-      // Raw strings R"(...)" are handled by the caller-side convention
-      // that the repo does not use them in analyzed sources; classic
-      // escapes are honored.
+      // Classic string/char literal; escapes are honored. Raw strings are
+      // recognized from the identifier branch below (the R prefix lexes
+      // first), so this path never sees one.
       char quote = c;
       int start_line = line;
       ++i;
@@ -101,7 +101,37 @@ inline std::vector<Token> lex(const std::string& src) {
     if (is_ident_start(c)) {
       std::size_t b = i;
       while (i < n && is_ident_char(src[i])) ++i;
-      out.push_back({Token::Kind::kIdent, src.substr(b, i - b), line});
+      std::string word = src.substr(b, i - b);
+      // Raw string literal: R"delim( ... )delim" (plus encoding prefixes).
+      // The payload is uninterpreted — lexing its parens/braces/quotes as
+      // tokens would desync every scope downstream (same failure family as
+      // the digit-separator case above), so consume it as one kString.
+      if (i < n && src[i] == '"' &&
+          (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+           word == "LR")) {
+        int start_line = line;
+        std::size_t q = i + 1;  // first d-char after the opening quote
+        std::string delim;
+        while (q < n && src[q] != '(' && src[q] != '"' && src[q] != ')' &&
+               src[q] != '\\' && !std::isspace(static_cast<unsigned char>(src[q])) &&
+               delim.size() < 16) {
+          delim += src[q++];
+        }
+        if (q < n && src[q] == '(') {
+          const std::string closer = ")" + delim + "\"";
+          std::size_t end_pos = src.find(closer, q + 1);
+          if (end_pos == std::string::npos) end_pos = n;
+          for (std::size_t k = q + 1; k < end_pos; ++k) {
+            if (src[k] == '\n') ++line;
+          }
+          i = end_pos + closer.size() <= n ? end_pos + closer.size() : n;
+          out.push_back({Token::Kind::kString, "\"\"", start_line});
+          continue;
+        }
+        // Malformed prefix (no d-char-seq opener): fall through and let the
+        // plain-string branch pick up the quote on the next iteration.
+      }
+      out.push_back({Token::Kind::kIdent, word, line});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {

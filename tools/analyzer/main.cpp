@@ -42,6 +42,24 @@
 //                               waives an entry and records the worklist
 //                               for concurrent serving).
 //
+// lifetime (rules_lifetime.cpp, lifetime.cpp, escape.cpp):
+//   [view-invalidation]         views (span/string_view/reference/pointer/
+//                               iterator/.data()) derived from a container
+//                               and used after a may-invalidate operation
+//                               — a reallocating std mutator, or a method
+//                               whose inferred/annotated invalidation
+//                               summary says so (IDS_INVALIDATES asserts,
+//                               IDS_STABLE_STORAGE exempts).
+//   [dangling-return]           returning a reference/pointer/view into a
+//                               local, a by-value parameter, or a
+//                               temporary.
+//   [temporary-bound-view]      string_view/span locals and members bound
+//                               to rvalue temporaries.
+//   [task-outlives-capture]     by-ref/this captures handed to
+//                               ThreadPool::submit in a frame that never
+//                               joins the task (IDS_VIEW_OK waives, with
+//                               the reason as audit trail).
+//
 // The analysis is deliberately conservative: a call it cannot resolve
 // (ambiguous name, receiver of unknown type, operator overload) is skipped
 // rather than guessed at, so a finding is always actionable.
@@ -99,8 +117,9 @@ void usage(std::ostream& os) {
      << "  --format=text|sarif   output format (default: text)\n"
      << "  --baseline=FILE       suppress findings matching the baseline\n"
      << "  --write-baseline=FILE write current findings as a baseline\n"
-     << "  --jobs=N              lex/load files on N threads (0 = all "
-        "cores)\n"
+     << "  --jobs=N              lex/load files on N threads (default and "
+        "0:\n"
+     << "                        all cores)\n"
      << "  --certify=concurrent-exec\n"
      << "                        emit the shared-state certificate rooted "
         "at\n"
@@ -126,7 +145,7 @@ int run(int argc, char** argv) {
   std::string baseline_path, write_baseline_path;
   std::string certify, stats_json_path;
   bool want_stats = false;
-  long jobs = 1;
+  long jobs = std::max(1u, std::thread::hardware_concurrency());
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--") continue;
@@ -234,7 +253,7 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  const double parse_start = wall_seconds();
+  const double lex_start = wall_seconds();
   Corpus corpus;
   if (jobs <= 1 || files.size() < 2) {
     for (const std::string& path : files) {
@@ -283,11 +302,16 @@ int run(int argc, char** argv) {
       corpus.adopt_file(std::move(fd));
     }
   }
+  const double lex_seconds = wall_seconds() - lex_start;
+  const double corpus_start = wall_seconds();
   corpus.finalize();
-  const double parse_seconds = wall_seconds() - parse_start;
+  const double corpus_seconds = wall_seconds() - corpus_start;
+  const double parse_seconds = lex_seconds + corpus_seconds;
 
+  const double callgraph_start = wall_seconds();
   CallGraph graph;
   graph.build(corpus);
+  const double callgraph_seconds = wall_seconds() - callgraph_start;
 
   Analysis a;
   a.corpus = &corpus;
@@ -311,6 +335,7 @@ int run(int argc, char** argv) {
     run_local_rules(a);
     run_interproc_rules(a);
     run_concurrency_rules(a);
+    run_lifetime_rules(a);
     sort_findings(a.findings);
 
     if (!baseline_path.empty()) {
@@ -323,6 +348,8 @@ int run(int argc, char** argv) {
     }
   }
   const double analyze_seconds = wall_seconds() - analyze_start;
+  const double total_seconds =
+      parse_seconds + callgraph_seconds + analyze_seconds;
 
   // Per-rule counts: every known rule appears (zeros included) so the CI
   // archive is a stable schema.
@@ -348,11 +375,15 @@ int run(int argc, char** argv) {
                  "resolved-overapprox=%zu external=%zu unresolved=%zu\n"
                  "  resolution-ratio=%.4f (resolved / (resolved + "
                  "unresolved))\n"
-                 "  parse-seconds=%.3f (jobs=%ld) analyze-seconds=%.3f\n",
+                 "  parse-seconds=%.3f (jobs=%ld) analyze-seconds=%.3f\n"
+                 "  phase-seconds: lex=%.3f corpus=%.3f callgraph=%.3f "
+                 "rules=%.3f total=%.3f\n",
                  corpus.files.size(), s.decls, s.functions, s.bodies,
                  s.call_sites, s.edges, s.resolved_unique,
                  s.resolved_overapprox, s.external, s.unresolved,
-                 s.resolution_ratio(), parse_seconds, jobs, analyze_seconds);
+                 s.resolution_ratio(), parse_seconds, jobs, analyze_seconds,
+                 lex_seconds, corpus_seconds, callgraph_seconds,
+                 analyze_seconds, total_seconds);
     for (const auto& [rule, counts] : per_rule) {
       if (counts.first == 0 && counts.second == 0) continue;
       std::fprintf(stderr, "  rule %-24s active=%zu suppressed=%zu\n",
@@ -368,9 +399,14 @@ int run(int argc, char** argv) {
     }
     const CallGraphStats& s = graph.stats;
     char ratio[32], psec[32], asec[32];
+    char lsec[32], csec[32], gsec[32], tsec[32];
     std::snprintf(ratio, sizeof(ratio), "%.4f", s.resolution_ratio());
     std::snprintf(psec, sizeof(psec), "%.3f", parse_seconds);
     std::snprintf(asec, sizeof(asec), "%.3f", analyze_seconds);
+    std::snprintf(lsec, sizeof(lsec), "%.3f", lex_seconds);
+    std::snprintf(csec, sizeof(csec), "%.3f", corpus_seconds);
+    std::snprintf(gsec, sizeof(gsec), "%.3f", callgraph_seconds);
+    std::snprintf(tsec, sizeof(tsec), "%.3f", total_seconds);
     js << "{\n"
        << "  \"files\": " << corpus.files.size() << ",\n"
        << "  \"decls\": " << s.decls << ",\n"
@@ -386,6 +422,9 @@ int run(int argc, char** argv) {
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"parse_seconds\": " << psec << ",\n"
        << "  \"analyze_seconds\": " << asec << ",\n"
+       << "  \"phase_seconds\": {\"lex\": " << lsec << ", \"corpus\": "
+       << csec << ", \"callgraph\": " << gsec << ", \"rules\": " << asec
+       << ", \"total\": " << tsec << "},\n"
        << "  \"findings\": {\"active\": " << active << ", \"suppressed\": "
        << suppressed << "},\n"
        << "  \"per_rule\": {\n";

@@ -52,6 +52,26 @@ const std::vector<RuleInfo>& rule_table() {
        "transitively reachable from IdsEngine::execute must be immutable, "
        "guarded, atomic, internally synchronized, or "
        "IDS_SINGLE_QUERY_ONLY-waived."},
+      {"view-invalidation",
+       "A span/string_view/reference/pointer/iterator derived from a "
+       "container must not be used after an operation that may reallocate "
+       "or destroy the element storage (push_back, rehash, clear, a method "
+       "annotated IDS_INVALIDATES, or one inferred to reach such a "
+       "mutation); IDS_STABLE_STORAGE exempts a mutator, IDS_VIEW_OK "
+       "waives a function with an audit reason."},
+      {"dangling-return",
+       "Functions must not return a reference, pointer, span, or "
+       "string_view bound to a local variable, a by-value parameter, or a "
+       "temporary — the storage dies when the frame unwinds."},
+      {"temporary-bound-view",
+       "string_view/span locals and members must not be bound to rvalue "
+       "temporaries (substr results, '+' concatenations, by-value-"
+       "returning calls); the owner dies at the end of the statement."},
+      {"task-outlives-capture",
+       "Tasks handed to ThreadPool::submit must not capture frame state "
+       "by reference (or 'this') unless the submitting function joins the "
+       "task before returning; IDS_VIEW_OK(reason) records an audited "
+       "exception."},
   };
   return kTable;
 }

@@ -1,0 +1,34 @@
+// Fixture (negative): returns that outlive their referent. Shapes
+// ids-analyzer must flag under [dangling-return]:
+//   1. pick() returns a reference to a local.
+//   2. addr() returns the address of a local.
+//   3. head() returns buffer.data() of a local string.
+//   4. label() returns a string_view bound to a by-value parameter.
+//   5. render() returns a string_view bound to a substr temporary.
+
+namespace fixture {
+
+const int& pick(int a, int b) {
+  int chosen = a < b ? a : b;
+  return chosen;  // BAD: reference to a dead frame slot
+}
+
+const long* addr(long seed) {
+  long scratch = seed * 3;
+  return &scratch;  // BAD: address of a local
+}
+
+const char* head() {
+  std::string buffer = make_name();
+  return buffer.data();  // BAD: the string dies with the frame
+}
+
+std::string_view label(std::string tag) {
+  return tag;  // BAD: by-value parameter dies at return
+}
+
+std::string_view render(const std::string& row) {
+  return row.substr(1, 4);  // BAD: substr of a string is a temporary
+}
+
+}  // namespace fixture

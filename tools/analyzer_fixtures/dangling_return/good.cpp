@@ -1,0 +1,36 @@
+// Fixture (positive): returns the lifetime rules must accept — references
+// to members and parameters (the referent outlives the call), views into
+// a string_view parameter (the caller owns the bytes), values returned by
+// copy, pointers into static storage, and a reference parameter passed
+// through.
+
+namespace fixture {
+
+class Catalog {
+ public:
+  const std::string& name() const { return name_; }  // member outlives call
+  const char* bytes() const { return name_.data(); }
+
+ private:
+  std::string name_;
+};
+
+const int& larger(const int& a, const int& b) {
+  return a < b ? b : a;  // reference parameters pass through
+}
+
+std::string_view strip(std::string_view s) {
+  return s.substr(1);  // view of caller-owned bytes, not a temporary
+}
+
+std::string spell(int v) {
+  std::string out = std::to_string(v);
+  return out;  // by value: the copy is the caller's
+}
+
+const long* shared_zero() {
+  static long zero = 0;
+  return &zero;  // static storage survives the frame
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture (negative): the lexer must *recover* after a raw string — the
+// real bare assert below the literal has to be flagged with the correct
+// line number, proving the raw-string scan consumed exactly the literal
+// (newlines counted) and nothing after it.
+
+namespace fixture {
+
+const char* kBanner = R"(ids query engine — "scientific data exploration")";
+
+void guard(int v) {
+  assert(v > 0);  // BAD: a real assert, after the raw string
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture (positive): raw string literals must lex as single string
+// tokens. Everything inside the R"doc(...)doc" block below *looks* like
+// rule violations — a bare assert, a sleep call, an unbalanced quote and
+// paren — but none of it is code. A lexer that mishandles the raw-string
+// delimiter would leak these tokens into the corpus and produce findings.
+
+namespace fixture {
+
+const char* kManual = R"doc(
+  Usage notes (not code):
+    assert(value > 0);
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    an unbalanced quote " and paren ( live here
+)doc";
+
+const char* kEmpty = R"()";
+
+int manual_size() {
+  const char* p = kManual;
+  int n = 0;
+  while (*p != '\0') {
+    ++n;
+    ++p;
+  }
+  return n + (kEmpty[0] == '\0' ? 1 : 0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Fixture (negative): detached tasks that capture frame state. Shapes
+// ids-analyzer must flag under [task-outlives-capture]:
+//   1. fire() submits a task capturing local `rows` by reference and
+//      returns without joining — the task may run after `rows` is gone.
+//   2. Loader::kick submits a task capturing `this` and returns; the
+//      loader can be destroyed while the task still runs.
+//   3. forward() reaches submit through a wrapper that forwards its
+//      callable parameter (the async-spawner fixed point).
+
+namespace fixture {
+
+class ThreadPool {
+ public:
+  void submit(const std::function<void()>& fn);
+  void wait_idle();
+};
+
+void consume(const std::vector<int>& v);
+
+void fire(ThreadPool& pool) {
+  std::vector<int> rows = {1, 2, 3};
+  pool.submit([&rows] { consume(rows); });  // BAD: rows dies at return
+}
+
+class Loader {
+ public:
+  void kick(ThreadPool& pool);
+
+ private:
+  long loaded_ = 0;
+};
+
+void Loader::kick(ThreadPool& pool) {
+  pool.submit([this] { loaded_ += 1; });  // BAD: this may dangle
+}
+
+void enqueue(ThreadPool& pool, const std::function<void()>& task) {
+  pool.submit(task);  // wrapper: forwards its parameter to submit
+}
+
+void forward(ThreadPool& pool) {
+  int budget = 9;
+  enqueue(pool, [&budget] { budget -= 1; });  // BAD: via the wrapper
+}
+
+}  // namespace fixture

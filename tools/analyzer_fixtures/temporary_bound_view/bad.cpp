@@ -1,0 +1,34 @@
+// Fixture (negative): views bound to rvalue temporaries. Shapes
+// ids-analyzer must flag under [temporary-bound-view]:
+//   1. suffix() binds a string_view local to a std::string::substr result.
+//   2. digits() binds a string_view local to a to_string temporary.
+//   3. glued() binds a string_view local to a '+' concatenation.
+//   4. Header::title_ member is initialized from a substr temporary.
+
+namespace fixture {
+
+int suffix(const std::string& name) {
+  std::string_view tail = name.substr(2);  // BAD: substr returns a string
+  return static_cast<int>(tail.size());
+}
+
+int digits(long v) {
+  std::string_view s = std::to_string(v);  // BAD: temporary dies here
+  return static_cast<int>(s.size());
+}
+
+int glued(const std::string& a, const std::string& b) {
+  std::string_view joined = a + b;  // BAD: concatenation temporary
+  return static_cast<int>(joined.size());
+}
+
+class Header {
+ public:
+  int width() const;
+
+ private:
+  std::string raw_;
+  std::string_view title_ = raw_.substr(0, 8);  // BAD: temporary initializer
+};
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture (positive): view bindings the analyzer must accept — views of
+// named owners that outlive the view, string_view::substr (a view of the
+// caller's bytes, not a temporary), spans over locals used in-frame, and
+// a named materialization of a temporary before the view is taken.
+
+namespace fixture {
+
+int suffix(const std::string& name) {
+  std::string_view whole = name;  // view of a named parameter
+  std::string_view tail = whole.substr(2);  // view-of-view: same owner
+  return static_cast<int>(tail.size());
+}
+
+int digits(long v) {
+  std::string owned = std::to_string(v);  // temporary materialized first
+  std::string_view s = owned;
+  return static_cast<int>(s.size());
+}
+
+int sum(std::vector<int>& vals) {
+  std::span<int> window(vals);  // span over a named container
+  int total = 0;
+  for (int x : window) total += x;
+  return total;
+}
+
+class Header {
+ public:
+  int width() const;
+
+ private:
+  std::string raw_;
+  std::string_view title_ = raw_;  // view of a member: same lifetime
+};
+
+}  // namespace fixture

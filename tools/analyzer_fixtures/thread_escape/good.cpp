@@ -7,6 +7,7 @@ namespace fixture {
 class ThreadPool {
  public:
   void submit(const std::function<void()>& fn);
+  void wait_idle();
 };
 
 void parallel_for(int n, const std::function<void(int)>& fn);
@@ -39,6 +40,7 @@ void Indexer::build(ThreadPool& pool) {
     MutexLock lock(mu_);
     count_ += 1;  // lock taken inside the task
   });
+  pool.wait_idle();  // joins before returning: 'this' cannot dangle
 }
 
 }  // namespace fixture

@@ -1,0 +1,59 @@
+// Fixture (negative): views used after the backing storage may have
+// moved. Four shapes ids-analyzer must flag under [view-invalidation]:
+//   1. scan() keeps a pointer from names.data() across a push_back.
+//   2. first_term() holds a reference to terms.front() across an insert.
+//   3. Table::append_all uses a span into a member column after calling
+//      its own grow() — the summary inference propagates grow()'s
+//      ids_.resize fact to the call site.
+//   4. Registry::swap_in reads a view after std::move gutted the owner.
+
+namespace fixture {
+
+int scan(int n) {
+  std::vector<int> names;
+  names.push_back(1);
+  const int* p = names.data();
+  names.push_back(2);  // BAD: may reallocate; p dangles
+  return *p + n;
+}
+
+int first_term() {
+  std::vector<int> terms;
+  terms.push_back(3);
+  const int& first = terms.front();
+  terms.insert(terms.begin(), 4);  // BAD: relocation invalidates `first`
+  return first;
+}
+
+class Table {
+ public:
+  void append_all(int n);
+
+ private:
+  void grow();
+  std::vector<int> ids_;
+};
+
+void Table::grow() { ids_.resize(ids_.size() * 2 + 1); }
+
+void Table::append_all(int n) {
+  const int* base = ids_.data();
+  grow();  // BAD: reaches ids_.resize via the invalidation summary
+  for (int i = 0; i < n; ++i) consume(base[i]);
+}
+
+class Registry {
+ public:
+  long swap_in(std::vector<long> next);
+
+ private:
+  std::vector<long> rows_;
+};
+
+long Registry::swap_in(std::vector<long> next) {
+  const long* head = rows_.data();
+  rows_ = std::move(next);
+  return head[0];  // BAD: the old buffer died with the assignment
+}
+
+}  // namespace fixture

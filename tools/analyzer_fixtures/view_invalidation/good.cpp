@@ -1,0 +1,55 @@
+// Fixture (positive): view lifetimes the analyzer must accept — views
+// re-derived after the mutation, stable-storage mutators
+// (IDS_STABLE_STORAGE), the sanctioned erase-loop idiom (the iterator is
+// reassigned from erase's return before it is read again), mutation of a
+// *different* container, and an audited IDS_VIEW_OK waiver.
+
+namespace fixture {
+
+int rederive(int n) {
+  std::vector<int> names;
+  names.push_back(1);
+  names.push_back(2);
+  const int* p = names.data();  // derived after every mutation
+  return p[0] + n;
+}
+
+int other_container() {
+  std::vector<int> a;
+  std::vector<int> b;
+  a.push_back(1);
+  const int* pa = a.data();
+  b.push_back(2);  // mutating b leaves views into a alone
+  return *pa;
+}
+
+class Arena {
+ public:
+  // Deque-style storage: growth never moves settled elements.
+  void push(int v) IDS_STABLE_STORAGE;
+  const int* head() const;
+};
+
+int stable(Arena& arena) {
+  const int* h = arena.head();
+  arena.push(5);  // IDS_STABLE_STORAGE: h stays valid
+  return *h;
+}
+
+void erase_loop(std::vector<int>& v) {
+  for (auto it = v.begin(); it != v.end();) {
+    if (*it < 0) {
+      it = v.erase(it);  // reassigned before any further read
+    } else {
+      ++it;
+    }
+  }
+}
+
+int waived(std::vector<int>& v) IDS_VIEW_OK("fixture: capacity reserved out of band") {
+  const int* p = v.data();
+  v.push_back(9);
+  return *p;
+}
+
+}  // namespace fixture

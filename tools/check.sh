@@ -47,6 +47,22 @@ if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
 fi
 rm -f "$fresh_baseline"
 
+echo "==> ids-analyzer wall-time budget"
+# The summary/spawner fixed points must stay effectively linear in the
+# corpus; a superlinear blowup shows up here long before it hurts a
+# developer. The budget is ~200x the current wall time on src/.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - build-analyze/ids-analyzer-stats.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = doc["phase_seconds"]["total"]
+budget = 20.0
+assert total <= budget, \
+    "analyzer spent %.3fs on src/ (budget %.0fs)" % (total, budget)
+print("analyzer wall time %.3fs (budget %.0fs)" % (total, budget))
+EOF
+fi
+
 echo "==> ids-analyzer certify (concurrent-exec shared-state certificate)"
 # The certificate must pass (exit 0) AND match the committed inventory, so
 # every newly waived or reclassified entry shows up in review.

@@ -31,6 +31,19 @@ if ! diff -u tools/analyzer_baseline.txt "$fresh_baseline"; then
 fi
 rm -f "$fresh_baseline"
 
+echo "==> ids-analyzer wall-time budget"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - build-ci-analyze/ids-analyzer-stats.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = doc["phase_seconds"]["total"]
+budget = 20.0
+assert total <= budget, \
+    "analyzer spent %.3fs on src/ (budget %.0fs)" % (total, budget)
+print("analyzer wall time %.3fs (budget %.0fs)" % (total, budget))
+EOF
+fi
+
 echo "==> ids-analyzer certify (concurrent-exec shared-state certificate)"
 fresh_cert=$(mktemp)
 "$analyzer" --certify=concurrent-exec src > "$fresh_cert"

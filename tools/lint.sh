@@ -44,6 +44,10 @@
 #      the scalar fallback, the determinism contract, and the
 #      IDS_SIMD_LEVEL override stay in one place. A deliberate use opts
 #      out with a trailing `// lint:allow-intrinsics`.
+#  11. Unknown `lint:allow-*` tags. The opt-out vocabulary is a closed set
+#      (stdout, global, unordered, intrinsics); a typo such as
+#      `lint:allow-stdio` suppresses nothing while *looking* audited, so
+#      any tag outside the set is itself a finding.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -254,6 +258,20 @@ while IFS= read -r f; do
            | grep -nE '#[[:space:]]*include[[:space:]]*<(immintrin|[a-z]{3}mmintrin|avxintrin|avx2intrin)\.h>|(^|[^_[:alnum:]])_mm(256|512)?_[a-z0-9_]+[[:space:]]*\(')
   if [ -n "$hits" ]; then
     fail "raw SIMD intrinsics in $f (route through ids::simd in common/simd.h, or mark a deliberate use with // lint:allow-intrinsics):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 11. unknown lint:allow-* escape tags -------------------------------
+# Rules 5/7/9/10 honor exactly four tags. Anything else — a typo, or a tag
+# invented for a rule that does not read it — would ride along in review
+# looking like an audited waiver while suppressing nothing. Closed set,
+# enforced here.
+while IFS= read -r f; do
+  hits=$(grep -noE 'lint:allow-[a-z0-9-]+' "$f" \
+           | grep -vE 'lint:allow-(stdout|global|unordered|intrinsics)$')
+  if [ -n "$hits" ]; then
+    fail "unknown lint:allow-* tag in $f (known tags: stdout, global, unordered, intrinsics):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

@@ -1,0 +1,15 @@
+// Fixture for lint rule 11: `lint:allow-everything` is not in the closed
+// tag set and must be flagged; the `lint:allow-global` tag below is real
+// and must pass untouched.
+
+namespace fixture {
+
+int add(int a, int b) {
+  return a + b;  // lint:allow-everything
+}
+
+static int counter = 0;  // lint:allow-global
+
+int bump() { return ++counter; }
+
+}  // namespace fixture
