@@ -16,14 +16,29 @@
 // trace_event file (load it at https://ui.perfetto.dev or in
 // chrome://tracing); `--metrics out.prom` dumps the process-global
 // metrics registry in Prometheus text exposition format.
+//
+// Live observability: `--serve-obs PORT` starts the in-process HTTP
+// exposition server (PORT 0 picks an ephemeral port, printed on stdout)
+// with /metrics, /statusz, /tracez and /profilez; `--hold-obs SEC` keeps
+// the process alive serving for SEC seconds after the workflow finishes
+// so the endpoints can be scraped. `--profile out.folded` runs the
+// sampling profiler across both executions and writes collapsed
+// flamegraph stacks (feed to flamegraph.pl or speedscope.app).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "common/simd.h"
 #include "core/workflow.h"
 #include "models/structure.h"
 #include "telemetry/metrics.h"
+#include "telemetry/obs_server.h"
+#include "telemetry/profiler.h"
+#include "telemetry/query_stats.h"
 #include "telemetry/trace.h"
 
 using namespace ids;
@@ -45,15 +60,25 @@ void dump_to(const char* path, const std::string& text) {
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* metrics_path = nullptr;
+  const char* profile_path = nullptr;
+  int obs_port = -1;       // -1 = no obs server; 0 = ephemeral port
+  double hold_obs = 0.0;   // seconds to keep serving after the workflow
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve-obs") == 0 && i + 1 < argc) {
+      obs_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hold-obs") == 0 && i + 1 < argc) {
+      hold_obs = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: ncnpr_workflow [--trace out.json] "
-                   "[--metrics out.prom]\n");
+                   "[--metrics out.prom] [--profile out.folded] "
+                   "[--serve-obs PORT] [--hold-obs SEC]\n");
       return 2;
     }
   }
@@ -88,11 +113,41 @@ int main(int argc, char** argv) {
   cache::CacheManager cache(cc);
 
   telemetry::Tracer tracer;
+  telemetry::TraceRing trace_ring;
+  telemetry::QueryStatsRing query_stats;
 
   core::EngineOptions opts;
   opts.topology = runtime::Topology::laptop(kRanks);
   opts.cache = &cache;
-  if (trace_path != nullptr) opts.tracer = &tracer;
+  // The obs server's /tracez needs span trees, so --serve-obs implies
+  // tracing even without a --trace output file.
+  if (trace_path != nullptr || obs_port >= 0) opts.tracer = &tracer;
+  opts.trace_ring = &trace_ring;
+  opts.query_stats = &query_stats;
+
+  telemetry::ObsServerOptions obs_opts;
+  obs_opts.port = static_cast<std::uint16_t>(obs_port > 0 ? obs_port : 0);
+  obs_opts.traces = &trace_ring;
+  obs_opts.query_stats = &query_stats;
+#ifdef NDEBUG
+  obs_opts.build_type = "Release";
+#else
+  obs_opts.build_type = "Debug";
+#endif
+  obs_opts.simd_level = simd::level_name(simd::active_level());
+  telemetry::ObsServer obs_server(obs_opts);
+  if (obs_port >= 0) {
+    Status started = obs_server.start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "obs server failed to start: %s\n",
+                   started.to_string().c_str());
+      return 1;
+    }
+    std::printf("obs server listening on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(obs_server.port()));
+  }
+  if (profile_path != nullptr) telemetry::Profiler::global().start();
+
   core::IdsEngine engine(opts, data.triples.get(), data.features.get(),
                          data.keywords.get(), data.vectors.get());
   core::register_ncnpr_udfs(&engine, data);
@@ -143,5 +198,22 @@ int main(int argc, char** argv) {
     dump_to(metrics_path, telemetry::MetricsRegistry::global().to_prometheus());
     std::printf("metrics -> %s\n", metrics_path);
   }
+  if (profile_path != nullptr) {
+    auto& profiler = telemetry::Profiler::global();
+    profiler.stop();
+    dump_to(profile_path, profiler.to_folded());
+    std::printf("profile: %llu samples -> %s "
+                "(flamegraph.pl or speedscope.app)\n",
+                static_cast<unsigned long long>(profiler.samples_total()),
+                profile_path);
+  }
+  if (obs_port >= 0 && hold_obs > 0.0) {
+    std::printf("holding obs server for %.1f s (curl "
+                "http://127.0.0.1:%u/metrics)\n",
+                hold_obs, static_cast<unsigned>(obs_server.port()));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_obs));
+  }
+  if (obs_port >= 0) obs_server.stop();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "telemetry/profiler.h"
 
 namespace ids::cache {
 
@@ -54,6 +55,15 @@ CacheManager::CacheManager(CacheConfig config)
   tele_.promotions = cache_counter("ids_cache_promotions_total");
   tele_.bytes_read = cache_counter("ids_cache_read_bytes_total");
   tele_.bytes_written = cache_counter("ids_cache_written_bytes_total");
+  auto tier_read_bytes = [&](const char* tier) {
+    return registry.counter("ids_cache_tier_read_bytes_total",
+                            {{"cache", config_.name}, {"tier", tier}});
+  };
+  tele_.read_bytes_local_dram = tier_read_bytes("local_dram");
+  tele_.read_bytes_local_ssd = tier_read_bytes("local_ssd");
+  tele_.read_bytes_remote_dram = tier_read_bytes("remote_dram");
+  tele_.read_bytes_remote_ssd = tier_read_bytes("remote_ssd");
+  tele_.read_bytes_backing = tier_read_bytes("backing");
 
   fam::FamOptions fam_opts;
   fam_opts.server_nodes.resize(static_cast<std::size_t>(config_.num_nodes));
@@ -80,6 +90,11 @@ CacheStats CacheManager::counters_snapshot() const {
   s.promotions = tele_.promotions->value();
   s.bytes_read = tele_.bytes_read->value();
   s.bytes_written = tele_.bytes_written->value();
+  s.read_bytes_local_dram = tele_.read_bytes_local_dram->value();
+  s.read_bytes_local_ssd = tele_.read_bytes_local_ssd->value();
+  s.read_bytes_remote_dram = tele_.read_bytes_remote_dram->value();
+  s.read_bytes_remote_ssd = tele_.read_bytes_remote_ssd->value();
+  s.read_bytes_backing = tele_.read_bytes_backing->value();
   return s;
 }
 
@@ -265,6 +280,7 @@ Status CacheManager::insert_dram(sim::VirtualClock& clock, int node,
 void CacheManager::put(sim::VirtualClock& clock, int node,
                        std::string_view name, std::string payload,
                        PlacementHint hint) {
+  telemetry::ProfileScope profile_scope("cache.put");
   // Serialize the artifact *before* entering the critical section: the
   // serialization service is a shared blocking server (the paper's §8
   // bottleneck) and must not stall every other cache client behind
@@ -307,6 +323,7 @@ void CacheManager::put(sim::VirtualClock& clock, int node,
 
 std::optional<std::string> CacheManager::get(sim::VirtualClock& clock,
                                              int node, std::string_view name) {
+  telemetry::ProfileScope profile_scope("cache.get");
   std::optional<std::string> hit;
   {
     MutexLock lock(mutex_);
@@ -346,6 +363,7 @@ std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
     touch_dram(node, id);
     tele_.hits_local_dram->inc();
     tele_.bytes_read->inc(meta.size);
+    tele_.read_bytes_local_dram->inc(meta.size);
     return payload;
   }
 
@@ -359,6 +377,7 @@ std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
       touch_ssd(node, id);
       tele_.hits_local_ssd->inc();
       tele_.bytes_read->inc(meta.size);
+      tele_.read_bytes_local_ssd->inc(meta.size);
       return payload;
     }
     // Stale copy record (bytes vanished): drop it and fall through to the
@@ -382,6 +401,7 @@ std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
     touch_dram(remote_dram, id);
     tele_.hits_remote_dram->inc();
     tele_.bytes_read->inc(meta.size);
+    tele_.read_bytes_remote_dram->inc(meta.size);
     if (config_.promote_on_remote_hit) {
       // Best-effort: a failed promotion still served the read.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
@@ -400,6 +420,7 @@ std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
     touch_ssd(remote_ssd, id);
     tele_.hits_remote_ssd->inc();
     tele_.bytes_read->inc(meta.size);
+    tele_.read_bytes_remote_ssd->inc(meta.size);
     if (config_.promote_on_remote_hit) {
       // Best-effort: a failed promotion still served the read.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
@@ -417,6 +438,7 @@ std::optional<std::string> CacheManager::get_locked(sim::VirtualClock& clock,
       clock.advance(config_.fabric.backing_store.transfer_cost(meta.size));
       tele_.hits_backing->inc();
       tele_.bytes_read->inc(meta.size);
+      tele_.read_bytes_backing->inc(meta.size);
       // Best-effort re-population of the reader's DRAM.
       IDS_IGNORE_ERROR(insert_dram(clock, node, id, meta, payload));
       return payload;

@@ -225,6 +225,13 @@ class CacheManager {
     telemetry::Counter* promotions;
     telemetry::Counter* bytes_read;
     telemetry::Counter* bytes_written;
+    // ids_cache_tier_read_bytes_total{cache,tier}: read-path payload
+    // bytes attributed to the serving tier (per-query accounting).
+    telemetry::Counter* read_bytes_local_dram;
+    telemetry::Counter* read_bytes_local_ssd;
+    telemetry::Counter* read_bytes_remote_dram;
+    telemetry::Counter* read_bytes_remote_ssd;
+    telemetry::Counter* read_bytes_backing;
   };
 
   /// Current absolute values of the registry counters as a CacheStats.

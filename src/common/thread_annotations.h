@@ -15,6 +15,7 @@
 // std::lock_guard everywhere outside this directory — tools/lint.sh
 // enforces that ban so new code cannot silently opt out of the analysis.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -180,6 +181,20 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
     cv_.wait(lk, std::move(pred));
     lk.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait: atomically releases `mu`, waits until `pred` holds or
+  /// `timeout` elapses, reacquires `mu`. Returns pred()'s value at wake-up.
+  /// This is the sanctioned way to pace a background thread (the sampling
+  /// profiler's tick) — tools/lint.sh bans raw host-side sleeps in src/
+  /// precisely so pacing stays interruptible through the condvar.
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+                Pred pred) IDS_REQUIRES(mu) IDS_MAY_BLOCK {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const bool ok = cv_.wait_for(lk, timeout, std::move(pred));
+    lk.release();  // ownership stays with the caller's MutexLock
+    return ok;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -18,6 +18,7 @@
 #include "runtime/exchange.h"
 #include "store/ivf_index.h"
 #include "runtime/rank_exec.h"
+#include "telemetry/profiler.h"
 
 namespace ids::core {
 
@@ -83,15 +84,21 @@ class QueryExecution {
   }
 
   QueryResult run(const Query& query) {
+    telemetry::ProfileScope profile_scope("engine.query");
     metrics_->counter("ids_engine_queries_total")->inc();
+    query_wall_start_ = telemetry::Tracer::wall_now_ns();
+    stage_wall_start_ = query_wall_start_;
+    if (opts_.cache != nullptr) cache_query_baseline_ = opts_.cache->stats();
     if (tracer_ != nullptr) {
+      // First span index of this query, so the trace ring gets exactly
+      // this query's tree out of a tracer shared across queries.
+      trace_base_ = tracer_->size();
       root_span_ =
           tracer_->begin_span("query", "query", telemetry::kNoSpan, -1, 0);
       // Stamp the active SIMD dispatch level so every trace records which
       // kernel variants produced it (simd.cpp exports the matching gauge).
       tracer_->add_attr(root_span_, "simd_level",
                         simd::level_name(simd::active_level()));
-      stage_wall_start_ = telemetry::Tracer::wall_now_ns();
     }
 
     // Graph patterns in planner order.
@@ -113,6 +120,7 @@ class QueryExecution {
     for (const auto& inv : query.invokes) apply_invoke(inv);
 
     gather_and_finish(query);
+    finish_account();
     if (tracer_ != nullptr) {
       tracer_->add_attr(
           root_span_, "rows",
@@ -121,7 +129,22 @@ class QueryExecution {
                         static_cast<std::uint64_t>(result_.cache_hits));
       tracer_->add_attr(root_span_, "cache_misses",
                         static_cast<std::uint64_t>(result_.cache_misses));
+      tracer_->add_attr(root_span_, "rows_partitioned",
+                        result_.account.rows_partitioned);
+      tracer_->add_attr(root_span_, "udf_invocations",
+                        result_.account.udf_invocations);
+      tracer_->add_attr(root_span_, "peak_solution_bytes",
+                        result_.account.peak_solution_bytes);
+      tracer_->add_attr(root_span_, "divergence_seconds",
+                        result_.account.divergence_seconds());
       tracer_->end_span(root_span_, last_mark_);
+    }
+    if (opts_.query_stats != nullptr) {
+      result_.account.sequence = opts_.query_stats->push(result_.account);
+    }
+    if (opts_.trace_ring != nullptr && tracer_ != nullptr) {
+      opts_.trace_ring->push(tracer_->snapshot_tail(trace_base_),
+                             tracer_->dropped());
     }
     return std::move(result_);
   }
@@ -168,6 +191,9 @@ class QueryExecution {
   void mark(std::string stage) {
     sim::Nanos now = clocks_.barrier();
     double seconds = sim::to_seconds(now - last_mark_);
+    const std::uint64_t wall_now = telemetry::Tracer::wall_now_ns();
+    const double wall_seconds =
+        static_cast<double>(wall_now - stage_wall_start_) * 1e-9;
     if (tracer_ != nullptr) {
       if (stage_span_ != telemetry::kNoSpan) {
         tracer_->end_span(stage_span_, now);
@@ -176,17 +202,72 @@ class QueryExecution {
         // Stage ran without a stage_begin(): record it retroactively so
         // the trace still covers every StageTiming entry.
         tracer_->record_span(stage, "stage", root_span_, -1, last_mark_, now,
-                             stage_wall_start_,
-                             telemetry::Tracer::wall_now_ns());
+                             stage_wall_start_, wall_now);
       }
-      stage_wall_start_ = telemetry::Tracer::wall_now_ns();
     }
+    stage_wall_start_ = wall_now;
     metrics_
         ->histogram("ids_engine_stage_seconds",
                     telemetry::latency_seconds_buckets(), {{"stage", stage}})
         ->observe(seconds);
+    // Resource accounting: modeled-vs-wall per stage, and the
+    // SolutionTable high-water mark sampled at every barrier.
+    result_.account.stages.push_back({stage, seconds, wall_seconds});
+    std::uint64_t solution_bytes = 0;
+    for (const auto& t : parts_) {
+      solution_bytes +=
+          static_cast<std::uint64_t>(t.num_rows() * t.row_bytes());
+    }
+    peak_solution_bytes_ = std::max(peak_solution_bytes_, solution_bytes);
     result_.stages.push_back({std::move(stage), seconds});
     last_mark_ = now;
+  }
+
+  /// Seals result_.account at the end of run(): whole-query times, cache
+  /// tier deltas over the query, and the ids_query_* instruments.
+  void finish_account() {
+    telemetry::QueryResourceAccount& acct = result_.account;
+    acct.modeled_seconds = sim::to_seconds(last_mark_);
+    acct.wall_seconds =
+        static_cast<double>(telemetry::Tracer::wall_now_ns() -
+                            query_wall_start_) *
+        1e-9;
+    acct.rows_partitioned = rows_partitioned_;
+    acct.udf_invocations = static_cast<std::uint64_t>(result_.rows_invoked);
+    acct.peak_solution_bytes = peak_solution_bytes_;
+    acct.cache_misses = static_cast<std::uint64_t>(result_.cache_misses);
+    if (opts_.cache != nullptr) {
+      const cache::CacheStats d =
+          opts_.cache->stats().since(cache_query_baseline_);
+      acct.cache_bytes_written = d.bytes_written;
+      acct.cache_misses = d.misses;
+      auto tier = [&acct](const char* name, std::uint64_t bytes,
+                          std::uint64_t hits) {
+        if (bytes == 0 && hits == 0) return;  // only tiers that served
+        acct.tiers.push_back({name, bytes, hits});
+      };
+      tier("local_dram", d.read_bytes_local_dram, d.hits_local_dram);
+      tier("local_ssd", d.read_bytes_local_ssd, d.hits_local_ssd);
+      tier("remote_dram", d.read_bytes_remote_dram, d.hits_remote_dram);
+      tier("remote_ssd", d.read_bytes_remote_ssd, d.hits_remote_ssd);
+      tier("backing", d.read_bytes_backing, d.hits_backing);
+    }
+    metrics_->counter("ids_query_rows_gathered_total")
+        ->inc(acct.rows_gathered);
+    metrics_->counter("ids_query_rows_partitioned_total")
+        ->inc(acct.rows_partitioned);
+    metrics_->counter("ids_query_udf_invocations_total")
+        ->inc(acct.udf_invocations);
+    metrics_->gauge("ids_query_peak_solution_bytes")
+        ->set(static_cast<double>(acct.peak_solution_bytes));
+    metrics_
+        ->histogram("ids_query_modeled_seconds",
+                    telemetry::latency_seconds_buckets())
+        ->observe(acct.modeled_seconds);
+    metrics_
+        ->histogram("ids_query_wall_seconds",
+                    telemetry::latency_seconds_buckets())
+        ->observe(acct.wall_seconds);
   }
 
   /// Wall-clock sample for a per-rank span start; 0 when tracing is off
@@ -255,6 +336,7 @@ class QueryExecution {
         if (rows.empty()) continue;
         out[static_cast<std::size_t>(dst)].append_rows_from(table, rows);
         if (dst == src) continue;
+        rows_partitioned_ += rows.size();
         const std::uint64_t bytes = row_bytes * rows.size();
         auto& td = traffic[static_cast<std::size_t>(dst)];
         if (opts_.topology.same_node(src, dst)) {
@@ -307,6 +389,7 @@ class QueryExecution {
         parts_[static_cast<std::size_t>(dst)].append_row_range_from(
             table, n - take, n);
         table.truncate(n - take);
+        rows_partitioned_ += take;
 
         std::uint64_t bytes = row_bytes * take;
         auto& ts = traffic[static_cast<std::size_t>(src)];
@@ -402,7 +485,7 @@ class QueryExecution {
     charge_operator_overhead();
     SolutionTable prototype{pattern_vars(pat)};
     init_parts(prototype);
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.scan", [&](int r) {
       sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
       std::uint64_t w0 = rank_wall_start();
       std::size_t matches =
@@ -451,7 +534,7 @@ class QueryExecution {
 
     std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
                                    prototype.empty_like());
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.join_extend", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       sim::Nanos v0 = clocks_.at(ru).now();
       std::uint64_t w0 = rank_wall_start();
@@ -519,7 +602,7 @@ class QueryExecution {
     // Build side: local pattern matches on every rank.
     std::vector<SolutionTable> build(static_cast<std::size_t>(p_),
                                      SolutionTable{pattern_vars(pat)});
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.join_build", [&](int r) {
       sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
       std::uint64_t w0 = rank_wall_start();
       std::size_t matches =
@@ -588,7 +671,7 @@ class QueryExecution {
       if (v != join_var && schema_has_var(v)) check_vars.push_back(v);
     }
 
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.join_probe", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       sim::Nanos v0 = clocks_.at(ru).now();
       std::uint64_t w0 = rank_wall_start();
@@ -679,7 +762,7 @@ class QueryExecution {
     SolutionTable prototype{schema, parts_[0].num_vars()};
     std::vector<SolutionTable> out(static_cast<std::size_t>(p_),
                                    prototype.empty_like());
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.join_cartesian", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       sim::Nanos v0 = clocks_.at(ru).now();
       std::uint64_t w0 = rank_wall_start();
@@ -758,7 +841,7 @@ class QueryExecution {
     // for approximate search), then a global merge (allgather of k hits).
     std::vector<std::vector<store::VectorHit>> shard_hits(
         static_cast<std::size_t>(p_));
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.vector", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       sim::Nanos v0 = clocks_.at(ru).now();
       std::uint64_t w0 = rank_wall_start();
@@ -817,7 +900,7 @@ class QueryExecution {
       IDS_WARN << "semi-join variable ?" << var << " not bound; skipping";
       return;
     }
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.semi_join", [&](int r) {
       sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
       std::uint64_t w0 = rank_wall_start();
       auto& t = parts_[static_cast<std::size_t>(r)];
@@ -942,7 +1025,7 @@ class QueryExecution {
       tracer_->add_attr(stage_span_, "rank0_order", rank0);
     }
     charge_operator_overhead();
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.filter", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       sim::Nanos v0 = clocks_.at(ru).now();
       std::uint64_t w0 = rank_wall_start();
@@ -1003,7 +1086,7 @@ class QueryExecution {
       return static_cast<int>(mix64(t.id_at(row, idx)) %
                               static_cast<std::uint64_t>(p_));
     });
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.distinct", [&](int r) {
       sim::Nanos v0 = clocks_.at(static_cast<std::size_t>(r)).now();
       std::uint64_t w0 = rank_wall_start();
       auto& t = parts_[static_cast<std::size_t>(r)];
@@ -1083,7 +1166,7 @@ class QueryExecution {
 
     std::atomic<std::size_t> invoked{0};
 
-    runtime::for_each_rank(p_, [&](int r) {
+    runtime::for_each_rank(p_, "rank.invoke", [&](int r) {
       auto ru = static_cast<std::size_t>(r);
       telemetry::SpanId span =
           tracer_ == nullptr
@@ -1143,7 +1226,13 @@ class QueryExecution {
           sim::Nanos xv0 = clocks_.at(ru).now();
           std::uint64_t xw0 = rank_wall_start();
           ctx.cost += registry_->charge_module_load(r, *info);
-          udf::UdfResult res = info->fn(ctx.udf_ctx, args);
+          const udf::UdfResult res = [&] {
+            // Attribute model execution to the UDF by name; UdfInfo
+            // outlives every query, so the pointer stays valid for the
+            // profiler.
+            telemetry::ProfileScope udf_scope(info->name.c_str());
+            return info->fn(ctx.udf_ctx, args);
+          }();
           auto scaled = static_cast<sim::Nanos>(
               static_cast<double>(res.modeled_cost) /
               (speed(r) > 0.0 ? speed(r) : 1.0));
@@ -1222,6 +1311,8 @@ class QueryExecution {
       total_bytes += t.num_rows() * t.row_bytes();
     }
     runtime::charge_tree_collective(clocks_, opts_.topology, total_bytes);
+    result_.account.rows_gathered =
+        static_cast<std::uint64_t>(merged.num_rows());
     mark("gather");
 
     // ORDER BY a numeric column.
@@ -1287,6 +1378,16 @@ class QueryExecution {
   std::vector<Rng> rank_rngs_;
   QueryResult result_;
   sim::Nanos last_mark_ = 0;
+
+  // Per-query resource accounting (ISSUE 9). rows_partitioned_ is only
+  // mutated from the serial exchange loops (shuffle_rows /
+  // redistribute_to_targets run on the engine thread), so it needs no
+  // synchronization.
+  std::uint64_t query_wall_start_ = 0;
+  std::size_t trace_base_ = 0;  // tracer_->size() at run() start
+  cache::CacheStats cache_query_baseline_;
+  std::uint64_t rows_partitioned_ = 0;
+  std::uint64_t peak_solution_bytes_ = 0;
 };
 
 }  // namespace

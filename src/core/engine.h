@@ -29,6 +29,7 @@
 #include "store/inverted_index.h"
 #include "store/vector_store.h"
 #include "telemetry/metrics.h"
+#include "telemetry/query_stats.h"
 #include "telemetry/trace.h"
 #include "udf/profiler.h"
 #include "udf/registry.h"
@@ -69,6 +70,12 @@ struct EngineOptions {
   /// ids_engine_stage_seconds, ids_engine_rebalance_total). nullptr = the
   /// process-global registry.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Observability rings (see src/telemetry): when set, every execute()
+  /// pushes its completed span tree / resource account, feeding the obs
+  /// server's /tracez and /statusz. The trace ring only receives spans
+  /// when `tracer` is also set.
+  telemetry::TraceRing* trace_ring = nullptr;
+  telemetry::QueryStatsRing* query_stats = nullptr;
   std::uint64_t seed = 0x1D5;
 };
 
@@ -88,6 +95,11 @@ struct QueryResult {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   bool used_throughput_rebalance = false;
+
+  /// Per-query resource accounting (ISSUE 9): cache bytes by serving
+  /// tier, rows moved, UDF executions, peak SolutionTable bytes, and
+  /// per-stage modeled-vs-wall divergence. Always populated.
+  telemetry::QueryResourceAccount account;
 
   /// Sum of stage times whose name starts with `prefix`.
   double stage_seconds(std::string_view prefix) const;

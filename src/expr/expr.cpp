@@ -1,6 +1,7 @@
 #include "expr/expr.h"
 
 #include "store/feature_store.h"
+#include "telemetry/profiler.h"
 
 namespace ids::expr {
 
@@ -213,7 +214,12 @@ Value eval_udf(const Expr& e, EvalContext& ctx) {
   // First touch of a dynamic module on this rank pays the import cost.
   ctx.cost += ctx.registry->charge_module_load(ctx.udf_ctx.rank, *info);
 
-  udf::UdfResult r = info->fn(ctx.udf_ctx, args);
+  const udf::UdfResult r = [&] {
+    // Attribute execution to the UDF by name; UdfInfo outlives every
+    // query, so the pointer stays valid for the profiler.
+    telemetry::ProfileScope udf_scope(info->name.c_str());
+    return info->fn(ctx.udf_ctx, args);
+  }();
   auto scaled = static_cast<sim::Nanos>(
       static_cast<double>(r.modeled_cost) /
       (ctx.speed_factor > 0.0 ? ctx.speed_factor : 1.0));

@@ -2,6 +2,7 @@
 
 #include "common/thread_pool.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profiler.h"
 
 namespace ids::runtime {
 
@@ -31,6 +32,14 @@ void for_each_rank(int num_ranks, const std::function<void(int)>& fn) {
   ThreadPool::global().parallel_for(
       static_cast<std::size_t>(num_ranks),
       [&fn](std::size_t i) { fn(static_cast<int>(i)); });
+}
+
+void for_each_rank(int num_ranks, const char* scope,
+                   const std::function<void(int)>& fn) {
+  for_each_rank(num_ranks, [scope, &fn](int r) {
+    telemetry::ProfileScope profile(scope);
+    fn(r);
+  });
 }
 
 void for_each_rank_serial(int num_ranks, const std::function<void(int)>& fn) {

@@ -20,6 +20,13 @@ namespace ids::runtime {
 /// shared state), mirroring the isolation of MPI ranks.
 void for_each_rank(int num_ranks, const std::function<void(int)>& fn);
 
+/// Same, but wraps every rank invocation in a telemetry::ProfileScope
+/// named `scope` so the sampling profiler attributes worker-thread time
+/// to the operator that scheduled it. `scope` must be a string literal
+/// (or otherwise outlive the process-global profiler).
+void for_each_rank(int num_ranks, const char* scope,
+                   const std::function<void(int)>& fn);
+
 /// Serial variant for code that must interleave with shared mutable state.
 void for_each_rank_serial(int num_ranks, const std::function<void(int)>& fn);
 

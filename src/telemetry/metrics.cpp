@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
@@ -138,6 +139,42 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> bucket_counts,
+                          double q) {
+  IDS_CHECK(bucket_counts.size() == bounds.size() + 1)
+      << "bucket_counts must carry one slot per bound plus +Inf";
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Continuous rank of the target observation. q = 0 resolves to the
+  // lower edge of the first non-empty bucket, q = 1 to the upper edge of
+  // the last.
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i == bounds.size()) break;  // +Inf bucket: clamp below
+      const double upper = bounds[i];
+      const double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+      double frac = (target - cumulative) / in_bucket;
+      if (frac < 0.0) frac = 0.0;
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : bounds.back();
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  return histogram_quantile(bounds_, counts, q);
 }
 
 std::span<const double> latency_seconds_buckets() {
@@ -337,6 +374,20 @@ std::string MetricsRegistry::to_json() const {
           }
           os << "],\"sum\":" << format_double(s.hist_sum)
              << ",\"count\":" << s.hist_count;
+          // Quantile convenience for scrapers (/statusz, dashboards).
+          // Derived from this snapshot's buckets so the three agree with
+          // each other; omitted while the histogram is empty or boundless
+          // (the estimate would be NaN, which is not valid JSON).
+          const double p50 =
+              histogram_quantile(s.bounds, s.bucket_counts, 0.50);
+          if (!std::isnan(p50)) {
+            os << ",\"p50\":" << format_double(p50) << ",\"p95\":"
+               << format_double(histogram_quantile(s.bounds, s.bucket_counts,
+                                                   0.95))
+               << ",\"p99\":"
+               << format_double(histogram_quantile(s.bounds, s.bucket_counts,
+                                                   0.99));
+          }
           break;
         }
       }

@@ -88,6 +88,13 @@ class Histogram {
 
   /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf slot.
   std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Quantile estimate (q in [0,1], clamped) with Prometheus
+  /// histogram_quantile semantics: find the bucket holding the q-th
+  /// observation and interpolate linearly within it. See
+  /// histogram_quantile() for the edge cases.
+  double quantile(double q) const;
+
   std::span<const double> bounds() const { return bounds_; }
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -98,6 +105,18 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Quantile estimate from a histogram snapshot: `bucket_counts` are the
+/// per-bucket (non-cumulative) counts, one per bound plus the trailing
+/// +Inf slot. Linear interpolation within the owning bucket, with the
+/// first bucket's lower edge taken as 0 (or its own upper edge when that
+/// is negative), matching Prometheus' histogram_quantile. Observations
+/// landing exactly on a bucket edge report that edge exactly. Returns NaN
+/// for an empty histogram; a quantile inside the +Inf overflow bucket
+/// clamps to the largest finite bound (the best available estimate).
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> bucket_counts,
+                          double q);
 
 /// Default bucket edges for modeled/wall latencies in seconds: 1us .. 100s
 /// in decade steps with 1-2.5-5 subdivision — wide enough for both cache

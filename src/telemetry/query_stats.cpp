@@ -1,0 +1,83 @@
+#include "telemetry/query_stats.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"  // format_double
+
+namespace ids::telemetry {
+
+std::string QueryResourceAccount::to_json() const {
+  std::ostringstream os;
+  os << "{\"sequence\":" << sequence
+     << ",\"modeled_seconds\":" << format_double(modeled_seconds)
+     << ",\"wall_seconds\":" << format_double(wall_seconds)
+     << ",\"divergence_seconds\":" << format_double(divergence_seconds())
+     << ",\"rows_gathered\":" << rows_gathered
+     << ",\"rows_partitioned\":" << rows_partitioned
+     << ",\"udf_invocations\":" << udf_invocations
+     << ",\"peak_solution_bytes\":" << peak_solution_bytes
+     << ",\"cache_bytes_written\":" << cache_bytes_written
+     << ",\"cache_misses\":" << cache_misses << ",\"tiers\":[";
+  for (std::size_t i = 0; i < tiers.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"tier\":\"" << tiers[i].tier << "\",\"bytes_in\":"
+       << tiers[i].bytes_in << ",\"hits\":" << tiers[i].hits << '}';
+  }
+  os << "],\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "{\"stage\":\"" << stages[i].stage << "\",\"modeled_seconds\":"
+       << format_double(stages[i].modeled_seconds) << ",\"wall_seconds\":"
+       << format_double(stages[i].wall_seconds) << ",\"divergence_seconds\":"
+       << format_double(stages[i].divergence_seconds()) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+QueryStatsRing::QueryStatsRing(std::size_t capacity) : capacity_(capacity) {
+  IDS_CHECK(capacity_ > 0);
+}
+
+std::uint64_t QueryStatsRing::push(QueryResourceAccount account) {
+  MutexLock lock(mutex_);
+  account.sequence = ++total_pushed_;
+  const std::uint64_t sequence = account.sequence;
+  entries_.push_back(std::move(account));
+  if (entries_.size() > capacity_) {
+    entries_.erase(entries_.begin());
+  }
+  return sequence;
+}
+
+std::vector<QueryResourceAccount> QueryStatsRing::snapshot() const {
+  MutexLock lock(mutex_);
+  return entries_;
+}
+
+std::uint64_t QueryStatsRing::total_pushed() const {
+  MutexLock lock(mutex_);
+  return total_pushed_;
+}
+
+std::string QueryStatsRing::to_json() const {
+  std::vector<QueryResourceAccount> entries;
+  std::uint64_t total = 0;
+  {
+    MutexLock lock(mutex_);
+    entries = entries_;
+    total = total_pushed_;
+  }
+  std::ostringstream os;
+  os << "{\"total\":" << total << ",\"recent\":[";
+  for (std::size_t i = entries.size(); i-- > 0;) {
+    if (i + 1 != entries.size()) os << ',';
+    os << entries[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ids::telemetry

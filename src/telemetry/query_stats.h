@@ -1,0 +1,100 @@
+#pragma once
+
+// Per-query resource accounting (ISSUE 9 tentpole).
+//
+// A QueryResourceAccount is assembled by the engine over one execute()
+// call and answers "what did this query cost, and where": bytes pulled
+// per cache tier, rows moved by the exchange layer, UDF model
+// executions, the high-water mark of SolutionTable bytes, and — per
+// stage — how far the modeled (virtual-clock) time diverged from host
+// wall time. The finished account travels three ways:
+//
+//   * QueryResult::account       — programmatic access for callers;
+//   * the trace root span attrs  — so /tracez shows cost next to time;
+//   * QueryStatsRing             — bounded ring feeding /statusz.
+//
+// Everything here is plain data plus JSON rendering; the engine owns
+// all mutation (single-threaded at barrier points), so the account
+// itself needs no locking. Only the ring is thread-safe.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace ids::telemetry {
+
+/// Modeled-vs-wall time for one engine stage.
+struct StageAccount {
+  std::string stage;          // "scan", "filter", "invoke", ...
+  double modeled_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  /// Positive when the harness spent more wall time than the model
+  /// charged (overhead), negative when the model charges more than the
+  /// host actually needed (simulated I/O, modeled FLOPs).
+  double divergence_seconds() const { return wall_seconds - modeled_seconds; }
+};
+
+/// Bytes and hits served by one cache tier during the query.
+struct TierBytes {
+  std::string tier;  // "local_dram", "local_ssd", "remote_dram", ...
+  std::uint64_t bytes_in = 0;  // payload bytes read from this tier
+  std::uint64_t hits = 0;
+};
+
+/// Everything one query consumed. See file comment for the data flow.
+struct QueryResourceAccount {
+  std::uint64_t sequence = 0;  // 1-based completion index, ring-assigned
+
+  std::vector<TierBytes> tiers;        // only tiers that served bytes
+  std::uint64_t cache_bytes_written = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::uint64_t rows_gathered = 0;     // rows merged at gather
+  std::uint64_t rows_partitioned = 0;  // rows crossing ranks in exchanges
+  std::uint64_t udf_invocations = 0;   // INVOKE model executions
+  std::uint64_t peak_solution_bytes = 0;
+
+  std::vector<StageAccount> stages;    // execution order
+  double modeled_seconds = 0.0;        // whole-query modeled time
+  double wall_seconds = 0.0;           // whole-query host time
+
+  double divergence_seconds() const { return wall_seconds - modeled_seconds; }
+
+  /// Deterministic single-object JSON (format_double doubles), e.g.
+  /// {"sequence":3,"modeled_seconds":...,"tiers":[...],"stages":[...]}.
+  std::string to_json() const;
+};
+
+/// Bounded ring of the most recent completed query accounts, feeding
+/// /statusz. push() assigns the account's 1-based completion sequence.
+/// Thread-safe: queries push while HTTP scrapes snapshot.
+class QueryStatsRing {
+ public:
+  explicit QueryStatsRing(std::size_t capacity = 8);
+  QueryStatsRing(const QueryStatsRing&) = delete;
+  QueryStatsRing& operator=(const QueryStatsRing&) = delete;
+
+  /// Stores the account (stamping its `sequence`) and returns that
+  /// sequence number.
+  std::uint64_t push(QueryResourceAccount account) IDS_EXCLUDES(mutex_);
+
+  /// Retained accounts, oldest first.
+  std::vector<QueryResourceAccount> snapshot() const IDS_EXCLUDES(mutex_);
+  /// Accounts ever pushed (>= retained count).
+  std::uint64_t total_pushed() const IDS_EXCLUDES(mutex_);
+  std::size_t capacity() const { return capacity_; }
+
+  /// {"total":N,"recent":[...]} with accounts newest first.
+  std::string to_json() const IDS_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<QueryResourceAccount> entries_ IDS_GUARDED_BY(mutex_);
+  std::uint64_t total_pushed_ IDS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ids::telemetry

@@ -49,6 +49,125 @@ std::string micros_str(sim::Nanos ns) {
 
 }  // namespace
 
+std::string spans_to_chrome_json(const std::vector<Span>& spans,
+                                 std::uint64_t dropped) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  // Metadata events: process name + one named thread per timeline seen.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"ids-engine (modeled time)\"}}";
+  std::vector<int> ranks;
+  bool engine_timeline = false;
+  for (const Span& s : spans) {
+    if (s.rank < 0) {
+      engine_timeline = true;
+    } else if (std::find(ranks.begin(), ranks.end(), s.rank) == ranks.end()) {
+      ranks.push_back(s.rank);
+    }
+  }
+  std::sort(ranks.begin(), ranks.end());
+  if (engine_timeline) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+          "\"args\":{\"name\":\"engine\"}}";
+  }
+  for (int r : ranks) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << (r + 1) << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (const Span& s : spans) {
+    const sim::Nanos end = std::max(s.virt_end, s.virt_start);
+    os << ",\n{\"name\":\"" << escape_json(s.name) << "\",\"cat\":\""
+       << escape_json(s.category) << "\",\"ph\":\"X\",\"ts\":"
+       << micros_str(s.virt_start) << ",\"dur\":"
+       << micros_str(end - s.virt_start) << ",\"pid\":0,\"tid\":"
+       << (s.rank + 1) << ",\"args\":{\"span_id\":" << s.id
+       << ",\"parent_id\":" << s.parent << ",\"modeled_ns\":"
+       << (end - s.virt_start) << ",\"wall_ns\":"
+       << (s.wall_end_ns >= s.wall_start_ns ? s.wall_end_ns - s.wall_start_ns
+                                            : 0);
+    for (const auto& [k, v] : s.attrs) {
+      os << ",\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":"
+     << dropped << "}}\n";
+  return os.str();
+}
+
+std::string spans_to_text_report(const std::vector<Span>& spans,
+                                 std::uint64_t dropped) {
+  // Children lists in recording order; parent id < child id always holds.
+  // A tail snapshot (TraceRing entry) may carry ids offset from its
+  // indices, so parents are resolved relative to the first span's id.
+  const SpanId base = spans.empty() ? 0 : spans.front().id - 1;
+  std::vector<std::vector<std::size_t>> children(spans.size() + 1);
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanId p = spans[i].parent;
+    if (p <= base || p > base + spans.size()) {
+      roots.push_back(i);
+    } else {
+      children[p - base].push_back(i);
+    }
+  }
+  std::ostringstream os;
+  os << "trace: " << spans.size() << " spans";
+  if (dropped > 0) os << " (" << dropped << " dropped)";
+  os << "\n";
+  std::map<std::string, RunningStats> by_category;
+  // Explicit stack instead of recursion: traces can be 4+ levels deep but
+  // also 64k spans wide.
+  std::vector<std::pair<std::size_t, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    const auto [i, depth] = stack.back();
+    stack.pop_back();
+    const Span& s = spans[i];
+    by_category[s.category].add(sim::to_seconds(s.virt_duration()));
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += s.name;
+    if (s.rank >= 0) label += " [rank " + std::to_string(s.rank) + "]";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-48s modeled %12.6fs  wall %10.3fms",
+                  label.c_str(), sim::to_seconds(s.virt_duration()),
+                  static_cast<double>(s.wall_end_ns >= s.wall_start_ns
+                                          ? s.wall_end_ns - s.wall_start_ns
+                                          : 0) /
+                      1e6);
+    os << line;
+    if (!s.attrs.empty()) {
+      os << "  [";
+      for (std::size_t a = 0; a < s.attrs.size(); ++a) {
+        if (a) os << " ";
+        os << s.attrs[a].first << "=" << s.attrs[a].second;
+      }
+      os << "]";
+    }
+    os << "\n";
+    const auto& kids = children[s.id - base];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  os << "by category (modeled seconds):\n";
+  for (const auto& [category, stats] : by_category) {
+    char line[200];
+    std::snprintf(line, sizeof(line), "  %-10s %s\n", category.c_str(),
+                  stats.to_string().c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+Tracer::Tracer(std::size_t max_spans, MetricsRegistry* metrics)
+    : max_spans_(max_spans),
+      dropped_counter_((metrics != nullptr ? *metrics
+                                           : MetricsRegistry::global())
+                           .counter("ids_trace_dropped_spans_total")) {}
+
 std::uint64_t Tracer::wall_now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -67,6 +186,7 @@ SpanId Tracer::begin_span(std::string_view name, std::string_view category,
   MutexLock lock(mutex_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
+    dropped_counter_->inc();
     return kNoSpan;
   }
   Span span;
@@ -99,6 +219,7 @@ SpanId Tracer::record_span(std::string_view name, std::string_view category,
   MutexLock lock(mutex_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
+    dropped_counter_->inc();
     return kNoSpan;
   }
   Span span;
@@ -145,6 +266,13 @@ std::vector<Span> Tracer::snapshot() const {
   return spans_;
 }
 
+std::vector<Span> Tracer::snapshot_tail(std::size_t first) const {
+  MutexLock lock(mutex_);
+  if (first >= spans_.size()) return {};
+  return std::vector<Span>(spans_.begin() + static_cast<std::ptrdiff_t>(first),
+                           spans_.end());
+}
+
 void Tracer::clear() {
   MutexLock lock(mutex_);
   spans_.clear();
@@ -152,123 +280,77 @@ void Tracer::clear() {
 }
 
 std::string Tracer::to_chrome_json() const {
-  const std::vector<Span> spans = snapshot();
+  std::vector<Span> spans;
   std::uint64_t dropped_count;
   {
     MutexLock lock(mutex_);
+    spans = spans_;
     dropped_count = dropped_;
   }
-  std::ostringstream os;
-  os << "{\"traceEvents\":[\n";
-  // Metadata events: process name + one named thread per timeline seen.
-  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-        "\"args\":{\"name\":\"ids-engine (modeled time)\"}}";
-  std::vector<int> ranks;
-  bool engine_timeline = false;
-  for (const Span& s : spans) {
-    if (s.rank < 0) {
-      engine_timeline = true;
-    } else if (std::find(ranks.begin(), ranks.end(), s.rank) == ranks.end()) {
-      ranks.push_back(s.rank);
-    }
-  }
-  std::sort(ranks.begin(), ranks.end());
-  if (engine_timeline) {
-    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
-          "\"args\":{\"name\":\"engine\"}}";
-  }
-  for (int r : ranks) {
-    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
-       << (r + 1) << ",\"args\":{\"name\":\"rank " << r << "\"}}";
-  }
-  for (const Span& s : spans) {
-    const sim::Nanos end = std::max(s.virt_end, s.virt_start);
-    os << ",\n{\"name\":\"" << escape_json(s.name) << "\",\"cat\":\""
-       << escape_json(s.category) << "\",\"ph\":\"X\",\"ts\":"
-       << micros_str(s.virt_start) << ",\"dur\":"
-       << micros_str(end - s.virt_start) << ",\"pid\":0,\"tid\":"
-       << (s.rank + 1) << ",\"args\":{\"span_id\":" << s.id
-       << ",\"parent_id\":" << s.parent << ",\"modeled_ns\":"
-       << (end - s.virt_start) << ",\"wall_ns\":"
-       << (s.wall_end_ns >= s.wall_start_ns ? s.wall_end_ns - s.wall_start_ns
-                                            : 0);
-    for (const auto& [k, v] : s.attrs) {
-      os << ",\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
-    }
-    os << "}}";
-  }
-  os << "\n],\n\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":"
-     << dropped_count << "}}\n";
-  return os.str();
+  return spans_to_chrome_json(spans, dropped_count);
 }
 
 std::string Tracer::to_text_report() const {
-  const std::vector<Span> spans = snapshot();
+  std::vector<Span> spans;
   std::uint64_t dropped_count;
   {
     MutexLock lock(mutex_);
+    spans = spans_;
     dropped_count = dropped_;
   }
-  // Children lists in recording order; parent id < child id always holds.
-  std::vector<std::vector<std::size_t>> children(spans.size() + 1);
-  std::vector<std::size_t> roots;
-  for (std::size_t i = 0; i < spans.size(); ++i) {
-    const SpanId p = spans[i].parent;
-    if (p == kNoSpan || p > spans.size()) {
-      roots.push_back(i);
-    } else {
-      children[p].push_back(i);
-    }
+  return spans_to_text_report(spans, dropped_count);
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  IDS_CHECK(capacity_ > 0) << "TraceRing capacity must be positive";
+}
+
+void TraceRing::push(std::vector<Span> spans, std::uint64_t dropped) {
+  MutexLock lock(mutex_);
+  Entry entry;
+  entry.sequence = ++total_pushed_;
+  entry.spans = std::move(spans);
+  entry.dropped = dropped;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > capacity_) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() +
+                       static_cast<std::ptrdiff_t>(entries_.size() - capacity_));
   }
+}
+
+std::vector<TraceRing::Entry> TraceRing::snapshot() const {
+  MutexLock lock(mutex_);
+  return entries_;
+}
+
+std::uint64_t TraceRing::total_pushed() const {
+  MutexLock lock(mutex_);
+  return total_pushed_;
+}
+
+std::string TraceRing::to_text_report() const {
+  const std::vector<Entry> entries = snapshot();
   std::ostringstream os;
-  os << "trace: " << spans.size() << " spans";
-  if (dropped_count > 0) os << " (" << dropped_count << " dropped)";
-  os << "\n";
-  std::map<std::string, RunningStats> by_category;
-  // Explicit stack instead of recursion: traces can be 4+ levels deep but
-  // also 64k spans wide.
-  std::vector<std::pair<std::size_t, int>> stack;
-  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
-    stack.emplace_back(*it, 0);
+  std::uint64_t total;
+  {
+    MutexLock lock(mutex_);
+    total = total_pushed_;
   }
-  while (!stack.empty()) {
-    const auto [i, depth] = stack.back();
-    stack.pop_back();
-    const Span& s = spans[i];
-    by_category[s.category].add(sim::to_seconds(s.virt_duration()));
-    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
-    label += s.name;
-    if (s.rank >= 0) label += " [rank " + std::to_string(s.rank) + "]";
-    char line[160];
-    std::snprintf(line, sizeof(line), "%-48s modeled %12.6fs  wall %10.3fms",
-                  label.c_str(), sim::to_seconds(s.virt_duration()),
-                  static_cast<double>(s.wall_end_ns >= s.wall_start_ns
-                                          ? s.wall_end_ns - s.wall_start_ns
-                                          : 0) /
-                      1e6);
-    os << line;
-    if (!s.attrs.empty()) {
-      os << "  [";
-      for (std::size_t a = 0; a < s.attrs.size(); ++a) {
-        if (a) os << " ";
-        os << s.attrs[a].first << "=" << s.attrs[a].second;
-      }
-      os << "]";
-    }
-    os << "\n";
-    const auto& kids = children[s.id];
-    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-      stack.emplace_back(*it, depth + 1);
-    }
-  }
-  os << "by category (modeled seconds):\n";
-  for (const auto& [category, stats] : by_category) {
-    char line[200];
-    std::snprintf(line, sizeof(line), "  %-10s %s\n", category.c_str(),
-                  stats.to_string().c_str());
-    os << line;
+  os << "tracez: " << entries.size() << " of " << total
+     << " completed queries retained (capacity " << capacity_ << ")\n";
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    os << "\n=== trace #" << it->sequence << " ===\n"
+       << spans_to_text_report(it->spans, it->dropped);
   }
   return os.str();
+}
+
+std::string TraceRing::to_chrome_json() const {
+  MutexLock lock(mutex_);
+  if (entries_.empty()) return spans_to_chrome_json({}, 0);
+  const Entry& last = entries_.back();
+  return spans_to_chrome_json(last.spans, last.dropped);
 }
 
 }  // namespace ids::telemetry

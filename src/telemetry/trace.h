@@ -39,6 +39,9 @@
 
 namespace ids::telemetry {
 
+class Counter;          // metrics.h
+class MetricsRegistry;  // metrics.h
+
 /// 1-based span handle; 0 means "no span" (parentless, or tracing off).
 using SpanId = std::uint32_t;
 inline constexpr SpanId kNoSpan = 0;
@@ -58,9 +61,25 @@ struct Span {
   sim::Nanos virt_duration() const { return virt_end - virt_start; }
 };
 
+/// Chrome trace_event JSON for a span list (see Tracer::to_chrome_json).
+/// Free function so ring-buffered snapshots (TraceRing, /tracez) render
+/// with the exact same layout as a live Tracer.
+std::string spans_to_chrome_json(const std::vector<Span>& spans,
+                                 std::uint64_t dropped);
+
+/// EXPLAIN ANALYZE-style indented text report for a span list (see
+/// Tracer::to_text_report).
+std::string spans_to_text_report(const std::vector<Span>& spans,
+                                 std::uint64_t dropped);
+
 class Tracer {
  public:
-  explicit Tracer(std::size_t max_spans = 1u << 16) : max_spans_(max_spans) {}
+  /// `metrics` receives the ids_trace_dropped_spans_total counter (spans
+  /// rejected by the max_spans cap); nullptr = the process-global
+  /// registry. Resolved once here, so drops on the hot path are one
+  /// lock-free increment.
+  explicit Tracer(std::size_t max_spans = 1u << 16,
+                  MetricsRegistry* metrics = nullptr);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -97,6 +116,12 @@ class Tracer {
   std::uint64_t dropped() const IDS_EXCLUDES(mutex_);
 
   std::vector<Span> snapshot() const IDS_EXCLUDES(mutex_);
+  /// Copy of the spans recorded at or after index `first` (0-based
+  /// recording order). The engine uses size() before a query and
+  /// snapshot_tail() after it to carve one query's tree out of a
+  /// tracer shared across queries.
+  std::vector<Span> snapshot_tail(std::size_t first) const
+      IDS_EXCLUDES(mutex_);
   void clear() IDS_EXCLUDES(mutex_);
 
   std::string to_chrome_json() const IDS_EXCLUDES(mutex_);
@@ -106,9 +131,50 @@ class Tracer {
   Span* find_locked(SpanId id) IDS_REQUIRES(mutex_);
 
   const std::size_t max_spans_;
+  Counter* dropped_counter_;  // ids_trace_dropped_spans_total
   mutable Mutex mutex_;
   std::vector<Span> spans_ IDS_GUARDED_BY(mutex_);
   std::uint64_t dropped_ IDS_GUARDED_BY(mutex_) = 0;
+};
+
+/// Bounded ring of the most recent completed query span trees, feeding
+/// the observability server's /tracez endpoint. The engine pushes one
+/// entry per execute() (its query's spans plus the tracer's dropped
+/// count); the oldest entry falls out once `capacity` is reached.
+/// Thread-safe: queries push while HTTP scrapes snapshot.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 8);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  struct Entry {
+    std::uint64_t sequence = 0;  // 1-based completion index
+    std::vector<Span> spans;
+    std::uint64_t dropped = 0;
+  };
+
+  void push(std::vector<Span> spans, std::uint64_t dropped)
+      IDS_EXCLUDES(mutex_);
+
+  /// Retained entries, oldest first.
+  std::vector<Entry> snapshot() const IDS_EXCLUDES(mutex_);
+  /// Entries ever pushed (>= retained count).
+  std::uint64_t total_pushed() const IDS_EXCLUDES(mutex_);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Text report of every retained trace, newest first, each under a
+  /// "trace #<sequence>" header.
+  std::string to_text_report() const IDS_EXCLUDES(mutex_);
+  /// Chrome JSON of the most recent retained trace (empty trace when the
+  /// ring is empty).
+  std::string to_chrome_json() const IDS_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<Entry> entries_ IDS_GUARDED_BY(mutex_);  // oldest first
+  std::uint64_t total_pushed_ IDS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ids::telemetry

@@ -51,6 +51,8 @@ check "raw intrinsics flagged" 1 'raw SIMD intrinsics' \
       --root "$repo/tools/lint_fixtures/raw_intrinsics"
 check "unknown escape tag flagged" 1 'unknown lint:allow-\* tag' \
       --root "$repo/tools/lint_fixtures/unknown_escape"
+check "raw socket header flagged" 1 'raw socket header' \
+      --root "$repo/tools/lint_fixtures/raw_sockets"
 
 # Rule 11 bans only tags outside the closed set: the fixture's real
 # lint:allow-global waiver must not appear among its findings.
@@ -70,6 +72,22 @@ if echo "$out" | grep -q 'prefetch'; then
   failed=1
 else
   echo "ok   [intrinsics escape hatch]"
+fi
+
+# Rule 12's two carve-outs: src/telemetry/ is exempt wholesale (the obs
+# server's sockets live there), and a lint:allow-sockets line is spared.
+out=$("$lint" --root "$repo/tools/lint_fixtures/raw_sockets" 2>&1)
+if echo "$out" | grep -q 'telemetry/exporter'; then
+  echo "FAIL [sockets telemetry exemption]: src/telemetry/ file was flagged" >&2
+  failed=1
+else
+  echo "ok   [sockets telemetry exemption]"
+fi
+if echo "$out" | grep -q 'arpa/inet'; then
+  echo "FAIL [sockets escape hatch]: lint:allow-sockets line was flagged" >&2
+  failed=1
+else
+  echo "ok   [sockets escape hatch]"
 fi
 
 exit $failed

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "telemetry/metrics.h"
+#include "telemetry/query_stats.h"
 #include "telemetry/trace.h"
 
 namespace ids::telemetry {
@@ -198,6 +200,73 @@ TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(counts[3], 1u);      // 5.0 -> +Inf
   EXPECT_EQ(h->count(), 6u);
   EXPECT_DOUBLE_EQ(h->sum(), 14.0);
+}
+
+TEST(Metrics, HistogramQuantileInterpolatesAndHitsBucketEdgesExactly) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram* h = reg.histogram("ids_t_seconds", bounds);
+  EXPECT_TRUE(std::isnan(h->quantile(0.5)));  // empty histogram
+
+  // One observation per bucket (including +Inf): counts [1,1,1,1].
+  for (double x : {0.5, 1.5, 3.0, 10.0}) h->observe(x);
+
+  // Quantiles that exhaust a bucket land exactly on its upper edge —
+  // no accumulated float error at the boundaries.
+  EXPECT_DOUBLE_EQ(h->quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.75), 4.0);
+  // Inside a bucket, linear interpolation: the 0.375-quantile sits
+  // halfway through bucket (1, 2].
+  EXPECT_DOUBLE_EQ(h->quantile(0.375), 1.5);
+  // q=0 resolves to the first bucket's lower edge (0 for positive
+  // bounds); q=1 inside +Inf clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(h->quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 4.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h->quantile(-3.0), h->quantile(0.0));
+  EXPECT_DOUBLE_EQ(h->quantile(7.0), h->quantile(1.0));
+
+  // The member and the free function agree on the same snapshot.
+  std::vector<std::uint64_t> counts = h->bucket_counts();
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.375),
+                   h->quantile(0.375));
+}
+
+TEST(Metrics, HistogramQuantileOverflowAndNegativeEdges) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0};
+  Histogram* h = reg.histogram("ids_t_seconds", bounds);
+  h->observe(50.0);  // only the +Inf bucket is populated
+  // Best available estimate: clamp to the largest finite bound.
+  EXPECT_DOUBLE_EQ(h->quantile(0.5), 2.0);
+
+  // A first bucket with a negative upper edge uses that edge (not 0) as
+  // its lower bound, so the estimate never overshoots the data.
+  const double neg_bounds[] = {-2.0, 2.0};
+  Histogram* n = reg.histogram("ids_t_delta", neg_bounds);
+  n->observe(-3.0);
+  EXPECT_DOUBLE_EQ(n->quantile(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(n->quantile(1.0), -2.0);
+}
+
+TEST(Metrics, JsonSnapshotCarriesQuantiles) {
+  MetricsRegistry reg;
+  const double bounds[] = {1.0, 2.0, 4.0};
+  Histogram* h = reg.histogram("ids_t_seconds", bounds);
+  std::string empty_json = reg.to_json();
+  // Empty histogram: quantiles are NaN, so the keys are omitted and the
+  // document stays valid JSON.
+  EXPECT_EQ(empty_json.find("\"p50\""), std::string::npos);
+  EXPECT_TRUE(JsonValidator(empty_json).valid()) << empty_json;
+
+  for (double x : {0.5, 1.5, 3.0, 10.0}) h->observe(x);
+  std::string json = reg.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // Derived from the same snapshot as the buckets: p50 exhausts bucket
+  // (1,2], p95/p99 fall in +Inf and clamp to the largest finite bound.
+  EXPECT_NE(json.find(",\"p50\":2,\"p95\":4,\"p99\":4"), std::string::npos)
+      << json;
 }
 
 TEST(Metrics, PrometheusGolden) {
@@ -380,6 +449,123 @@ TEST(Trace, TextReportTreeAndCategorySummary) {
   EXPECT_NE(report.find("n=1"), std::string::npos);  // RunningStats summary
 }
 
+TEST(Trace, DroppedSpansFlowIntoMetricsCounter) {
+  MetricsRegistry reg;
+  Tracer tracer(/*max_spans=*/2, &reg);
+  Counter* dropped = reg.counter("ids_trace_dropped_spans_total");
+  EXPECT_EQ(dropped->value(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    tracer.begin_span("s", "stage", kNoSpan, -1, 0);
+  }
+  // 2 spans fit, 3 are dropped — the tracer's own count and the exported
+  // counter agree exactly.
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(dropped->value(), 3u);
+  // record_span drops are counted through the same series.
+  tracer.record_span("r", "stage", kNoSpan, -1, 0, 1, 0, 1);
+  EXPECT_EQ(dropped->value(), 4u);
+  // clear() resets the tracer but not the monotonic counter.
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(dropped->value(), 4u);
+}
+
+TEST(Trace, RingRetainsNewestEntriesWithSequences) {
+  TraceRing ring(/*capacity=*/3);
+  EXPECT_EQ(ring.snapshot().size(), 0u);
+  EXPECT_NE(ring.to_text_report().find("0 of 0 completed queries"),
+            std::string::npos);
+
+  MetricsRegistry reg;
+  for (int i = 0; i < 5; ++i) {
+    Tracer tracer(/*max_spans=*/16, &reg);
+    SpanId root = tracer.begin_span("query", "query", kNoSpan, -1, 0);
+    tracer.add_attr(root, "n", static_cast<std::uint64_t>(i));
+    tracer.end_span(root, 1000 * (i + 1));
+    ring.push(tracer.snapshot(), tracer.dropped());
+  }
+
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  std::vector<TraceRing::Entry> entries = ring.snapshot();
+  ASSERT_EQ(entries.size(), 3u);  // oldest two fell out
+  EXPECT_EQ(entries[0].sequence, 3u);
+  EXPECT_EQ(entries[2].sequence, 5u);
+  ASSERT_EQ(entries[2].spans.size(), 1u);
+  EXPECT_EQ(entries[2].spans[0].virt_end, 5000u);
+
+  // Text report is newest-first with per-trace headers.
+  std::string report = ring.to_text_report();
+  const std::size_t newest = report.find("trace #5");
+  const std::size_t oldest = report.find("trace #3");
+  ASSERT_NE(newest, std::string::npos) << report;
+  ASSERT_NE(oldest, std::string::npos) << report;
+  EXPECT_LT(newest, oldest);
+  EXPECT_EQ(report.find("trace #1"), std::string::npos);
+
+  // Chrome export renders the newest retained trace.
+  std::string json = ring.to_chrome_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"n\":\"4\""), std::string::npos) << json;
+}
+
+// ---- Query resource accounts ---------------------------------------------
+
+TEST(QueryStats, AccountJsonGolden) {
+  QueryResourceAccount a;
+  a.sequence = 3;
+  a.modeled_seconds = 2.5;
+  a.wall_seconds = 0.5;
+  a.rows_gathered = 24;
+  a.rows_partitioned = 124;
+  a.udf_invocations = 7;
+  a.peak_solution_bytes = 4096;
+  a.cache_bytes_written = 2048;
+  a.cache_misses = 2;
+  a.tiers.push_back({"local_dram", 1024, 5});
+  a.tiers.push_back({"remote_dram", 512, 1});
+  a.stages.push_back({"scan", 1.0, 0.25});
+  a.stages.push_back({"gather", 1.5, 0.25});
+  EXPECT_EQ(
+      a.to_json(),
+      "{\"sequence\":3,\"modeled_seconds\":2.5,\"wall_seconds\":0.5,"
+      "\"divergence_seconds\":-2,\"rows_gathered\":24,"
+      "\"rows_partitioned\":124,\"udf_invocations\":7,"
+      "\"peak_solution_bytes\":4096,\"cache_bytes_written\":2048,"
+      "\"cache_misses\":2,\"tiers\":["
+      "{\"tier\":\"local_dram\",\"bytes_in\":1024,\"hits\":5},"
+      "{\"tier\":\"remote_dram\",\"bytes_in\":512,\"hits\":1}],"
+      "\"stages\":["
+      "{\"stage\":\"scan\",\"modeled_seconds\":1,\"wall_seconds\":0.25,"
+      "\"divergence_seconds\":-0.75},"
+      "{\"stage\":\"gather\",\"modeled_seconds\":1.5,\"wall_seconds\":0.25,"
+      "\"divergence_seconds\":-1.25}]}");
+  EXPECT_TRUE(JsonValidator(a.to_json()).valid());
+}
+
+TEST(QueryStats, RingStampsSequencesAndEvictsOldest) {
+  QueryStatsRing ring(/*capacity=*/2);
+  for (int i = 0; i < 3; ++i) {
+    QueryResourceAccount a;
+    a.rows_gathered = static_cast<std::uint64_t>(i);
+    EXPECT_EQ(ring.push(std::move(a)), static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(ring.total_pushed(), 3u);
+  std::vector<QueryResourceAccount> kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].sequence, 2u);  // oldest retained
+  EXPECT_EQ(kept[1].sequence, 3u);
+
+  // JSON is newest-first under a total count.
+  std::string json = ring.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  const std::size_t newest = json.find("\"sequence\":3");
+  const std::size_t older = json.find("\"sequence\":2");
+  ASSERT_NE(newest, std::string::npos) << json;
+  ASSERT_NE(older, std::string::npos) << json;
+  EXPECT_LT(newest, older);
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+}
+
 // ---- Engine integration --------------------------------------------------
 
 /// Tiny graph fixture mirroring tests/engine_test.cpp: 10 people with an
@@ -539,6 +725,101 @@ TEST_F(TelemetryEngineFixture, StageSpansMatchQueryResultExactly) {
                 ->count(),
             r.rows_invoked);
   EXPECT_EQ(reg.counter("ids_engine_queries_total")->value(), 1u);
+}
+
+TEST_F(TelemetryEngineFixture, ResourceAccountMatchesQueryResult) {
+  Tracer tracer;
+  MetricsRegistry reg;
+  TraceRing traces;
+  QueryStatsRing stats;
+  cache::CacheConfig cc;
+  cc.num_nodes = 2;
+  cc.metrics = &reg;
+  cache::CacheManager cache(cc);
+
+  EngineOptions opts;
+  opts.topology = runtime::Topology::laptop(kRanks);
+  opts.cache = &cache;
+  opts.tracer = &tracer;
+  opts.metrics = &reg;
+  opts.trace_ring = &traces;
+  opts.query_stats = &stats;
+  IdsEngine eng(opts, triples_.get(), features_.get());
+  register_udfs(&eng);
+
+  QueryResult r = eng.execute(full_query());
+  const QueryResourceAccount& a = r.account;
+
+  // The account mirrors the QueryResult's own counters exactly.
+  EXPECT_EQ(a.sequence, 1u);
+  EXPECT_EQ(a.modeled_seconds, r.total_seconds);
+  EXPECT_EQ(a.udf_invocations, static_cast<std::uint64_t>(r.rows_invoked));
+  EXPECT_EQ(a.cache_misses, static_cast<std::uint64_t>(r.cache_misses));
+  EXPECT_EQ(a.rows_gathered, r.solutions.num_rows());
+  EXPECT_GT(a.rows_partitioned, 0u);   // rows crossed ranks in the join
+  EXPECT_GT(a.peak_solution_bytes, 0u);
+  EXPECT_GT(a.wall_seconds, 0.0);
+  EXPECT_EQ(a.divergence_seconds(), a.wall_seconds - a.modeled_seconds);
+
+  // Per-stage accounting lines up 1:1 with StageTiming on the modeled
+  // clock, and every stage carries a wall measurement.
+  ASSERT_EQ(a.stages.size(), r.stages.size());
+  double stage_modeled = 0.0;
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].stage, r.stages[i].stage);
+    EXPECT_EQ(a.stages[i].modeled_seconds, r.stages[i].seconds);
+    EXPECT_GE(a.stages[i].wall_seconds, 0.0);
+    stage_modeled += a.stages[i].modeled_seconds;
+  }
+  EXPECT_NEAR(stage_modeled, a.modeled_seconds, 1e-9);
+
+  // Tier byte accounting: hits sum to the result's hit count, and every
+  // reported tier actually served bytes.
+  std::uint64_t tier_hits = 0;
+  for (const auto& t : a.tiers) {
+    EXPECT_GT(t.bytes_in + t.hits, 0u);
+    tier_hits += t.hits;
+  }
+  EXPECT_EQ(tier_hits, static_cast<std::uint64_t>(r.cache_hits));
+
+  // The account was pushed to the ring and the span tree to the trace
+  // ring, with the root span carrying the account attrs for /tracez.
+  ASSERT_EQ(stats.snapshot().size(), 1u);
+  EXPECT_EQ(stats.snapshot()[0].sequence, 1u);
+  ASSERT_EQ(traces.total_pushed(), 1u);
+  const std::vector<Span> spans = traces.snapshot()[0].spans;
+  const Span* root = nullptr;
+  for (const Span& s : spans) {
+    if (s.category == "query") root = &s;
+  }
+  ASSERT_NE(root, nullptr);
+  bool saw_partitioned = false;
+  bool saw_divergence = false;
+  for (const auto& [key, value] : root->attrs) {
+    if (key == "rows_partitioned") {
+      saw_partitioned = true;
+      EXPECT_EQ(value, std::to_string(a.rows_partitioned));
+    }
+    if (key == "divergence_seconds") saw_divergence = true;
+  }
+  EXPECT_TRUE(saw_partitioned);
+  EXPECT_TRUE(saw_divergence);
+
+  // The ids_query_* instruments saw the same numbers.
+  EXPECT_EQ(reg.counter("ids_query_rows_gathered_total")->value(),
+            a.rows_gathered);
+  EXPECT_EQ(reg.counter("ids_query_udf_invocations_total")->value(),
+            a.udf_invocations);
+  EXPECT_EQ(reg.histogram("ids_query_modeled_seconds",
+                          latency_seconds_buckets())
+                ->count(),
+            1u);
+
+  // A second query advances the sequence; the account is per-execution.
+  QueryResult r2 = eng.execute(full_query());
+  EXPECT_EQ(r2.account.sequence, 2u);
+  ASSERT_EQ(r2.account.stages.size(), r2.stages.size());
+  EXPECT_EQ(stats.total_pushed(), 2u);
 }
 
 TEST_F(TelemetryEngineFixture, ExplainAndTraceAgreeOnStages) {

@@ -314,7 +314,7 @@ bool is_join_name(const std::string& n) {
 /// One lambda handed to an async spawner in a frame with no later join:
 /// flags by-ref captures of frame state, [&]-implicit references, and an
 /// escaping `this`. Returns the closing body-brace index (skip extent).
-std::size_t check_task_lambda(const FuncDecl& fn, const Corpus& corpus,
+std::size_t check_task_lambda(const FuncDecl& fn,
                               const std::string& spawn_name,
                               std::size_t cap_open, std::size_t call_close,
                               std::vector<EscapeFinding>* out) {
@@ -540,7 +540,7 @@ std::vector<EscapeFinding> find_task_lifetime(
         if (!tok_is(f.toks[k - 1], "(") && !tok_is(f.toks[k - 1], ",")) {
           continue;
         }
-        k = check_task_lambda(fn, corpus, n, k, close, &out);
+        k = check_task_lambda(fn, n, k, close, &out);
       }
       i = close;
     }

@@ -65,3 +65,31 @@ echo "==> running benchmarks (min_time=${min_time}s, filter=$filter)"
   --benchmark_out_format=json
 
 echo "==> wrote $out (build_type=$build_type)"
+
+# Telemetry-overhead gate: the observability plane (ProfileScope on the
+# cache hot path + the 97 Hz sampler) must cost <5% on the instrumented
+# loop. Compares BM_TelemetryOverhead/1 (profiler on) against /0 (off)
+# from the recording just made; skipped when the filter excluded them.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+times = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    if name.startswith("BM_TelemetryOverhead/"):
+        times[name.rsplit("/", 1)[1]] = float(b["real_time"])
+if "0" in times and "1" in times:
+    ratio = times["1"] / times["0"]
+    budget = 1.05
+    assert ratio <= budget, (
+        "telemetry overhead %.1f%% exceeds the 5%% budget "
+        "(off %.1fns, on %.1fns)"
+        % ((ratio - 1.0) * 100.0, times["0"], times["1"]))
+    print("telemetry overhead %+.2f%% (budget +5%%)" % ((ratio - 1.0) * 100.0))
+else:
+    print("telemetry overhead gate skipped (BM_TelemetryOverhead not in run)")
+EOF
+fi

@@ -102,6 +102,13 @@ if command -v python3 > /dev/null 2>&1; then
   }
 fi
 
+echo "==> observability smoke (ncnpr_workflow --serve-obs/--profile)"
+# Live-plane end-to-end: the workflow serves /metrics, /statusz, /tracez
+# and /profilez on an ephemeral port while holding after the run, and the
+# smoke script scrapes it over loopback like an operator with curl would.
+bash tools/obs_smoke.sh build-analyze/examples/ncnpr_workflow \
+  "$smoke_dir/obs"
+
 build_and_test() {  # $1 = build dir, $2 = IDS_SANITIZE value
   echo "==> $2 build ($1)"
   mkdir -p "$1"

@@ -70,6 +70,11 @@ run_config() {  # $1 = build dir, $2... = extra cmake args
 }
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+
+echo "==> observability smoke (live /metrics scrape + flamegraph export)"
+cmake --build build-ci-release --target ncnpr_workflow -j "$jobs"
+bash tools/obs_smoke.sh build-ci-release/examples/ncnpr_workflow
+
 run_config build-ci-asan -DIDS_SANITIZE=address
 run_config build-ci-tsan -DIDS_SANITIZE=thread
 

@@ -45,9 +45,16 @@
 #      IDS_SIMD_LEVEL override stay in one place. A deliberate use opts
 #      out with a trailing `// lint:allow-intrinsics`.
 #  11. Unknown `lint:allow-*` tags. The opt-out vocabulary is a closed set
-#      (stdout, global, unordered, intrinsics); a typo such as
+#      (stdout, global, unordered, intrinsics, sockets); a typo such as
 #      `lint:allow-stdio` suppresses nothing while *looking* audited, so
 #      any tag outside the set is itself a finding.
+#  12. Raw socket headers in src/ outside src/telemetry/ — #include of
+#      <sys/socket.h>, <netinet/*.h> or <arpa/inet.h>. The engine is a
+#      library with modeled I/O; the only component that opens real
+#      sockets is the observability server, and confining the headers
+#      keeps it that way (and keeps every other translation unit portable
+#      to socketless sandboxes). A deliberate use opts out with a
+#      trailing `// lint:allow-sockets`.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -263,15 +270,34 @@ $hits"
 done < <(list_files '*.h'; list_files '*.cpp')
 
 # --- 11. unknown lint:allow-* escape tags -------------------------------
-# Rules 5/7/9/10 honor exactly four tags. Anything else — a typo, or a tag
-# invented for a rule that does not read it — would ride along in review
-# looking like an audited waiver while suppressing nothing. Closed set,
-# enforced here.
+# Rules 5/7/9/10/12 honor exactly five tags. Anything else — a typo, or a
+# tag invented for a rule that does not read it — would ride along in
+# review looking like an audited waiver while suppressing nothing. Closed
+# set, enforced here.
 while IFS= read -r f; do
   hits=$(grep -noE 'lint:allow-[a-z0-9-]+' "$f" \
-           | grep -vE 'lint:allow-(stdout|global|unordered|intrinsics)$')
+           | grep -vE 'lint:allow-(stdout|global|unordered|intrinsics|sockets)$')
   if [ -n "$hits" ]; then
-    fail "unknown lint:allow-* tag in $f (known tags: stdout, global, unordered, intrinsics):
+    fail "unknown lint:allow-* tag in $f (known tags: stdout, global, unordered, intrinsics, sockets):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 12. raw socket headers in src/ outside src/telemetry/ --------------
+# The observability server (src/telemetry/obs_server.cpp) is the single
+# place the process touches BSD sockets; everything else models its I/O,
+# so a socket include anywhere else is an architecture leak. Comment
+# tails are stripped so prose about sockets stays legal.
+while IFS= read -r f; do
+  case "$f" in
+    src/telemetry/*) continue ;;
+    src/*) ;;
+    *) continue ;;
+  esac
+  hits=$(sed -e '/lint:allow-sockets/s/.*//' -e 's|//.*||' "$f" \
+           | grep -nE '#[[:space:]]*include[[:space:]]*<(sys/socket\.h|netinet/[a-z0-9_]+\.h|arpa/inet\.h)>')
+  if [ -n "$hits" ]; then
+    fail "raw socket header in $f (real sockets live in src/telemetry/ only; mark a deliberate use with // lint:allow-sockets):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

@@ -1,0 +1,7 @@
+// Companion to the raw_sockets fixture: the same includes inside
+// src/telemetry/ are the sanctioned home for real sockets (the
+// observability server lives there), so this file must NOT be flagged.
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+int exporter_socket() { return socket(AF_INET, SOCK_STREAM, 0); }

@@ -1,0 +1,23 @@
+// Negative fixture for lint rule 12: raw socket headers outside
+// src/telemetry/. A transport layer that opens BSD sockets from engine
+// code bypasses the modeled-I/O contract and makes every translation
+// unit that links it unportable to socketless sandboxes. This file must
+// be flagged on both unmarked includes; the opted-out line at the bottom
+// must NOT be flagged.
+#include <sys/socket.h>
+
+#include <netinet/in.h>
+
+int open_listener(unsigned short port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = static_cast<unsigned short>((port << 8) | (port >> 8));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return -1;
+  }
+  return fd;
+}
+
+#include <arpa/inet.h>  // lint:allow-sockets

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Observability-plane smoke: runs the NCNPR workflow with the in-process
+# exposition server and the sampling profiler on, scrapes every endpoint
+# over loopback during the post-run hold window (as an operator with curl
+# would), and asserts the ids_* metric families, the retained query
+# traces, and non-empty named-scope flamegraph stacks.
+#
+# Usage: tools/obs_smoke.sh WORKFLOW_BINARY [OUT_DIR]
+#   WORKFLOW_BINARY  path to a built examples/ncnpr_workflow
+#   OUT_DIR          scratch dir for logs/profile (default: mktemp -d)
+
+set -eu
+
+if [ $# -lt 1 ] || [ ! -x "$1" ]; then
+  echo "usage: $0 WORKFLOW_BINARY [OUT_DIR]" >&2
+  exit 2
+fi
+workflow="$1"
+if [ $# -ge 2 ]; then
+  outdir="$2"
+  mkdir -p "$outdir"
+  cleanup=""
+else
+  outdir=$(mktemp -d)
+  cleanup="$outdir"
+fi
+obs_pid=""
+trap '[ -n "$obs_pid" ] && kill "$obs_pid" 2>/dev/null; [ -n "$cleanup" ] && rm -rf "$cleanup"' EXIT
+
+"$workflow" --serve-obs 0 --profile "$outdir/profile.folded" --hold-obs 10 \
+  > "$outdir/obs.log" 2>&1 &
+obs_pid=$!
+
+# The workflow prints (and flushes) the hold banner with the bound port
+# once both queries have finished and the server is idle-serving.
+port=""
+for _ in $(seq 1 200); do
+  port=$(sed -n 's#^holding obs server for .*127\.0\.0\.1:\([0-9]*\)/.*#\1#p' \
+           "$outdir/obs.log")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "obs smoke: server never reached the hold phase:" >&2
+  cat "$outdir/obs.log" >&2
+  exit 1
+fi
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$port" <<'EOF'
+import sys, urllib.request
+port = sys.argv[1]
+def fetch(path):
+    with urllib.request.urlopen("http://127.0.0.1:%s%s" % (port, path),
+                                timeout=5) as r:
+        return r.read().decode()
+metrics = fetch("/metrics")
+for family in ("ids_engine_queries_total", "ids_cache_hits_total{",
+               "ids_query_rows_gathered_total", "ids_query_wall_seconds_"):
+    assert family in metrics, "missing %s in live /metrics" % family
+statusz = fetch("/statusz")
+for key in ('"build_type":', '"simd_level":', '"queries":{"total":2'):
+    assert key in statusz, "missing %s in /statusz" % key
+assert "trace #" in fetch("/tracez"), "/tracez lost the query traces"
+folded = fetch("/profilez?fmt=folded")
+assert folded.strip(), "/profilez?fmt=folded is empty"
+for line in folded.strip().splitlines():
+    path, _, count = line.rpartition(" ")
+    assert path and int(count) > 0, "unnamed profile sample: %r" % line
+print("obs smoke: /metrics /statusz /tracez /profilez all serving")
+EOF
+else
+  echo "obs smoke: python3 unavailable, skipping live scrape" >&2
+fi
+
+wait "$obs_pid" || { echo "obs smoke: workflow exited nonzero" >&2; exit 1; }
+obs_pid=""
+[ -s "$outdir/profile.folded" ] || {
+  echo "obs smoke: --profile wrote no folded stacks" >&2
+  exit 1
+}
+grep -q 'engine.query' "$outdir/profile.folded" || {
+  echo "obs smoke: folded output lacks engine.query frames" >&2
+  exit 1
+}
+echo "obs smoke: OK"
