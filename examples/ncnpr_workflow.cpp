@@ -145,6 +145,9 @@ int main(int argc, char** argv) {
     }
     std::printf("obs server listening on http://127.0.0.1:%u\n",
                 static_cast<unsigned>(obs_server.port()));
+    // stdout is fully buffered when redirected to a log; flush so a smoke
+    // harness can discover the ephemeral port before the queries finish.
+    std::fflush(stdout);
   }
   if (profile_path != nullptr) telemetry::Profiler::global().start();
 

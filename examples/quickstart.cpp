@@ -38,7 +38,9 @@ int main() {
     features.set(id, "weight", m.weight);
     keywords.add_document(id, m.doc);
   }
-  triples.finalize();  // build the SPO/POS/OSP indexes
+  triples.finalize();  // build the SPO/POS/OSP indexes and seal the store
+  features.freeze();   // ingest done: seal features + keywords for serving
+  keywords.freeze();
 
   // 3. An engine over the stores. Options default to a laptop topology.
   core::EngineOptions opts;

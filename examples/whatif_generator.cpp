@@ -37,6 +37,10 @@ int main() {
 
   // Ingest the generated compounds like any other data: triples mark them
   // as (generated) inhibitor hypotheses against the target protein.
+  // Incremental ingest is an epoch round trip (DESIGN.md §13): reopen the
+  // frozen stores, add, then re-freeze before serving queries again.
+  data.triples->reopen();
+  data.features->reopen();
   auto& dict = data.triples->dict();
   graph::TermId generated_class = dict.intern("gen:Candidate");
   graph::TermId type_pred = *dict.lookup(datagen::Vocab::kType);
@@ -48,8 +52,9 @@ int main() {
     data.triples->add_ids({id, inhibits, data.dataset.target_protein});
     data.features->set(id, datagen::Feat::kSmiles, novel[i]);
   }
-  // Incremental ingest: re-finalize rebuilds the affected shard indexes.
+  // Re-finalize rebuilds the affected shard indexes and re-enters serve.
   data.triples->finalize();
+  data.features->freeze();
 
   core::EngineOptions opts;
   opts.topology = runtime::Topology::laptop(kRanks);

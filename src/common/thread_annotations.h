@@ -109,6 +109,20 @@
 /// nothing on every compiler.
 #define IDS_SINGLE_QUERY_ONLY(reason)
 
+/// Declares an ingest→freeze→serve epoch for one field: the annotated
+/// member is mutable only until the owning class's named freeze method
+/// (e.g. `IDS_FROZEN_AFTER(finalize)`) has run, and is immutable — hence
+/// safe to read from any number of concurrent queries — afterwards. The
+/// phase rule family ([phase-discipline], [frozen-ingest-guard]) verifies
+/// the contract: every write site must be ingest-phase (a constructor,
+/// the freeze method itself, or a mutator that checks `!frozen()`), and
+/// no write may be reachable from `IdsEngine::execute`. On the
+/// `--certify=concurrent-exec` ladder these fields land on the
+/// `frozen-after-init` rung instead of needing an IDS_SINGLE_QUERY_ONLY
+/// waiver. Trails the declarator like IDS_GUARDED_BY; expands to nothing
+/// on every compiler.
+#define IDS_FROZEN_AFTER(freeze_method)
+
 /// Declares that calling this method may invalidate views (spans,
 /// string_views, references, pointers, iterators) previously derived from
 /// the named container — input for the [view-invalidation] summaries when

@@ -1410,6 +1410,15 @@ IdsEngine::IdsEngine(EngineOptions options, graph::TripleStore* triples,
 }
 
 QueryResult IdsEngine::execute(const Query& query) {
+  // Serve-phase gate: every store a query can read must be sealed by its
+  // freeze method before execution, so nothing execute() reaches mutates
+  // (the contract the phase rule family proves statically).
+  IDS_CHECK(triples_->frozen())
+      << "execute() before TripleStore::finalize()";
+  IDS_CHECK(features_ == nullptr || features_->frozen())
+      << "execute() before FeatureStore::freeze()";
+  IDS_CHECK(keywords_ == nullptr || keywords_->frozen())
+      << "execute() before InvertedIndex::freeze()";
   QueryExecution exec(options_, triples_, features_, keywords_, vectors_,
                       &registry_, &profiler_);
   return exec.run(query);

@@ -45,6 +45,8 @@ NcnprData build_ncnpr_data(const datagen::LifeSciConfig& config,
       config.build_keyword_index ? data.keywords.get() : nullptr,
       config.build_vector_store ? data.vectors.get() : nullptr);
   data.triples->finalize();
+  data.features->freeze();
+  data.keywords->freeze();
   auto seq = data.features->get_string(data.dataset.target_protein,
                                        Feat::kSequence);
   IDS_CHECK(seq.has_value()) << "target protein has no sequence feature";

@@ -104,9 +104,10 @@ struct LifeSciDataset {
 };
 
 /// Generates the dataset into the provided stores. `vectors` (if used)
-/// must have dim == DtbaModel::kProteinDims. Call triples.finalize()
-/// afterwards (the generator leaves the store open so callers can add
-/// their own facts first).
+/// must have dim == DtbaModel::kProteinDims. Call triples->finalize(),
+/// features->freeze(), and keywords->freeze() afterwards — the generator
+/// leaves every store in the ingest phase so callers can add their own
+/// facts first; queries require frozen stores.
 LifeSciDataset generate_lifesci(const LifeSciConfig& config,
                                 graph::TripleStore* triples,
                                 store::FeatureStore* features,

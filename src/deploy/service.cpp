@@ -64,6 +64,7 @@ Result<core::QueryResult> DatastoreClient::query(std::string_view text) {
   ASSIGN_OR_RETURN(core::Query parsed,
                    core::parse_query(text, &s->triples().dict()));
   s->agent(0).log("client", "query accepted");
+  s->freeze_stores();
   core::QueryResult r = s->engine().execute(parsed);
   s->agent(0).log("backend",
                   "query done: " + std::to_string(r.solutions.num_rows()) +
@@ -74,12 +75,14 @@ Result<core::QueryResult> DatastoreClient::query(std::string_view text) {
 Result<core::QueryResult> DatastoreClient::execute(const core::Query& q) {
   IdsSession* s = session();
   if (!s) return Status::Unavailable("session torn down");
+  s->freeze_stores();
   return s->engine().execute(q);
 }
 
 Status DatastoreClient::update(const std::vector<TripleUpdate>& triples) {
   IdsSession* s = session();
   if (!s) return Status::Unavailable("session torn down");
+  s->triples().reopen();
   for (const auto& t : triples) {
     s->triples().add(t.subject, t.predicate, t.object);
   }

@@ -69,6 +69,24 @@ class IdsSession {
   store::FeatureStore& features() { return *features_; }
   store::InvertedIndex& keywords() { return *keywords_; }
   store::VectorStore& vectors() { return *vectors_; }
+
+  /// Seals every store (ingest→serve epoch transition); idempotent. The
+  /// client calls this before each query, so sessions may ingest through
+  /// the store accessors freely between queries.
+  void freeze_stores() {
+    triples_->finalize();
+    features_->freeze();
+    keywords_->freeze();
+  }
+
+  /// Returns every store to the ingest phase (the update endpoint and
+  /// bulk loads). Callers own quiescence: no queries in flight until the
+  /// next freeze_stores().
+  void reopen_stores() {
+    triples_->reopen();
+    features_->reopen();
+    keywords_->reopen();
+  }
   core::IdsEngine& engine() { return *engine_; }
   DatastoreAgent& agent(int node) { return *agents_[static_cast<std::size_t>(node)]; }
   int num_nodes() const { return static_cast<int>(agents_.size()); }
@@ -128,7 +146,8 @@ class DatastoreClient {
   /// Executes a prebuilt AST query.
   Result<core::QueryResult> execute(const core::Query& q);
 
-  /// Ingests facts into the running instance (re-finalizes the store).
+  /// Ingests facts into the running instance (reopens the triple store,
+  /// adds, and re-finalizes — the ingest→serve epoch round trip).
   Status update(const std::vector<TripleUpdate>& triples);
 
   /// Imports (or replaces) a dynamic UDF — the paper's Python-module

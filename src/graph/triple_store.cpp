@@ -11,16 +11,20 @@ TripleStore::TripleStore(int num_shards)
 
 void TripleStore::add(std::string_view s, std::string_view p,
                       std::string_view o) {
+  IDS_CHECK(!frozen()) << "TripleStore::add after finalize(); reopen() first";
   Triple t{dict_.intern(s), dict_.intern(p), dict_.intern(o)};
   add_ids(t);
 }
 
 void TripleStore::add_ids(const Triple& t) {
+  IDS_CHECK(!frozen()) << "TripleStore::add_ids after finalize(); reopen() first";
   shards_[static_cast<std::size_t>(shard_of_subject(t.s))].add(t);
 }
 
 void TripleStore::finalize() {
+  if (frozen()) return;
   for (auto& s : shards_) s.finalize();
+  frozen_.store(true, std::memory_order_release);
 }
 
 std::size_t TripleStore::total_triples() const {

@@ -6,6 +6,7 @@
 // same per-rank data sharding CGE uses. One shard corresponds to one rank
 // of the simulated machine; the engine layer pairs shard i with rank i.
 
+#include <atomic>
 #include <string_view>
 #include <vector>
 
@@ -26,13 +27,26 @@ class TripleStore {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// Interns the three terms and adds the triple to the owning shard.
+  /// Ingest-phase only: aborts if the store is frozen.
   void add(std::string_view s, std::string_view p, std::string_view o);
 
-  /// Adds an already-encoded triple.
+  /// Adds an already-encoded triple. Ingest-phase only.
   void add_ids(const Triple& t);
 
-  /// Finalizes every shard (sort + dedup). Must be called before scans.
+  /// Finalizes every shard (sort + dedup) and freezes the store: this is
+  /// the ingest→serve epoch transition, after which shards are immutable
+  /// and safe to scan from any number of concurrent queries. Idempotent.
   void finalize();
+
+  /// True once finalize() has sealed the store (acquire pairs with the
+  /// release in finalize(), so a thread that observes frozen() also
+  /// observes the finalized shards).
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Returns the store to the ingest phase for incremental updates (the
+  /// deploy update endpoint). The caller owns quiescence: no queries may
+  /// be in flight between reopen() and the next finalize().
+  void reopen() { frozen_.store(false, std::memory_order_release); }
 
   const GraphShard& shard(int i) const { return shards_[static_cast<std::size_t>(i)]; }
 
@@ -48,10 +62,11 @@ class TripleStore {
 
  private:
   Dictionary dict_;
-  // Shards mutate during ingest (add/finalize) and are frozen before
-  // scans; concurrent serving needs ingest/query phasing (ROADMAP item 1).
-  std::vector<GraphShard> shards_
-      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_by_finalize);
+  // Shards mutate during ingest (add/add_ids) and are sealed by
+  // finalize(); after that every access is a read, so frozen stores can
+  // be shared across concurrent queries (ROADMAP item 1).
+  std::vector<GraphShard> shards_ IDS_FROZEN_AFTER(finalize);
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace ids::graph

@@ -9,6 +9,7 @@ FeatureStore::FeatureStore(int num_shards)
 }
 
 FeatureStore::FeatureId FeatureStore::intern_feature(std::string_view name) {
+  IDS_DCHECK(!frozen()) << "FeatureStore interning after freeze()";
   auto it = feature_ids_.find(std::string(name));
   if (it != feature_ids_.end()) return it->second;
   auto id = static_cast<FeatureId>(feature_names_.size());
@@ -26,6 +27,7 @@ std::optional<FeatureStore::FeatureId> FeatureStore::lookup_feature(
 
 void FeatureStore::set(graph::TermId entity, std::string_view feature,
                        FeatureValue value) {
+  IDS_CHECK(!frozen()) << "FeatureStore::set after freeze(); reopen() first";
   FeatureId fid = intern_feature(feature);
   auto& shard = shards_[static_cast<std::size_t>(shard_of(entity))];
   auto& entries = shard.entities[entity];

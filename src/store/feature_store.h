@@ -8,6 +8,7 @@
 // review flags. Sharded by entity id with the same hash as the triple
 // store so an entity's triples and features live on the same rank.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -35,8 +36,24 @@ class FeatureStore {
                             static_cast<std::uint64_t>(shards_.size()));
   }
 
-  /// Sets (or overwrites) one feature of an entity.
+  /// Sets (or overwrites) one feature of an entity. Ingest-phase only:
+  /// aborts if the store is frozen.
   void set(graph::TermId entity, std::string_view feature, FeatureValue value);
+
+  /// Seals the store: the ingest→serve epoch transition, after which the
+  /// shards and the feature-name interner are immutable and safe to read
+  /// from any number of concurrent queries. Idempotent.
+  void freeze() { frozen_.store(true, std::memory_order_release); }
+
+  /// True once freeze() has sealed the store (acquire pairs with the
+  /// release in freeze(), so a thread that observes frozen() also
+  /// observes every ingested pair).
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Returns the store to the ingest phase for incremental updates. The
+  /// caller owns quiescence: no queries may be in flight between
+  /// reopen() and the next freeze().
+  void reopen() { frozen_.store(false, std::memory_order_release); }
 
   /// Returns the value if present. Pointer is invalidated by writes.
   const FeatureValue* get(graph::TermId entity, std::string_view feature) const;
@@ -77,14 +94,14 @@ class FeatureStore {
   FeatureId intern_feature(std::string_view name);
   std::optional<FeatureId> lookup_feature(std::string_view name) const;
 
-  // All three mutate only while ingesting feature pairs; interning is
-  // frozen before queries run (ROADMAP item 1 tracks concurrent phasing).
-  std::vector<Shard> shards_
-      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_before_serving);
+  // All three mutate only while ingesting feature pairs (set/intern) and
+  // are sealed by freeze(); every serve-phase access is a read, so frozen
+  // stores can be shared across concurrent queries (ROADMAP item 1).
+  std::vector<Shard> shards_ IDS_FROZEN_AFTER(freeze);
   std::unordered_map<std::string, FeatureId> feature_ids_
-      IDS_SINGLE_QUERY_ONLY(ingest_interning_frozen_before_serving);
-  std::vector<std::string> feature_names_
-      IDS_SINGLE_QUERY_ONLY(ingest_interning_frozen_before_serving);
+      IDS_FROZEN_AFTER(freeze);
+  std::vector<std::string> feature_names_ IDS_FROZEN_AFTER(freeze);
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace ids::store

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace ids::store {
@@ -23,25 +24,26 @@ std::vector<std::string> InvertedIndex::tokenize(std::string_view text) {
 }
 
 void InvertedIndex::add_document(graph::TermId entity, std::string_view text) {
+  IDS_CHECK(!frozen()) << "InvertedIndex::add_document after freeze(); "
+                          "reopen() first";
   for (auto& tok : tokenize(text)) {
     postings_[tok].push_back(entity);
   }
   ++documents_;
-  prepared_ = false;
 }
 
-void InvertedIndex::ensure_prepared() const {
-  if (prepared_) return;
+void InvertedIndex::freeze() {
+  if (frozen()) return;
   for (auto& [tok, list] : postings_) {
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
   }
-  prepared_ = true;
+  frozen_.store(true, std::memory_order_release);
 }
 
 const std::vector<graph::TermId>* InvertedIndex::posting(
     std::string_view token) const {
-  ensure_prepared();
+  IDS_DCHECK(frozen()) << "InvertedIndex read before freeze()";
   auto it = postings_.find(to_lower(token));
   if (it == postings_.end()) return nullptr;
   return &it->second;

@@ -7,6 +7,7 @@
 // annotations); queries are conjunctions/disjunctions of tokens resolved
 // by posting-list intersection/union.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -21,8 +22,24 @@ namespace ids::store {
 class InvertedIndex {
  public:
   /// Tokenizes `text` (lowercased alnum runs) and indexes every token for
-  /// `entity`. May be called repeatedly per entity.
+  /// `entity`. May be called repeatedly per entity. Ingest-phase only:
+  /// aborts if the index is frozen.
   void add_document(graph::TermId entity, std::string_view text);
+
+  /// Sorts and dedups every posting list eagerly, then seals the index:
+  /// the ingest→serve epoch transition. After freeze() all reads are
+  /// const and safe from any number of concurrent queries. Idempotent.
+  void freeze();
+
+  /// True once freeze() has sealed the index (acquire pairs with the
+  /// release in freeze(), so a thread that observes frozen() also
+  /// observes the prepared posting lists).
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Returns the index to the ingest phase for incremental updates. The
+  /// caller owns quiescence: no queries may be in flight between
+  /// reopen() and the next freeze().
+  void reopen() { frozen_.store(false, std::memory_order_release); }
 
   /// Entities whose documents contain ALL of the tokens. Sorted ascending.
   std::vector<graph::TermId> search_and(
@@ -42,18 +59,16 @@ class InvertedIndex {
   static std::vector<std::string> tokenize(std::string_view text);
 
  private:
+  /// Requires a frozen index (posting lists are prepared by freeze(), not
+  /// lazily on read — serve-phase reads never mutate).
   const std::vector<graph::TermId>* posting(std::string_view token) const;
-  /// Sorts and dedups all posting lists; done lazily before reads.
-  void ensure_prepared() const;
 
-  // ensure_prepared() sorts lazily on the first read after ingest — a
-  // mutation under const access paths that is only sound single-query.
-  mutable std::unordered_map<std::string, std::vector<graph::TermId>> postings_
-      IDS_SINGLE_QUERY_ONLY(lazy_prepare_mutates_on_read);
-  mutable bool prepared_ IDS_SINGLE_QUERY_ONLY(lazy_prepare_mutates_on_read) =
-      true;
-  std::size_t documents_
-      IDS_SINGLE_QUERY_ONLY(ingest_mutable_frozen_before_serving) = 0;
+  // Posting lists mutate during ingest (add_document) and are sorted,
+  // deduped, and sealed by freeze(); every serve-phase access is a read.
+  std::unordered_map<std::string, std::vector<graph::TermId>> postings_
+      IDS_FROZEN_AFTER(freeze);
+  std::size_t documents_ IDS_FROZEN_AFTER(freeze) = 0;
+  std::atomic<bool> frozen_{false};
 };
 
 }  // namespace ids::store

@@ -113,6 +113,36 @@ check "captured-this member escape flagged" 1 \
 check "atomic / per-rank / locked tasks accepted" 0 'ids-analyzer: OK' \
       "$fixtures/thread_escape/good.cpp"
 
+# --- phase/epoch rules -------------------------------------------------------
+
+check "missing freeze method flagged" 1 \
+      "phase-discipline.*has no method 'seal'" \
+      "$fixtures/phase_discipline/bad.cpp"
+check "mutable frozen field flagged" 1 \
+      'phase-discipline.*lazy-prepare' \
+      "$fixtures/phase_discipline/bad.cpp"
+check "serve-phase write flagged" 1 \
+      "serve-phase write.*'Store::touch'.*reachable from IdsEngine::execute" \
+      "$fixtures/phase_discipline/bad.cpp"
+check "freeze call on execute path flagged" 1 \
+      "freeze method 'Postings::commit'.*reachable from IdsEngine::execute" \
+      "$fixtures/phase_discipline/bad.cpp"
+check "eager freeze with guarded ingest accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/phase_discipline/good.cpp"
+
+check "unguarded ingest write flagged" 1 \
+      "frozen-ingest-guard.*'Ledger::append' without an epoch guard" \
+      "$fixtures/frozen_ingest_guard/bad.cpp"
+check "positive frozen assert is not a guard" 1 \
+      "frozen-ingest-guard.*'Ledger::audit'" \
+      "$fixtures/frozen_ingest_guard/bad.cpp"
+check "IDS_CHECK/IDS_DCHECK epoch guards accepted" 0 'ids-analyzer: OK' \
+      "$fixtures/frozen_ingest_guard/good.cpp"
+# Constructor writes and the freeze method itself are exempt: the good
+# fixture reserves in the ctor and sorts inside freeze() with no guard.
+check "ctor and freeze-method writes exempt" 0 'ids-analyzer: OK' \
+      --rule=frozen-ingest-guard "$fixtures/frozen_ingest_guard/good.cpp"
+
 # --- lifetime rules ----------------------------------------------------------
 
 check "view invalidated by direct mutation flagged" 1 \
@@ -278,6 +308,7 @@ for rid in ("discarded-status", "unchecked-value", "lock-order",
             "bare-assert", "xfile-lock-order", "blocking-under-lock",
             "wallclock-in-engine", "wrapper-discarded-status",
             "guarded-by", "thread-escape", "shared-state",
+            "phase-discipline", "frozen-ingest-guard",
             "view-invalidation", "dangling-return", "temporary-bound-view",
             "task-outlives-capture"):
     assert rid in rules, "missing rule metadata: " + rid
@@ -300,6 +331,21 @@ if command -v python3 >/dev/null 2>&1; then
   sarif_check "SARIF validates (clean)" 0 "$fixtures/discarded_status/good.cpp"
 else
   echo "skip [SARIF validation]: python3 not available"
+fi
+
+# --- GitHub annotations ------------------------------------------------------
+
+check "github format emits ::error annotations" 1 \
+      '::error file=.*bad\.cpp,line=[0-9]+,title=ids-analyzer/discarded-status::' \
+      --format=github "$fixtures/discarded_status/bad.cpp"
+check "github format is silent on a clean tree" 0 'ids-analyzer: OK' \
+      --format=github "$fixtures/discarded_status/good.cpp"
+out=$("$analyzer" --format=github "$fixtures/discarded_status/good.cpp" 2>/dev/null)
+if [ -z "$out" ]; then
+  echo "ok   [github format stdout empty when clean]"
+else
+  echo "FAIL [github format stdout empty when clean]" >&2
+  failed=1
 fi
 
 # --- baseline round-trip -----------------------------------------------------

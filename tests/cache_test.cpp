@@ -338,6 +338,7 @@ TEST(CacheEngineEquivalence, QueryResultCountersMatchRegistry) {
     features->set(*d.lookup(person), "age", 20.0 + i);
   }
   triples->finalize();
+  features->freeze();
 
   core::EngineOptions opts;
   opts.topology = runtime::Topology::laptop(kRanks);

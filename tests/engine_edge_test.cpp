@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/engine.h"
 
 namespace ids::core {
@@ -37,6 +39,8 @@ class EdgeFixture : public ::testing::Test {
     triples_->add("hub", "links", "doc0");
     triples_->add("hub", "links", "doc1");
     triples_->finalize();
+    features_->freeze();
+    keywords_->freeze();
   }
 
   IdsEngine make_engine(EngineOptions opts = {}) {
@@ -190,7 +194,8 @@ TEST_F(EdgeFixture, CacheNodeFailureMidWorkloadRecovers) {
   EngineOptions opts;
   opts.cache = &cache;
   IdsEngine eng = make_engine(opts);
-  int executions = 0;
+  // UDFs run on pool threads across ranks — the counter must be atomic.
+  std::atomic<int> executions{0};
   eng.registry().register_static(
       "costly", [&executions](const udf::UdfContext& ctx,
                               std::span<const expr::Value> args) {
@@ -239,7 +244,7 @@ TEST_F(EdgeFixture, WriteThroughOffFailureForcesRecompute) {
   EngineOptions opts;
   opts.cache = &cache;
   IdsEngine eng = make_engine(opts);
-  int executions = 0;
+  std::atomic<int> executions{0};
   eng.registry().register_static(
       "costly2", [&executions](const udf::UdfContext&,
                                std::span<const expr::Value>) {

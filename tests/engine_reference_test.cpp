@@ -147,6 +147,7 @@ TEST_P(EngineVsReference, RandomGraphsAndQueries) {
     all.push_back(t);
   }
   store->finalize();
+  features->freeze();
   std::sort(all.begin(), all.end(), [](const Triple& a, const Triple& b) {
     return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
   });
@@ -292,6 +293,7 @@ GoldenScenario make_golden_scenario(int shards) {
                       s.entities[rng.next_below(s.entities.size())]});
   }
   s.store->finalize();
+  s.features->freeze();
   return s;
 }
 

@@ -47,6 +47,8 @@ class EngineFixture : public ::testing::Test {
                     "person" + std::to_string((i + 1) % 10));
     }
     triples_->finalize();
+    features_->freeze();
+    keywords_->freeze();
   }
 
   IdsEngine make_engine(EngineOptions opts = {}) {

@@ -1,0 +1,210 @@
+// Frozen-store stress: 8 OS threads run independent queries — each with
+// its own IdsEngine — against ONE shared TripleStore / FeatureStore /
+// InvertedIndex / VectorStore, all sealed by the ingest→freeze→serve
+// epoch transition (IDS_FROZEN_AFTER, DESIGN.md §13). build-tsan runs
+// this binary: after freeze() the stores must be pure readers with no
+// hidden lazy-prepare mutation, so TSan must see zero races, and every
+// thread's result must be bit-identical to a serial run of the same
+// query (doubles compared by bit pattern, not epsilon).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace ids::core {
+namespace {
+
+using expr::CmpOp;
+using expr::Expr;
+using graph::PatternTerm;
+using graph::TermId;
+
+constexpr int kRanks = 4;
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 3;
+
+/// One shared, frozen world: people in a friendship ring with ages,
+/// keyword docs, and embeddings. Built once per test, then only read.
+struct FrozenWorld {
+  std::unique_ptr<graph::TripleStore> triples;
+  std::unique_ptr<store::FeatureStore> features;
+  std::unique_ptr<store::InvertedIndex> keywords;
+  std::unique_ptr<store::VectorStore> vectors;
+
+  static constexpr int kPeople = 48;
+
+  FrozenWorld() {
+    triples = std::make_unique<graph::TripleStore>(kRanks);
+    features = std::make_unique<store::FeatureStore>(kRanks);
+    keywords = std::make_unique<store::InvertedIndex>();
+    vectors = std::make_unique<store::VectorStore>(kRanks, 4);
+    auto& d = triples->dict();
+    for (int i = 0; i < kPeople; ++i) {
+      std::string person = "person" + std::to_string(i);
+      triples->add(person, "type", "Person");
+      TermId id = *d.lookup(person);
+      features->set(id, "age", static_cast<double>(20 + (i % 17)));
+      keywords->add_document(id,
+                             i % 2 == 0 ? "likes chess" : "likes tennis");
+      std::vector<float> v(4, 0.0f);
+      v[0] = static_cast<float>(i % 7);
+      v[1] = static_cast<float>(i % 11);
+      vectors->add(id, v);
+    }
+    for (int i = 0; i < kPeople; ++i) {
+      triples->add("person" + std::to_string(i), "knows",
+                   "person" + std::to_string((i + 1) % kPeople));
+    }
+    triples->finalize();
+    features->freeze();
+    keywords->freeze();
+  }
+
+  IdsEngine make_engine() const {
+    EngineOptions opts;
+    opts.topology = runtime::Topology::laptop(kRanks);
+    return IdsEngine(opts, triples.get(), features.get(), keywords.get(),
+                     vectors.get());
+  }
+
+  PatternTerm term(const char* iri) const {
+    return PatternTerm::Const(*triples->dict().lookup(iri));
+  }
+};
+
+/// Exact serialization of a result table: schema, then every row's ids
+/// and the raw IEEE-754 bits of every numeric cell. Two QueryResults
+/// compare equal here only if they are bit-identical.
+std::string canonical(const QueryResult& r) {
+  const graph::SolutionTable& s = r.solutions;
+  std::string out;
+  for (const std::string& v : s.id_vars()) out += v + "|";
+  out += ";";
+  for (const std::string& v : s.num_vars()) out += v + "|";
+  out += "\n";
+  for (std::size_t row = 0; row < s.num_rows(); ++row) {
+    for (std::size_t c = 0; c < s.id_vars().size(); ++c) {
+      out += std::to_string(s.id_at(row, static_cast<int>(c)));
+      out += ",";
+    }
+    for (std::size_t c = 0; c < s.num_vars().size(); ++c) {
+      const double d = s.num_at(row, static_cast<int>(c));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof(bits));
+      out += std::to_string(bits);
+      out += ",";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// Per-thread query mix: every variant touches the triple store; the mix
+/// rotates joins, feature filters, keyword restriction, and a vector
+/// top-k so each store sees concurrent readers.
+Query make_query(const FrozenWorld& w, int t) {
+  Query q;
+  q.patterns.push_back({PatternTerm::Var("x"), w.term("type"),
+                        w.term("Person")});
+  if (t % 2 == 1) {
+    q.patterns.push_back({PatternTerm::Var("x"), w.term("knows"),
+                          PatternTerm::Var("y")});
+  }
+  q.filters.push_back(Expr::Compare(CmpOp::kGe,
+                                    Expr::Feature(Expr::Var("x"), "age"),
+                                    Expr::Constant(21.0 + t)));
+  if (t % 4 < 2) {
+    q.keywords.push_back({"x", {t % 2 == 0 ? "chess" : "tennis"}, true});
+  }
+  if (t % 4 == 3) {
+    VectorClause vc;
+    vc.var = "x";
+    vc.query = {3.0f, 5.0f, 0.0f, 0.0f};
+    vc.k = 12;
+    vc.metric = store::Metric::kL2;
+    q.vectors.push_back(vc);
+  }
+  return q;
+}
+
+TEST(FrozenStoreStress, ParallelQueriesBitIdenticalToSerial) {
+  FrozenWorld world;
+  ASSERT_TRUE(world.triples->frozen());
+  ASSERT_TRUE(world.features->frozen());
+  ASSERT_TRUE(world.keywords->frozen());
+
+  // Serial reference: one engine per variant, single-threaded.
+  std::vector<std::string> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    IdsEngine eng = world.make_engine();
+    QueryResult r = eng.execute(make_query(world, t));
+    EXPECT_GT(r.solutions.num_rows(), 0u) << "variant " << t << " is empty";
+    expected[t] = canonical(r);
+  }
+
+  // Concurrent pass: 8 threads, each with its OWN engine (the engine is
+  // per-query machinery; the *stores* are the shared frozen state under
+  // test), re-running its variant several times for overlap.
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&world, &got, t] {
+      for (int iter = 0; iter < kItersPerThread; ++iter) {
+        IdsEngine eng = world.make_engine();
+        got[t].push_back(canonical(eng.execute(make_query(world, t))));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), static_cast<std::size_t>(kItersPerThread));
+    for (int iter = 0; iter < kItersPerThread; ++iter) {
+      EXPECT_EQ(got[t][iter], expected[t])
+          << "thread " << t << " iteration " << iter
+          << " diverged from the serial run";
+    }
+  }
+}
+
+// The epoch round trip under the same shared-world shape: reopening for
+// an incremental ingest and re-freezing must leave concurrent readers of
+// the *new* epoch bit-identical to a serial run of the new epoch.
+TEST(FrozenStoreStress, ReopenedAndRefrozenWorldStillDeterministic) {
+  FrozenWorld world;
+  world.triples->reopen();
+  world.triples->add("personX", "type", "Person");
+  world.triples->finalize();
+  world.features->reopen();
+  TermId id = *world.triples->dict().lookup("personX");
+  world.features->set(id, "age", 35.0);
+  world.features->freeze();
+
+  std::string expected;
+  {
+    IdsEngine eng = world.make_engine();
+    expected = canonical(eng.execute(make_query(world, 0)));
+  }
+  std::vector<std::string> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&world, &got, t] {
+      IdsEngine eng = world.make_engine();
+      got[t] = canonical(eng.execute(make_query(world, 0)));
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(got[t], expected);
+}
+
+}  // namespace
+}  // namespace ids::core

@@ -111,6 +111,21 @@ TEST(TripleStore, ShardingIsStableAndComplete) {
   }
 }
 
+TEST(TripleStore, FreezeReopenEpochRoundTrip) {
+  TripleStore store(2);
+  EXPECT_FALSE(store.frozen());
+  store.add("a", "knows", "b");
+  store.finalize();
+  EXPECT_TRUE(store.frozen());
+  store.finalize();  // idempotent
+  EXPECT_EQ(store.total_triples(), 1u);
+  store.reopen();
+  EXPECT_FALSE(store.frozen());
+  store.add("b", "knows", "c");
+  store.finalize();
+  EXPECT_EQ(store.total_triples(), 2u);
+}
+
 TEST(TripleStore, MatchAllSpansShards) {
   TripleStore store(8);
   store.add("a", "knows", "b");

@@ -53,6 +53,8 @@ check "unknown escape tag flagged" 1 'unknown lint:allow-\* tag' \
       --root "$repo/tools/lint_fixtures/unknown_escape"
 check "raw socket header flagged" 1 'raw socket header' \
       --root "$repo/tools/lint_fixtures/raw_sockets"
+check "mutable store field flagged" 1 'mutable field in frozen store' \
+      --root "$repo/tools/lint_fixtures/mutable_field"
 
 # Rule 11 bans only tags outside the closed set: the fixture's real
 # lint:allow-global waiver must not appear among its findings.
@@ -89,5 +91,27 @@ if echo "$out" | grep -q 'arpa/inet'; then
 else
   echo "ok   [sockets escape hatch]"
 fi
+
+# Rule 13's carve-outs: atomic and IDS_GUARDED_BY members are
+# synchronized, the lint:allow-mutable line is opted out, and the rule is
+# scoped to src/graph/ + src/store/ (the src/core/ fixture file is out of
+# scope) — none of those may appear among the findings.
+out=$("$lint" --root "$repo/tools/lint_fixtures/mutable_field" 2>&1)
+for spared in 'hits_' 'misses_' 'scratch_' 'last_cost_'; do
+  if echo "$out" | grep -q "$spared"; then
+    echo "FAIL [mutable carve-outs]: spared member $spared was flagged" >&2
+    failed=1
+  else
+    echo "ok   [mutable carve-out: $spared spared]"
+  fi
+done
+for flagged in 'cache_' 'prepared_'; do
+  if echo "$out" | grep -q "$flagged"; then
+    echo "ok   [mutable lazy-prepare: $flagged flagged]"
+  else
+    echo "FAIL [mutable lazy-prepare]: $flagged was not flagged" >&2
+    failed=1
+  fi
+done
 
 exit $failed

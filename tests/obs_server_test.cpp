@@ -248,6 +248,7 @@ struct SharedGraph {
                    "person" + std::to_string((i + 1) % 12));
     }
     triples->finalize();
+    features->freeze();
   }
 
   PatternTerm term(const char* iri) const {

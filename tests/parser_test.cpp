@@ -163,6 +163,7 @@ TEST(Parser, ParseThenExecuteRoundTrip) {
                  static_cast<double>(i));
   }
   triples.finalize();
+  features.freeze();
 
   auto parsed = parse_query(
       "SELECT ?x WHERE { ?x rdf:type Thing } FILTER ?x.size >= 6 LIMIT 3",

@@ -221,6 +221,7 @@ TEST(InvertedIndex, AndSemantics) {
   idx.add_document(1, "adenosine receptor protein");
   idx.add_document(2, "adenosine kinase");
   idx.add_document(3, "receptor tyrosine kinase");
+  idx.freeze();
   auto hits = idx.search_and({"adenosine", "receptor"});
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], 1u);
@@ -231,6 +232,7 @@ TEST(InvertedIndex, OrSemantics) {
   idx.add_document(1, "alpha");
   idx.add_document(2, "beta");
   idx.add_document(3, "gamma");
+  idx.freeze();
   auto hits = idx.search_or({"alpha", "beta", "missing"});
   EXPECT_EQ(hits, (std::vector<graph::TermId>{1, 2}));
 }
@@ -238,6 +240,7 @@ TEST(InvertedIndex, OrSemantics) {
 TEST(InvertedIndex, MissingTokenMakesAndEmpty) {
   InvertedIndex idx;
   idx.add_document(1, "alpha beta");
+  idx.freeze();
   EXPECT_TRUE(idx.search_and({"alpha", "zzz"}).empty());
   EXPECT_TRUE(idx.search_and({}).empty());
 }
@@ -245,6 +248,7 @@ TEST(InvertedIndex, MissingTokenMakesAndEmpty) {
 TEST(InvertedIndex, DuplicateMentionsDedup) {
   InvertedIndex idx;
   idx.add_document(7, "spam spam spam");
+  idx.freeze();
   auto hits = idx.search_or({"spam"});
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(idx.posting_size("spam"), 1u);
@@ -253,7 +257,36 @@ TEST(InvertedIndex, DuplicateMentionsDedup) {
 TEST(InvertedIndex, CaseInsensitiveQuery) {
   InvertedIndex idx;
   idx.add_document(1, "Receptor");
+  idx.freeze();
   EXPECT_EQ(idx.search_and({"RECEPTOR"}).size(), 1u);
+}
+
+TEST(InvertedIndex, FreezeReopenEpochRoundTrip) {
+  InvertedIndex idx;
+  EXPECT_FALSE(idx.frozen());
+  idx.add_document(1, "alpha");
+  idx.freeze();
+  EXPECT_TRUE(idx.frozen());
+  idx.freeze();  // idempotent
+  EXPECT_EQ(idx.search_or({"alpha"}).size(), 1u);
+  idx.reopen();
+  EXPECT_FALSE(idx.frozen());
+  idx.add_document(2, "alpha");
+  idx.freeze();
+  EXPECT_EQ(idx.search_or({"alpha"}).size(), 2u);
+}
+
+TEST(FeatureStore, FreezeReopenEpochRoundTrip) {
+  FeatureStore fs(2);
+  EXPECT_FALSE(fs.frozen());
+  fs.set(1, "score", 2.0);
+  fs.freeze();
+  EXPECT_TRUE(fs.frozen());
+  EXPECT_EQ(fs.get_double(1, "score"), 2.0);
+  fs.reopen();
+  fs.set(1, "score", 3.0);
+  fs.freeze();
+  EXPECT_EQ(fs.get_double(1, "score"), 3.0);
 }
 
 }  // namespace

@@ -588,6 +588,7 @@ class TelemetryEngineFixture : public ::testing::Test {
                     "person" + std::to_string((i + 1) % 10));
     }
     triples_->finalize();
+    features_->freeze();
   }
 
   PatternTerm term(const char* iri) {

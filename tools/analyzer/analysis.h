@@ -70,6 +70,13 @@ void run_interproc_rules(Analysis& a);
 /// by-reference captures mutated inside ThreadPool tasks.
 void run_concurrency_rules(Analysis& a);
 
+/// Phase/epoch rules over IDS_FROZEN_AFTER fields (phase.h):
+/// [phase-discipline] missing freeze method, mutable frozen fields (the
+/// lazy-prepare shape), and post-freeze writes reachable from
+/// IdsEngine::execute; [frozen-ingest-guard] ingest-phase writes missing
+/// the IDS_CHECK(!frozen()) epoch guard.
+void run_phase_rules(Analysis& a);
+
 /// Lifetime rules over the corpus + invalidation summaries (lifetime.h):
 /// [view-invalidation] uses of container views after a may-invalidate
 /// mutation, [dangling-return] refs/pointers/views into frame storage,

@@ -162,4 +162,20 @@ std::set<const MergedFunc*> CallGraph::reachable_from(
   return seen;
 }
 
+std::set<const MergedFunc*> CallGraph::reachable_from_unique(
+    const std::vector<const MergedFunc*>& roots) const {
+  std::set<const MergedFunc*> seen(roots.begin(), roots.end());
+  std::deque<const MergedFunc*> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    const MergedFunc* u = queue.front();
+    queue.pop_front();
+    auto it = out_unique.find(u);
+    if (it == out_unique.end()) continue;
+    for (const MergedFunc* v : it->second) {
+      if (seen.insert(v).second) queue.push_back(v);
+    }
+  }
+  return seen;
+}
+
 }  // namespace ids::analyzer

@@ -89,6 +89,13 @@ struct CallGraph {
   /// Forward reachability over `out` (the over-approximated graph).
   std::set<const MergedFunc*> reachable_from(
       const std::vector<const MergedFunc*>& roots) const;
+
+  /// Forward reachability over `out_unique` only. The phase rules use
+  /// this for serve-phase classification: over-approximated edges fan
+  /// common names (`add`, `freeze`) out to unrelated classes and would
+  /// manufacture post-freeze-write findings that no real path executes.
+  std::set<const MergedFunc*> reachable_from_unique(
+      const std::vector<const MergedFunc*>& roots) const;
 };
 
 }  // namespace ids::analyzer

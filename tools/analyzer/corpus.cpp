@@ -441,6 +441,16 @@ void scan_range(FileData& f, std::size_t begin, std::size_t end,
         continue;
       }
     } else if (tok_is(t, "{")) {
+      // Brace initializer on a declaration span (`atomic<bool> done_{false};`,
+      // `std::vector<int> v{1, 2};`): the group closes straight onto the
+      // terminating ';', so skip it opaquely and keep the span alive for
+      // flush — otherwise brace-initialized members would never reach the
+      // field table or the shared-state certificate.
+      if (span_start != kNone && f.partner[i] != kNone &&
+          f.partner[i] + 1 < end && tok_is(f.toks[f.partner[i] + 1], ";")) {
+        i = f.partner[i] + 1;
+        continue;
+      }
       // Block we did not recognize (operator overload body, extern "C",
       // ...): skip it opaquely.
       span_start = kNone;

@@ -44,14 +44,14 @@ bool parse_decl_span(const FileData& f, std::size_t begin, std::size_t end,
                      const std::string& klass, const Corpus& corpus,
                      FieldInfo* out) {
   std::size_t b = begin, e = end;
-  // Cut at the first top-level '=' (initializer), skipping balanced groups.
+  // Cut at the first top-level '=' or '{' (initializer — `T x = ...` or
+  // `T x{...}`), skipping balanced groups reached through the declarator.
   for (std::size_t i = b; i < e; ++i) {
-    if (tok_is(f.toks[i], "=")) {
+    if (tok_is(f.toks[i], "=") || tok_is(f.toks[i], "{")) {
       e = i;
       break;
     }
-    if ((tok_is(f.toks[i], "(") || tok_is(f.toks[i], "{") ||
-         tok_is(f.toks[i], "[")) &&
+    if ((tok_is(f.toks[i], "(") || tok_is(f.toks[i], "[")) &&
         f.partner[i] != kNone && f.partner[i] < e) {
       i = f.partner[i];
     }
@@ -69,6 +69,8 @@ bool parse_decl_span(const FileData& f, std::size_t begin, std::size_t end,
         out->guarded_by = arg.empty() ? "?" : arg;
       } else if (macro == "IDS_SINGLE_QUERY_ONLY") {
         out->waiver = arg.empty() ? "unspecified" : arg;
+      } else if (macro == "IDS_FROZEN_AFTER") {
+        out->frozen_after = arg.empty() ? "?" : arg;
       }
       e = o - 1;
     } else {
@@ -194,6 +196,7 @@ std::map<std::size_t, std::vector<WriteSite>> collect_writes(
       ws.in_ctor = in_ctor;
       ws.under_lock = scope.any_held();
       ws.lock = scope.innermost();
+      ws.fn = &fn;
       bool is_write = false;
       if (j < fn.body_end) {
         const std::string& op = f.toks[j].text;

@@ -42,13 +42,15 @@ struct FieldInfo {
   bool is_sync = false;     // ids::Mutex / ids::CondVar
   std::string guarded_by;   // IDS_GUARDED_BY argument ("" = unannotated)
   std::string waiver;       // IDS_SINGLE_QUERY_ONLY reason ("" = not waived)
+  std::string frozen_after;  // IDS_FROZEN_AFTER freeze method ("" = none)
 
   std::string qualified() const { return klass + "::" + name; }
-  /// const, sync primitive, atomic, lock-annotated, or waived — the field
-  /// can never be an *unguarded* race by itself.
+  /// const, sync primitive, atomic, lock-annotated, waived, or phase-
+  /// frozen — the field can never be an *unguarded* race by itself (for
+  /// frozen fields the phase rules carry the proof obligation).
   bool protected_state() const {
     return is_const || is_sync || is_atomic || !guarded_by.empty() ||
-           !waiver.empty();
+           !waiver.empty() || !frozen_after.empty();
   }
 };
 
@@ -60,6 +62,7 @@ struct WriteSite {
   std::string lock;         // a held lock node at the site ("" = none)
   bool via_method = false;  // mutation through a non-const method call
   std::string detail;       // operator or method name that mutates
+  const FuncDecl* fn = nullptr;  // enclosing function (owned by the corpus)
 };
 
 struct FieldTable {

@@ -42,6 +42,18 @@
 //                               waives an entry and records the worklist
 //                               for concurrent serving).
 //
+// phase/epoch (rules_phase.cpp, phase.h):
+//   [phase-discipline]          IDS_FROZEN_AFTER(freeze) fields: the
+//                               owning class must define the freeze
+//                               method, the field must not be mutable
+//                               (the lazy-prepare shape), and neither a
+//                               write to it nor the freeze method itself
+//                               may be reachable from IdsEngine::execute.
+//   [frozen-ingest-guard]       every ingest-phase write outside a
+//                               constructor or the freeze method must sit
+//                               in a function checking
+//                               IDS_CHECK(!frozen()).
+//
 // lifetime (rules_lifetime.cpp, lifetime.cpp, escape.cpp):
 //   [view-invalidation]         views (span/string_view/reference/pointer/
 //                               iterator/.data()) derived from a container
@@ -114,7 +126,10 @@ void usage(std::ostream& os) {
         "determinism discipline.\n\nOptions:\n"
      << "  --list-rules          print every rule id + summary and exit 0\n"
      << "  --rule=ID             run only this rule (repeatable)\n"
-     << "  --format=text|sarif   output format (default: text)\n"
+     << "  --format=text|sarif|github\n"
+     << "                        output format (default: text; github "
+        "emits\n"
+     << "                        ::error workflow-command annotations)\n"
      << "  --baseline=FILE       suppress findings matching the baseline\n"
      << "  --write-baseline=FILE write current findings as a baseline\n"
      << "  --jobs=N              lex/load files on N threads (default and "
@@ -171,9 +186,9 @@ int run(int argc, char** argv) {
     }
     if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "text" && format != "sarif") {
+      if (format != "text" && format != "sarif" && format != "github") {
         std::cerr << "ids-analyzer: unknown format '" << format
-                  << "' (expected text or sarif)\n";
+                  << "' (expected text, sarif, or github)\n";
         return 2;
       }
       continue;
@@ -335,6 +350,7 @@ int run(int argc, char** argv) {
     run_local_rules(a);
     run_interproc_rules(a);
     run_concurrency_rules(a);
+    run_phase_rules(a);
     run_lifetime_rules(a);
     sort_findings(a.findings);
 
@@ -457,6 +473,8 @@ int run(int argc, char** argv) {
 
   if (format == "sarif") {
     print_sarif(std::cout, a.findings);
+  } else if (format == "github") {
+    print_github(std::cout, a.findings);
   } else {
     print_text(std::cout, a.findings);
   }

@@ -50,8 +50,20 @@ const std::vector<RuleInfo>& rule_table() {
       {"shared-state",
        "--certify=concurrent-exec: every static, global, and member "
        "transitively reachable from IdsEngine::execute must be immutable, "
-       "guarded, atomic, internally synchronized, or "
-       "IDS_SINGLE_QUERY_ONLY-waived."},
+       "guarded, atomic, internally synchronized, phase-frozen "
+       "(IDS_FROZEN_AFTER), or IDS_SINGLE_QUERY_ONLY-waived."},
+      {"phase-discipline",
+       "An IDS_FROZEN_AFTER(freeze) field's owning class must define the "
+       "freeze method, the field must not be mutable (lazy-prepare: "
+       "prepare eagerly in freeze() instead), and neither a write to the "
+       "field nor the freeze method itself may be reachable from "
+       "IdsEngine::execute — the serve phase never mutates frozen "
+       "state."},
+      {"frozen-ingest-guard",
+       "Every ingest-phase write to an IDS_FROZEN_AFTER field outside a "
+       "constructor or the freeze method must sit in a function that "
+       "checks IDS_CHECK(!frozen()) (IDS_DCHECK for private helpers) so "
+       "post-freeze mutation aborts deterministically."},
       {"view-invalidation",
        "A span/string_view/reference/pointer/iterator derived from a "
        "container must not be used after an operation that may reallocate "
@@ -189,6 +201,36 @@ void print_text(std::ostream& os, const std::vector<Finding>& findings) {
     os << fd.path << ":" << fd.line << ": [" << fd.rule << "] " << fd.message
        << "\n";
     for (const std::string& n : fd.notes) os << "  " << n << "\n";
+  }
+}
+
+namespace {
+
+/// Escapes a workflow-command value: GitHub unescapes %25/%0D/%0A, so
+/// literal '%', CR, and LF must be encoded (properties additionally need
+/// it for ',' and ':', but rule ids and paths never contain those).
+std::string github_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_github(std::ostream& os, const std::vector<Finding>& findings) {
+  for (const Finding& fd : findings) {
+    if (fd.suppressed) continue;
+    os << "::error file=" << github_escape(fd.path)
+       << ",line=" << (fd.line > 0 ? fd.line : 1)
+       << ",title=ids-analyzer/" << github_escape(fd.rule)
+       << "::" << github_escape(full_message(fd)) << "\n";
   }
 }
 

@@ -38,4 +38,10 @@ void print_text(std::ostream& os, const std::vector<Finding>& findings);
 /// are emitted with suppressions[].kind = "external").
 void print_sarif(std::ostream& os, const std::vector<Finding>& findings);
 
+/// GitHub Actions workflow commands: one `::error file=...,line=...,
+/// title=ids-analyzer/<rule>::<message>` line per unsuppressed finding,
+/// so findings annotate the diff inline on PRs (%, CR, LF escaped per the
+/// workflow-command syntax). Suppressed findings are skipped.
+void print_github(std::ostream& os, const std::vector<Finding>& findings);
+
 }  // namespace ids::analyzer

@@ -1,0 +1,69 @@
+#pragma once
+
+// Phase/epoch analysis for IDS_FROZEN_AFTER fields (DESIGN.md §13).
+//
+// An IDS_FROZEN_AFTER(freeze_method) annotation declares an ingest→
+// freeze→serve epoch for one field: writes are legal only before the
+// owning class's freeze method has run, and the serve phase (everything
+// reachable from IdsEngine::execute) must never mutate it. The analysis
+// checks, per annotated field:
+//
+//   [phase-discipline]
+//     - the owning class defines the named freeze method;
+//     - the field is not `mutable` (a mutable frozen field is the
+//       lazy-prepare shape: const read paths that mutate post-freeze);
+//     - no write site sits in a function reachable from
+//       IdsEngine::execute over unique call edges (serve-phase write);
+//     - the freeze method itself is not reachable from execute (a query
+//       that can re-freeze can also observe the mutation).
+//   [frozen-ingest-guard]
+//     - every write site outside a constructor and outside the freeze
+//       method sits in a function that checks the epoch first:
+//       IDS_CHECK(!frozen...) / IDS_DCHECK(!frozen...) — the runtime
+//       guard that turns a phase bug into a deterministic abort.
+//
+// Reachability runs over unique edges only (CallGraph::out_unique):
+// over-approximated edges fan common mutator names out to unrelated
+// classes and would flag writes no real serve path executes.
+//
+// Consumers: run_phase_rules (default mode) reports the violations as
+// findings; run_certificate consults the same analysis to decide whether
+// an IDS_FROZEN_AFTER field lands on the `frozen-after-init` rung or is
+// a certificate violation.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "callgraph.h"
+#include "corpus.h"
+#include "field_access.h"
+
+namespace ids::analyzer {
+
+struct PhaseViolation {
+  std::string rule;  // "phase-discipline" | "frozen-ingest-guard"
+  std::size_t field_idx = 0;  // index into FieldTable::fields
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+struct PhaseAnalysis {
+  std::vector<PhaseViolation> violations;
+  /// Field indexes (into FieldTable::fields) with >= 1 violation.
+  std::set<std::size_t> violating_fields;
+
+  bool field_ok(std::size_t idx) const {
+    return violating_fields.count(idx) == 0;
+  }
+};
+
+/// Runs the phase checks over every IDS_FROZEN_AFTER field in the table.
+/// `graph` supplies serve-phase reachability from IdsEngine::execute (no
+/// execute in the corpus means nothing is serve-phase).
+PhaseAnalysis analyze_phases(const Corpus& corpus, const CallGraph& graph,
+                             const FieldTable& table);
+
+}  // namespace ids::analyzer

@@ -14,12 +14,14 @@
 //                reachability (over-approximated edges, as for the clock
 //                rule: missing a virtual dispatch would hide a race),
 //                namespace-scope globals unconditionally — classified as
-//                const-after-init / guarded / atomic / sync-primitive /
-//                internally-synchronized / waived, with everything else a
-//                violation. The machine-readable inventory goes to stdout
-//                and is committed as tools/concurrency_certificate.json;
-//                IDS_SINGLE_QUERY_ONLY waivers double as the worklist for
-//                concurrent serving (ROADMAP item 1).
+//                const-after-init / guarded / frozen-after-init / atomic /
+//                sync-primitive / internally-synchronized / waived, with
+//                everything else a violation. The machine-readable
+//                inventory goes to stdout and is committed as
+//                tools/concurrency_certificate.json. IDS_FROZEN_AFTER
+//                fields land on the frozen-after-init rung only when the
+//                phase analysis (phase.h) proves their ingest→freeze→serve
+//                discipline; a phase violation is a certificate violation.
 
 #include <algorithm>
 #include <map>
@@ -31,6 +33,7 @@
 #include "analysis.h"
 #include "escape.h"
 #include "field_access.h"
+#include "phase.h"
 
 namespace ids::analyzer {
 namespace {
@@ -177,12 +180,15 @@ std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found) {
   const MergedFunc* root = &mi->second;
 
   FieldTable t = build_field_table(corpus);
+  PhaseAnalysis phases = analyze_phases(corpus, *a.graph, t);
 
   // Class closure over field types, rooted at the engine. A waived field
   // cuts its subtree: its object is owned by the single-query contract the
   // waiver records, so inventorying its internals would be noise. A
   // guarded field cuts it too — the annotated mutex protects the whole
-  // object, and Clang's analysis already checks every access to it.
+  // object, and Clang's analysis already checks every access to it — and
+  // so does a frozen field: the phase analysis proves it immutable after
+  // its freeze method, so its internals cannot race either.
   std::set<std::string> closure = {"IdsEngine"};
   std::vector<std::string> queue = {"IdsEngine"};
   while (!queue.empty()) {
@@ -192,7 +198,10 @@ std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found) {
     if (bc == t.by_class.end()) continue;
     for (const auto& [name, idx] : bc->second) {
       const FieldInfo& fi = t.fields[idx];
-      if (!fi.waiver.empty() || !fi.guarded_by.empty()) continue;
+      if (!fi.waiver.empty() || !fi.guarded_by.empty() ||
+          !fi.frozen_after.empty()) {
+        continue;
+      }
       if (fi.type_class.empty()) continue;
       if (closure.insert(fi.type_class).second) {
         queue.push_back(fi.type_class);
@@ -213,8 +222,9 @@ std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found) {
       a.findings.push_back(
           {"shared-state", e.path, e.line,
            report_name + " is reachable from IdsEngine::execute but is "
-           "neither const, guarded, atomic, internally synchronized, nor "
-           "IDS_SINGLE_QUERY_ONLY-waived (" + e.detail +
+           "neither const, guarded, atomic, internally synchronized, "
+           "phase-frozen (IDS_FROZEN_AFTER), nor IDS_SINGLE_QUERY_ONLY-"
+           "waived (" + e.detail +
            "); concurrent queries would race on it",
            {},
            false});
@@ -247,6 +257,18 @@ std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found) {
       } else if (!fi.guarded_by.empty()) {
         e.status = "guarded";
         e.detail = fi.guarded_by;
+      } else if (!fi.frozen_after.empty()) {
+        // The rung is earned, not declared: the phase analysis must have
+        // proven the ingest→freeze→serve discipline for this field.
+        if (phases.field_ok(idx)) {
+          e.status = "frozen-after-init";
+          e.detail = fi.frozen_after;
+        } else {
+          e.status = "violation";
+          e.detail = "IDS_FROZEN_AFTER(" + fi.frozen_after +
+                     ") phase contract not proven; run the phase-discipline"
+                     "/frozen-ingest-guard rules for the sites";
+        }
       } else if (fi.is_mutable &&
                  !class_internally_synchronized(fi.type_class, corpus, t)) {
         e.status = "violation";
@@ -389,8 +411,9 @@ std::size_t run_certificate(Analysis& a, std::ostream& os, bool* root_found) {
      << "  \"summary\": {\n"
      << "    \"classes\": " << classes.size() << ",\n"
      << "    \"const\": " << const_fields << ",\n";
-  for (const char* s : {"const-after-init", "guarded", "sync-primitive",
-                        "atomic", "internally-synchronized", "waived"}) {
+  for (const char* s : {"const-after-init", "guarded", "frozen-after-init",
+                        "sync-primitive", "atomic",
+                        "internally-synchronized", "waived"}) {
     os << "    \"" << s << "\": " << status_counts[s] << ",\n";
   }
   os << "    \"violations\": " << violations << "\n"

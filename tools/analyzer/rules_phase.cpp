@@ -1,0 +1,153 @@
+// Phase/epoch analysis: the IDS_FROZEN_AFTER rule family (phase.h has
+// the contract). analyze_phases() is the shared engine; run_phase_rules
+// reports its violations in default mode, and run_certificate consults
+// field_ok() to place frozen fields on the `frozen-after-init` rung.
+
+#include "phase.h"
+
+#include <string>
+
+#include "analysis.h"
+#include "field_access.h"
+
+namespace ids::analyzer {
+namespace {
+
+const MergedFunc* lookup_merged(const Corpus& corpus, const std::string& klass,
+                                const std::string& name) {
+  auto ci = corpus.merged.find(klass);
+  if (ci == corpus.merged.end()) return nullptr;
+  auto mi = ci->second.find(name);
+  return mi == ci->second.end() ? nullptr : &mi->second;
+}
+
+/// True when `fn`'s body contains an epoch guard: IDS_CHECK/IDS_DCHECK
+/// whose argument negates a frozen query — `IDS_CHECK(!frozen())`,
+/// `IDS_DCHECK(!store.frozen())`. A positive assert (IDS_CHECK(frozen()))
+/// is a serve-side precondition, not an ingest guard, and does not count.
+bool has_ingest_guard(const FuncDecl& fn) {
+  const FileData& f = *fn.file;
+  for (std::size_t i = fn.body_begin; i + 1 < fn.body_end; ++i) {
+    if (!tok_ident(f.toks[i])) continue;
+    const std::string& n = f.toks[i].text;
+    if (n != "IDS_CHECK" && n != "IDS_DCHECK") continue;
+    if (!tok_is(f.toks[i + 1], "(") || f.partner[i + 1] == kNone) continue;
+    const std::size_t close = f.partner[i + 1];
+    bool saw_not = false;
+    for (std::size_t k = i + 2; k < close && k < fn.body_end; ++k) {
+      if (tok_is(f.toks[k], "!")) {
+        saw_not = true;
+      } else if (saw_not && tok_ident(f.toks[k]) &&
+                 f.toks[k].text.rfind("frozen", 0) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PhaseAnalysis analyze_phases(const Corpus& corpus, const CallGraph& graph,
+                             const FieldTable& table) {
+  PhaseAnalysis out;
+
+  // Serve phase = unique-edge reachability from IdsEngine::execute. A
+  // corpus without the engine (fixtures, the analyzer itself) has no
+  // serve phase and the reachability set stays empty.
+  std::set<const MergedFunc*> serve;
+  if (const MergedFunc* root = lookup_merged(corpus, "IdsEngine", "execute")) {
+    serve = graph.reachable_from_unique({root});
+  }
+
+  auto add = [&](const char* rule, std::size_t idx, const std::string& path,
+                 int line, std::string msg) {
+    out.violations.push_back({rule, idx, path, line, std::move(msg)});
+    out.violating_fields.insert(idx);
+  };
+
+  for (std::size_t idx = 0; idx < table.fields.size(); ++idx) {
+    const FieldInfo& fi = table.fields[idx];
+    if (fi.frozen_after.empty()) continue;
+    const std::string qual = fi.qualified();
+
+    if (fi.klass.empty()) {
+      add("phase-discipline", idx, fi.path, fi.line,
+          "IDS_FROZEN_AFTER(" + fi.frozen_after + ") on non-member '" +
+              fi.name + "'; the epoch contract needs an owning class with "
+              "a freeze method");
+      continue;
+    }
+    const MergedFunc* freeze =
+        lookup_merged(corpus, fi.klass, fi.frozen_after);
+    if (freeze == nullptr) {
+      add("phase-discipline", idx, fi.path, fi.line,
+          "field '" + qual + "' is IDS_FROZEN_AFTER(" + fi.frozen_after +
+              ") but class '" + fi.klass + "' has no method '" +
+              fi.frozen_after + "'; declare the freeze method the epoch "
+              "transitions through");
+    }
+    if (fi.is_mutable) {
+      add("phase-discipline", idx, fi.path, fi.line,
+          "field '" + qual + "' is declared mutable and IDS_FROZEN_AFTER(" +
+              fi.frozen_after + "); mutable lets const read paths mutate "
+              "after the freeze (the lazy-prepare shape) — prepare eagerly "
+              "in '" + fi.frozen_after + "()' and drop the mutable");
+    }
+    if (freeze != nullptr && serve.count(freeze) != 0) {
+      const FuncDecl* d = freeze->decls.empty() ? nullptr : freeze->decls[0];
+      add("phase-discipline", idx, d != nullptr ? d->file->path : fi.path,
+          d != nullptr ? d->line : fi.line,
+          "freeze method '" + fi.klass + "::" + fi.frozen_after +
+              "' of IDS_FROZEN_AFTER field '" + qual + "' is reachable "
+              "from IdsEngine::execute; a query that can re-freeze can "
+              "also mutate the frozen state");
+    }
+
+    const std::vector<WriteSite>* sites = table.sites(idx);
+    if (sites == nullptr) continue;
+    for (const WriteSite& ws : *sites) {
+      if (ws.in_ctor || ws.fn == nullptr) continue;
+      // Writes inside the freeze method are the epoch transition itself
+      // (eager preparation at freeze is exactly what the rule wants).
+      if (ws.fn->klass == fi.klass && ws.fn->name == fi.frozen_after) {
+        continue;
+      }
+      const std::string writer =
+          (ws.fn->klass.empty() ? "" : ws.fn->klass + "::") + ws.fn->name;
+      const MergedFunc* m = lookup_merged(corpus, ws.fn->klass, ws.fn->name);
+      if (m != nullptr && serve.count(m) != 0) {
+        add("phase-discipline", idx, ws.path, ws.line,
+            "serve-phase write: '" + writer + "' writes frozen field '" +
+                qual + "' ('" + ws.detail + "') and is reachable from "
+                "IdsEngine::execute; hoist the mutation into '" +
+                fi.frozen_after + "()' or an ingest-phase mutator");
+        continue;
+      }
+      if (!has_ingest_guard(*ws.fn)) {
+        add("frozen-ingest-guard", idx, ws.path, ws.line,
+            "ingest-phase write to frozen field '" + qual + "' ('" +
+                ws.detail + "') in '" + writer + "' without an epoch "
+                "guard; add IDS_CHECK(!frozen()) (or IDS_DCHECK for "
+                "private helpers) so a post-freeze call aborts "
+                "deterministically");
+      }
+    }
+  }
+  return out;
+}
+
+void run_phase_rules(Analysis& a) {
+  if (!a.rule_enabled("phase-discipline") &&
+      !a.rule_enabled("frozen-ingest-guard")) {
+    return;
+  }
+  FieldTable t = build_field_table(*a.corpus);
+  PhaseAnalysis phases = analyze_phases(*a.corpus, *a.graph, t);
+  for (const PhaseViolation& v : phases.violations) {
+    if (!a.rule_enabled(v.rule)) continue;
+    a.findings.push_back({v.rule, v.path, v.line, v.message, {}, false});
+  }
+}
+
+}  // namespace ids::analyzer

@@ -1,0 +1,32 @@
+// Fixture (negative): an ingest-phase write with no epoch guard. Ledger
+// declares entries_ IDS_FROZEN_AFTER(freeze) and defines the freeze
+// method, but append() mutates the field without checking
+// IDS_CHECK(!frozen()) first — a caller holding a stale handle could keep
+// appending after the store was published to the serve phase, and nothing
+// would abort. [frozen-ingest-guard] flags the write site; a positive
+// assert on the frozen flag (as in audit()) does not count as a guard.
+
+namespace fixture {
+
+class Ledger {
+ public:
+  void append(int v);
+  void audit(int v);
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::vector<int> entries_ IDS_FROZEN_AFTER(freeze);
+  bool frozen_ = false;
+};
+
+void Ledger::append(int v) { entries_.push_back(v); }
+
+void Ledger::audit(int v) {
+  IDS_CHECK(frozen()) << "audit only runs on a sealed ledger";
+  entries_.push_back(v);
+}
+
+void Ledger::freeze() { frozen_ = true; }
+
+}  // namespace fixture

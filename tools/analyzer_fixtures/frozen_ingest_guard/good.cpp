@@ -1,0 +1,40 @@
+// Fixture (positive): every ingest-phase write is epoch-guarded. The
+// public mutator checks IDS_CHECK(!frozen()) before touching the frozen
+// field, the private helper uses IDS_DCHECK(!frozen()) (the sanctioned
+// hot-path form), constructor writes are exempt (no concurrent observer
+// exists yet), and the freeze method itself is exempt — it IS the epoch
+// transition.
+
+namespace fixture {
+
+class Ledger {
+ public:
+  Ledger() { entries_.reserve(16); }
+  void append(int v);
+  void freeze();
+  bool frozen() const { return frozen_.load(); }
+
+ private:
+  void intern(int v);
+
+  std::vector<int> entries_ IDS_FROZEN_AFTER(freeze);
+  std::atomic<bool> frozen_{false};
+};
+
+void Ledger::append(int v) {
+  IDS_CHECK(!frozen()) << "Ledger::append after freeze()";
+  intern(v);
+}
+
+void Ledger::intern(int v) {
+  IDS_DCHECK(!frozen());
+  entries_.push_back(v);
+}
+
+void Ledger::freeze() {
+  if (frozen()) return;
+  std::sort(entries_.begin(), entries_.end());
+  frozen_.store(true);
+}
+
+}  // namespace fixture

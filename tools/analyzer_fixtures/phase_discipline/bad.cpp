@@ -1,0 +1,75 @@
+// Fixture (negative): four breaks of the ingest→freeze→serve discipline
+// [phase-discipline] must flag on IDS_FROZEN_AFTER fields:
+//   1. Catalog::rows_ names a freeze method (`seal`) the class never
+//      defines — the epoch transition cannot happen.
+//   2. Index::cache_ is mutable — the lazy-prepare shape where a "const"
+//      read path populates state on first use; preparation belongs in the
+//      freeze method, eagerly.
+//   3. Store::vals_ is written by Store::touch, and IdsEngine::execute
+//      reaches touch through a unique call edge — a serve-phase mutation.
+//   4. Postings::commit is the freeze method, and execute calls it — the
+//      serve phase must never trigger the epoch transition itself.
+
+namespace fixture {
+
+class Catalog {
+ public:
+  void add(int v);
+
+ private:
+  std::vector<int> rows_ IDS_FROZEN_AFTER(seal);
+};
+
+void Catalog::add(int v) { rows_.push_back(v); }
+
+class Index {
+ public:
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+ private:
+  mutable std::vector<int> cache_ IDS_FROZEN_AFTER(freeze);
+  bool frozen_ = false;
+};
+
+void Index::freeze() { frozen_ = true; }
+
+class Store {
+ public:
+  void publish();
+  void touch(int v);
+
+ private:
+  std::vector<int> vals_ IDS_FROZEN_AFTER(publish);
+};
+
+void Store::publish() {}
+
+void Store::touch(int v) { vals_.push_back(v); }
+
+class Postings {
+ public:
+  void commit();
+
+ private:
+  std::vector<int> lists_ IDS_FROZEN_AFTER(commit);
+};
+
+void Postings::commit() {}
+
+class IdsEngine {
+ public:
+  int execute();
+
+ private:
+  Store store_;
+  Postings postings_;
+};
+
+int IdsEngine::execute() {
+  store_.touch(1);
+  postings_.commit();
+  return 0;
+}
+
+}  // namespace fixture

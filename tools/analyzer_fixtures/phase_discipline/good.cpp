@@ -1,0 +1,49 @@
+// Fixture (positive): the ingest→freeze→serve discipline done right.
+// Store defines the freeze method its IDS_FROZEN_AFTER annotation names,
+// the field is not mutable (preparation happens eagerly inside freeze()),
+// every ingest write is epoch-guarded, and IdsEngine::execute only reads
+// — neither a write to the frozen field nor freeze() itself is reachable
+// from the serve phase.
+
+namespace fixture {
+
+class Store {
+ public:
+  void add(int v);
+  void freeze();
+  bool frozen() const { return frozen_.load(); }
+  int sum() const;
+
+ private:
+  std::vector<int> vals_ IDS_FROZEN_AFTER(freeze);
+  std::atomic<bool> frozen_{false};
+};
+
+void Store::add(int v) {
+  IDS_CHECK(!frozen()) << "Store::add after freeze(); reopen first";
+  vals_.push_back(v);
+}
+
+void Store::freeze() {
+  if (frozen()) return;
+  std::sort(vals_.begin(), vals_.end());
+  frozen_.store(true);
+}
+
+int Store::sum() const {
+  int s = 0;
+  for (int v : vals_) s += v;
+  return s;
+}
+
+class IdsEngine {
+ public:
+  int execute();
+
+ private:
+  Store store_;
+};
+
+int IdsEngine::execute() { return store_.sum(); }
+
+}  // namespace fixture

@@ -55,6 +55,15 @@
 #      keeps it that way (and keeps every other translation unit portable
 #      to socketless sandboxes). A deliberate use opts out with a
 #      trailing `// lint:allow-sockets`.
+#  13. `mutable` fields in src/graph/ + src/store/ — the stores obey the
+#      ingest→freeze→serve contract (IDS_FROZEN_AFTER, DESIGN.md §13),
+#      and a mutable member is the lazy-prepare shape that lets "const"
+#      read paths mutate after the freeze. Atomic, IDS_GUARDED_BY, and
+#      sync-primitive (Mutex/CondVar) members are exempt; a deliberate
+#      use opts out
+#      with a trailing `// lint:allow-mutable`. tools/analyzer's
+#      [phase-discipline] enforces the same ban on annotated fields with
+#      token fidelity; this regex rule covers unannotated ones too.
 #
 # Usage: tools/lint.sh [--root DIR]
 #   --root DIR   lint DIR instead of the repository (used by the negative
@@ -270,15 +279,15 @@ $hits"
 done < <(list_files '*.h'; list_files '*.cpp')
 
 # --- 11. unknown lint:allow-* escape tags -------------------------------
-# Rules 5/7/9/10/12 honor exactly five tags. Anything else — a typo, or a
-# tag invented for a rule that does not read it — would ride along in
+# Rules 5/7/9/10/12/13 honor exactly six tags. Anything else — a typo, or
+# a tag invented for a rule that does not read it — would ride along in
 # review looking like an audited waiver while suppressing nothing. Closed
 # set, enforced here.
 while IFS= read -r f; do
   hits=$(grep -noE 'lint:allow-[a-z0-9-]+' "$f" \
-           | grep -vE 'lint:allow-(stdout|global|unordered|intrinsics|sockets)$')
+           | grep -vE 'lint:allow-(stdout|global|unordered|intrinsics|sockets|mutable)$')
   if [ -n "$hits" ]; then
-    fail "unknown lint:allow-* tag in $f (known tags: stdout, global, unordered, intrinsics, sockets):
+    fail "unknown lint:allow-* tag in $f (known tags: stdout, global, unordered, intrinsics, sockets, mutable):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')
@@ -298,6 +307,27 @@ while IFS= read -r f; do
            | grep -nE '#[[:space:]]*include[[:space:]]*<(sys/socket\.h|netinet/[a-z0-9_]+\.h|arpa/inet\.h)>')
   if [ -n "$hits" ]; then
     fail "raw socket header in $f (real sockets live in src/telemetry/ only; mark a deliberate use with // lint:allow-sockets):
+$hits"
+  fi
+done < <(list_files '*.h'; list_files '*.cpp')
+
+# --- 13. mutable fields in the frozen stores ----------------------------
+# src/graph/ and src/store/ hold the IDS_FROZEN_AFTER stores: after
+# freeze() their state is immutable and concurrently readable, and a
+# `mutable` member is exactly the lazy-prepare backdoor that breaks the
+# contract from a const read path. Synchronized members (atomic or
+# IDS_GUARDED_BY) are exempt; comment tails are stripped so prose about
+# mutability stays legal; `// lint:allow-mutable` opts a line out.
+while IFS= read -r f; do
+  case "$f" in
+    src/graph/*|src/store/*) ;;
+    *) continue ;;
+  esac
+  hits=$(sed -e '/lint:allow-mutable/s/.*//' -e 's|//.*||' "$f" \
+           | grep -nE '(^|[[:space:]])mutable[[:space:]]' \
+           | grep -vE 'atomic|IDS_GUARDED_BY|Mutex|CondVar')
+  if [ -n "$hits" ]; then
+    fail "mutable field in frozen store $f (prepare eagerly in freeze(), make it atomic/IDS_GUARDED_BY, or mark a deliberate use with // lint:allow-mutable):
 $hits"
   fi
 done < <(list_files '*.h'; list_files '*.cpp')

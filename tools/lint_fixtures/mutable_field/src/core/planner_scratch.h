@@ -1,0 +1,11 @@
+#pragma once
+// Rule 13 is scoped to the frozen stores: a mutable member outside
+// src/graph/ + src/store/ (here, src/core/) is out of scope for the
+// regex rule and must NOT be flagged — the analyzer's [phase-discipline]
+// and the shared-state certificate cover engine-reachable state with
+// token fidelity instead.
+
+class PlannerScratch {
+ private:
+  mutable int last_cost_ = 0;
+};

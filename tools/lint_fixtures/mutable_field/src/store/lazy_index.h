@@ -1,0 +1,21 @@
+#pragma once
+// Negative fixture for lint rule 13: `mutable` fields in the frozen
+// stores (src/graph/ + src/store/). cache_ and prepared_ are the
+// lazy-prepare shape — a const read path mutating after freeze() — and
+// must be flagged. The atomic member, the IDS_GUARDED_BY member, and the
+// opted-out line must NOT be flagged.
+
+#include <atomic>
+#include <vector>
+
+class LazyIndex {
+ public:
+  int lookup(int key) const;
+
+ private:
+  mutable std::vector<int> cache_;
+  mutable bool prepared_ = false;
+  mutable std::atomic<long> hits_{0};
+  mutable long misses_ IDS_GUARDED_BY(mu_) = 0;
+  mutable int scratch_ = 0;  // lint:allow-mutable
+};

@@ -31,16 +31,45 @@ trap '[ -n "$obs_pid" ] && kill "$obs_pid" 2>/dev/null; [ -n "$cleanup" ] && rm 
   > "$outdir/obs.log" 2>&1 &
 obs_pid=$!
 
-# The workflow prints (and flushes) the hold banner with the bound port
-# once both queries have finished and the server is idle-serving.
+# The workflow binds port 0 (kernel-assigned, no collisions on a busy
+# runner) and prints + flushes the listening banner as soon as the server
+# is up, so the actual port is discoverable well before the queries run.
 port=""
-for _ in $(seq 1 200); do
-  port=$(sed -n 's#^holding obs server for .*127\.0\.0\.1:\([0-9]*\)/.*#\1#p' \
+for _ in $(seq 1 100); do
+  port=$(sed -n 's#^obs server listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' \
            "$outdir/obs.log")
   [ -n "$port" ] && break
+  if ! kill -0 "$obs_pid" 2>/dev/null; then
+    echo "obs smoke: workflow died before the server came up:" >&2
+    cat "$outdir/obs.log" >&2
+    exit 1
+  fi
   sleep 0.1
 done
 if [ -z "$port" ]; then
+  echo "obs smoke: server never printed the listening banner:" >&2
+  cat "$outdir/obs.log" >&2
+  exit 1
+fi
+
+# The hold banner marks both queries done and the server idle-serving —
+# that is when /statusz and /tracez carry the full run. Sanitizer builds
+# can take a while to get there, so poll generously with a liveness check
+# instead of a short fixed window.
+held=""
+for _ in $(seq 1 600); do
+  if grep -q '^holding obs server for ' "$outdir/obs.log"; then
+    held=1
+    break
+  fi
+  if ! kill -0 "$obs_pid" 2>/dev/null; then
+    echo "obs smoke: workflow died before the hold phase:" >&2
+    cat "$outdir/obs.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$held" ]; then
   echo "obs smoke: server never reached the hold phase:" >&2
   cat "$outdir/obs.log" >&2
   exit 1
